@@ -1,0 +1,9 @@
+package prochlo_test
+
+import "prochlo"
+
+// newBenchPipeline builds the standard pipeline used by the end-to-end
+// benchmark: the paper's noisy-threshold setting, seeded for stability.
+func newBenchPipeline() (*prochlo.Pipeline, error) {
+	return prochlo.New(prochlo.WithSeed(1), prochlo.WithNoisyThreshold(20, 10, 2))
+}

@@ -1,0 +1,249 @@
+// Command prochlo runs the ESA pipeline as networked services. Roles:
+//
+//	prochlo -role analyzer -listen 127.0.0.1:7101
+//	prochlo -role shuffler -listen 127.0.0.1:7100 -analyzer 127.0.0.1:7101 ...
+//	prochlo -role client   -shuffler 127.0.0.1:7100 ...
+//	prochlo -role demo     (all three in one process over loopback)
+//
+// The analyzer prints its key so the operator can embed it in clients; in
+// the demo role everything is wired automatically and a word histogram is
+// collected end to end.
+package main
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net/rpc"
+	"os"
+	"os/signal"
+	"sort"
+
+	"prochlo/internal/analyzer"
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/dp"
+	"prochlo/internal/encoder"
+	"prochlo/internal/shuffler"
+	"prochlo/internal/transport"
+	"prochlo/internal/workload"
+)
+
+func main() {
+	role := flag.String("role", "demo", "analyzer | shuffler | client | demo")
+	listen := flag.String("listen", "127.0.0.1:0", "service listen address")
+	analyzerAddr := flag.String("analyzer", "127.0.0.1:7101", "analyzer address (shuffler role)")
+	shufflerAddr := flag.String("shuffler", "127.0.0.1:7100", "shuffler address (client role)")
+	analyzerKeyHex := flag.String("analyzer-key", "", "analyzer public key, hex (client role)")
+	reports := flag.Int("reports", 2000, "reports to submit (client/demo roles)")
+	thresholdT := flag.Int("threshold", 20, "crowd threshold T")
+	flag.Parse()
+
+	switch *role {
+	case "analyzer":
+		runAnalyzer(*listen)
+	case "shuffler":
+		runShuffler(*listen, *analyzerAddr, *thresholdT)
+	case "client":
+		runClient(*shufflerAddr, *analyzerKeyHex, *reports)
+	case "demo":
+		runDemo(*reports, *thresholdT)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown role", *role)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prochlo:", err)
+	os.Exit(1)
+}
+
+func runAnalyzer(listen string) {
+	priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		fatal(err)
+	}
+	svc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: priv}, priv.Public().Bytes())
+	l, err := transport.Serve(listen, "Analyzer", svc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("analyzer listening on", l.Addr())
+	fmt.Println("analyzer public key:", hex.EncodeToString(priv.Public().Bytes()))
+	wait()
+}
+
+func runShuffler(listen, analyzerAddr string, t int) {
+	priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		fatal(err)
+	}
+	sh := &shuffler.Shuffler{
+		Priv:      priv,
+		Threshold: shuffler.Threshold{Noise: dp.ThresholdNoise{T: t, D: 10, Sigma: 2}},
+		Rand:      newRand(),
+	}
+	svc, err := transport.NewShufflerService(sh, priv.Public().Bytes(), analyzerAddr)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := transport.Serve(listen, "Shuffler", svc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("shuffler listening on", l.Addr(), "forwarding to", analyzerAddr)
+	wait()
+}
+
+func runClient(shufflerAddr, analyzerKeyHex string, reports int) {
+	keyBytes, err := hex.DecodeString(analyzerKeyHex)
+	if err != nil {
+		fatal(fmt.Errorf("bad -analyzer-key: %w", err))
+	}
+	anlzKey, err := hybrid.ParsePublicKey(keyBytes)
+	if err != nil {
+		fatal(err)
+	}
+	cl, err := transport.Dial(shufflerAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	shufKeyBytes, err := cl.ShufflerKey()
+	if err != nil {
+		fatal(err)
+	}
+	shufKey, err := hybrid.ParsePublicKey(shufKeyBytes)
+	if err != nil {
+		fatal(err)
+	}
+	enc := &encoder.Client{ShufflerKey: shufKey, AnalyzerKey: anlzKey, Rand: crand.Reader}
+	words := workload.DefaultVocab.SampleWords(workload.NewRand(1), reports)
+	for _, w := range words {
+		word := workload.Word(w)
+		env, err := enc.Encode(core.Report{CrowdID: core.HashCrowdID(word), Data: []byte(word)})
+		if err != nil {
+			fatal(err)
+		}
+		if err := cl.Submit(env); err != nil {
+			fatal(err)
+		}
+	}
+	stats, err := cl.Flush()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("submitted %d reports; shuffler stats: %+v\n", reports, stats)
+}
+
+func runDemo(reports, t int) {
+	// Analyzer.
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		fatal(err)
+	}
+	anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzL, err := transport.Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		fatal(err)
+	}
+	defer anlzL.Close()
+
+	// Shuffler.
+	shufPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		fatal(err)
+	}
+	sh := &shuffler.Shuffler{
+		Priv:      shufPriv,
+		Threshold: shuffler.Threshold{Noise: dp.ThresholdNoise{T: t, D: 10, Sigma: 2}},
+		Rand:      newRand(),
+	}
+	shufSvc, err := transport.NewShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String())
+	if err != nil {
+		fatal(err)
+	}
+	shufL, err := transport.Serve("127.0.0.1:0", "Shuffler", shufSvc)
+	if err != nil {
+		fatal(err)
+	}
+	defer shufL.Close()
+	fmt.Println("demo: analyzer", anlzL.Addr(), "| shuffler", shufL.Addr())
+
+	// Client fleet.
+	cl, err := transport.Dial(shufL.Addr().String())
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	shufKeyBytes, err := cl.ShufflerKey()
+	if err != nil {
+		fatal(err)
+	}
+	shufKey, err := hybrid.ParsePublicKey(shufKeyBytes)
+	if err != nil {
+		fatal(err)
+	}
+	enc := &encoder.Client{ShufflerKey: shufKey, AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader}
+	words := workload.DefaultVocab.SampleWords(workload.NewRand(1), reports)
+	for _, w := range words {
+		word := workload.Word(w)
+		env, err := enc.Encode(core.Report{CrowdID: core.HashCrowdID(word), Data: []byte(word)})
+		if err != nil {
+			fatal(err)
+		}
+		if err := cl.Submit(env); err != nil {
+			fatal(err)
+		}
+	}
+	stats, err := cl.Flush()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("shuffler: %d received, %d crowds, %d forwarded crowds, %d reports forwarded\n",
+		stats.Received, stats.Crowds, stats.CrowdsForwarded, stats.Forwarded)
+
+	// Query the analyzer.
+	ac, err := rpc.Dial("tcp", anlzL.Addr().String())
+	if err != nil {
+		fatal(err)
+	}
+	defer ac.Close()
+	var hist transport.HistogramReply
+	if err := ac.Call("Analyzer.Histogram", struct{}{}, &hist); err != nil {
+		fatal(err)
+	}
+	type kv struct {
+		k string
+		v int
+	}
+	var top []kv
+	for k, v := range hist.Counts {
+		top = append(top, kv{k, v})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].v > top[j].v })
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	fmt.Println("top words reaching the analyzer (crowds below threshold never arrive):")
+	for _, e := range top {
+		fmt.Printf("  %-12s %d\n", e.k, e.v)
+	}
+}
+
+func newRand() *rand.Rand {
+	var b [16]byte
+	crand.Read(b[:])
+	return rand.New(rand.NewPCG(
+		uint64(b[0])|uint64(b[1])<<8|uint64(b[2])<<16,
+		uint64(b[8])|uint64(b[9])<<8|uint64(b[10])<<16))
+}
+
+func wait() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}

@@ -1,0 +1,68 @@
+// Command stashbench regenerates Tables 1 and 2: the Stash Shuffle's
+// parameter scenarios (security and overhead) and its measured execution.
+//
+// Table 1 rows are computed from the cost and security models for the
+// paper's exact parameters. Table 2 rows are measured by running the real
+// Stash Shuffle (with real AES-GCM intermediate re-encryption against the
+// simulated SGX enclave) at a scaled-down N, then reporting per-item costs;
+// pass -n to raise the measured size toward paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prochlo/internal/oblivious"
+	"prochlo/internal/sgx"
+)
+
+func main() {
+	table1 := flag.Bool("table1", true, "print Table 1 (parameters, security, overhead)")
+	run := flag.Int("run", 200_000, "measured shuffle size for Table 2 (0 to skip)")
+	itemSize := flag.Int("item", 72, "payload bytes per record for the measured run")
+	flag.Parse()
+
+	if *table1 {
+		fmt.Println("Table 1: Stash Shuffle parameter scenarios")
+		fmt.Println("N        B     C   W  S        paper log(eps)  model log(eps)  paper ovh  model ovh")
+		for _, sc := range oblivious.PaperScenarios {
+			model := oblivious.StashSecurityBound(sc.N, sc.B, sc.C, sc.S, sc.W, 0)
+			ovh := oblivious.StashOverhead(sc.N, sc.B, sc.C, sc.S)
+			fmt.Printf("%-8d %-5d %-3d %-2d %-8d %-15.1f %-15.1f %-10.2f %.2f\n",
+				sc.N, sc.B, sc.C, sc.W, sc.S, sc.PaperLogEps, model, sc.PaperOverhead, ovh)
+		}
+		fmt.Println()
+	}
+
+	if *run > 0 {
+		n := *run
+		fmt.Printf("Table 2 (measured, scaled): Stash Shuffle of %d %d-byte payloads\n", n, *itemSize)
+		in := make([][]byte, n)
+		for i := range in {
+			b := make([]byte, *itemSize)
+			b[0], b[1], b[2], b[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+			in[i] = b
+		}
+		enclave := sgx.New(sgx.DefaultEPC, sgx.Measure("stashbench"))
+		s := oblivious.NewStashShuffle(enclave, oblivious.Passthrough{}, n)
+		out, err := s.Shuffle(in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shuffle failed:", err)
+			os.Exit(1)
+		}
+		m := s.Metrics
+		fmt.Printf("N=%d B=%d C=%d W=%d S=%d\n", n, s.B, s.C, s.W, s.S)
+		fmt.Printf("%-10s %-14s %-14s %-10s %-10s\n", "N", "Distribution", "Compression", "Total", "SGX Mem")
+		fmt.Printf("%-10d %-14v %-14v %-10v %.1f MB\n",
+			n, m.DistributionTime.Round(1e6), m.CompressionTime.Round(1e6),
+			(m.DistributionTime + m.CompressionTime).Round(1e6),
+			float64(m.PeakEnclaveMemory)/(1<<20))
+		fmt.Printf("attempts=%d intermediate items=%d (B²C+BK), output=%d\n",
+			m.Attempts, m.IntermediateItems, len(out))
+		c := enclave.Counters()
+		fmt.Printf("enclave traffic: %.1f MB in, %.1f MB out; overhead %.2fx of input bytes\n",
+			float64(c.BytesIn)/(1<<20), float64(c.BytesOut)/(1<<20),
+			float64(c.BytesIn)/float64(int64(n)*int64(*itemSize)))
+	}
+}

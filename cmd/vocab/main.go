@@ -1,0 +1,65 @@
+// Command vocab regenerates Figure 5 (unique words recovered by collection
+// method and sample size) and Table 3 (Vocab pipeline execution time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prochlo/internal/vocab"
+	"prochlo/internal/workload"
+)
+
+func main() {
+	maxSize := flag.Int("max", 1_000_000, "largest sample size (paper: 10M; RAPPOR decode dominates)")
+	timing := flag.Bool("time", false, "measure Table 3 pipeline timing instead")
+	timeClients := flag.Int("clients", 10_000, "client count for -time")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	if *timing {
+		res, err := vocab.MeasureTiming(*timeClients)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("Table 3: Vocab pipeline execution time")
+		fmt.Printf("%-10s %-28s %-28s %-20s\n", "# clients",
+			"Encoder+Shuffler1 {SC,NoC,C}", "Blinded-C Encoder+Shuffler1", "Blinded-C Shuffler2")
+		fmt.Printf("%-10d %-28v %-28v %-20v\n", res.Clients,
+			res.EncoderShuffler1.Round(1e6),
+			res.BlindedEncoderShuffler1.Round(1e6),
+			res.BlindedShuffler2.Round(1e6))
+		return
+	}
+
+	cfg := vocab.DefaultConfig()
+	sizes := []int{}
+	for _, s := range vocab.Figure5Sizes {
+		if s <= *maxSize {
+			sizes = append(sizes, s)
+		}
+	}
+	methods := []vocab.Method{vocab.GroundTruth, vocab.NoCrowd, vocab.Crowd, vocab.Partition, vocab.RAPPOR}
+
+	fmt.Println("Figure 5: unique words recovered (paper values in parens where reported)")
+	fmt.Printf("%-22s", "method \\ sample")
+	for _, s := range sizes {
+		fmt.Printf("%14d", s)
+	}
+	fmt.Println()
+	for _, m := range methods {
+		fmt.Printf("%-22s", m)
+		for _, s := range sizes {
+			r := cfg.Run(workload.NewRand(*seed+uint64(s)), m, s)
+			paper := ""
+			if p, ok := vocab.PaperFigure5[m][s]; ok {
+				paper = fmt.Sprintf(" (%d)", p)
+			}
+			fmt.Printf("%14s", fmt.Sprintf("%d%s", r.Unique, paper))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n*-Crowd = Crowd/Secret-Crowd/Blinded-Crowd (identical utility, different attack resistance)")
+}

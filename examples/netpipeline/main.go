@@ -1,0 +1,97 @@
+// Networked pipeline: the three ESA parties as separate TCP services on
+// loopback (the deployment shape of Figure 1), exchanging gob-encoded RPC.
+// A fleet of clients fetches the shuffler key over the network, submits
+// nested-encrypted reports, and the analyzer's histogram is queried last.
+package main
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net/rpc"
+
+	"prochlo/internal/analyzer"
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/dp"
+	"prochlo/internal/encoder"
+	"prochlo/internal/shuffler"
+	"prochlo/internal/transport"
+)
+
+func main() {
+	// Party 1: the analyzer.
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzL, err := transport.Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer anlzL.Close()
+
+	// Party 2: the shuffler, pushing to the analyzer.
+	shufPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sh := &shuffler.Shuffler{
+		Priv:      shufPriv,
+		Threshold: shuffler.Threshold{Noise: dp.PaperThresholdNoise},
+		Rand:      rand.New(rand.NewPCG(17, 19)),
+	}
+	shufSvc, err := transport.NewShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	shufL, err := transport.Serve("127.0.0.1:0", "Shuffler", shufSvc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shufL.Close()
+	fmt.Println("analyzer:", anlzL.Addr(), " shuffler:", shufL.Addr())
+
+	// Party 3: the client fleet.
+	cl, err := transport.Dial(shufL.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	keyBytes, err := cl.ShufflerKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	shufKey, err := hybrid.ParsePublicKey(keyBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := &encoder.Client{ShufflerKey: shufKey, AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader}
+	for i := 0; i < 80; i++ {
+		env, err := enc.Encode(core.Report{CrowdID: core.HashCrowdID("cfg:dark-mode"), Data: []byte("dark-mode")})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cl.Submit(env); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stats, err := cl.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shuffler processed: %+v\n", stats)
+
+	ac, err := rpc.Dial("tcp", anlzL.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ac.Close()
+	var hist transport.HistogramReply
+	if err := ac.Call("Analyzer.Histogram", struct{}{}, &hist); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analyzer histogram:", hist.Counts)
+}

@@ -1,0 +1,51 @@
+// Quickstart: collect a word histogram through a full ESA pipeline with the
+// paper's (2.25, 1e-6)-DP randomized crowd thresholding — values reported by
+// too few clients never reach the analyzer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prochlo"
+)
+
+func main() {
+	p, err := prochlo.New(
+		prochlo.WithSeed(7),                   // reproducible demo
+		prochlo.WithNoisyThreshold(20, 10, 2), // the paper's §5 setting
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eps, err := p.PrivacyGuarantee(1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crowd-ID multiset guarantee: (%.2f, 1e-6)-differential privacy\n\n", eps)
+
+	// 120 clients report "settings-v2", 40 report "settings-v1", and one
+	// lone client reports something unique.
+	submit := func(value string, n int) {
+		for i := 0; i < n; i++ {
+			if err := p.Submit("setting:"+value, []byte(value)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	submit("settings-v2", 120)
+	submit("settings-v1", 40)
+	submit("my-secret-custom-build", 1)
+
+	res, err := p.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analyzer histogram (unique report suppressed, common ones slightly thinned):")
+	for v, n := range res.Histogram {
+		fmt.Printf("  %-24s %d\n", v, n)
+	}
+	fmt.Printf("\nshuffler saw %d crowds, forwarded %d\n",
+		res.ShufflerStats.Crowds, res.ShufflerStats.CrowdsForwarded)
+}

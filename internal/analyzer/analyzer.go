@@ -1,0 +1,86 @@
+// Package analyzer implements the ESA analysis stage (§3.4): it decrypts
+// the inner layer of shuffled reports, materializes a database, aggregates
+// it, recovers secret-shared values, and optionally applies
+// differentially-private release to its outputs.
+package analyzer
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/crypto/secretshare"
+	"prochlo/internal/dp"
+)
+
+// Analyzer holds the analysis decryption key — the key whose possession
+// defines the permitted analysis (§3: "processed only by a specific
+// analysis, determined by the corresponding data decryption key").
+type Analyzer struct {
+	Priv *hybrid.PrivateKey
+}
+
+// Open decrypts a batch of inner ciphertexts into the materialized
+// database. Undecryptable records are counted, not fatal: a corrupt or
+// malicious record must not poison the batch.
+func (a *Analyzer) Open(items [][]byte) (db [][]byte, undecryptable int) {
+	db = make([][]byte, 0, len(items))
+	for _, ct := range items {
+		pt, err := a.Priv.Open(ct, nil)
+		if err != nil {
+			undecryptable++
+			continue
+		}
+		db = append(db, pt)
+	}
+	return db, undecryptable
+}
+
+// Histogram counts identical records in a materialized database.
+func Histogram(db [][]byte) map[string]int {
+	h := make(map[string]int, len(db)/4)
+	for _, rec := range db {
+		h[string(rec)]++
+	}
+	return h
+}
+
+// HistogramDP releases a histogram with eps-differentially-private counts
+// (Laplace mechanism, sensitivity 1). Negative noisy counts are clamped to
+// zero but keys are retained; key-set privacy must come from the shuffler's
+// thresholding or the encoder (releasing the key set of a raw histogram is
+// exactly the partitioning pitfall §2.2 warns about).
+func HistogramDP(rng *rand.Rand, db [][]byte, eps float64) map[string]float64 {
+	h := Histogram(db)
+	out := make(map[string]float64, len(h))
+	b := dp.LaplaceScale(1, eps)
+	for k, v := range h {
+		n := float64(v) + dp.Laplace(rng, b)
+		if n < 0 {
+			n = 0
+		}
+		out[k] = n
+	}
+	return out
+}
+
+// RecoverSecretShared parses each database record as a §4.2 secret-share
+// encoding and recovers every value with at least t shares. It returns the
+// recovered values and the number of records that failed to parse.
+func (a *Analyzer) RecoverSecretShared(t int, db [][]byte) (recovered []secretshare.Recovered, malformed int, err error) {
+	encs := make([]secretshare.Encoding, 0, len(db))
+	for _, rec := range db {
+		e, err := secretshare.Unmarshal(rec)
+		if err != nil {
+			malformed++
+			continue
+		}
+		encs = append(encs, e)
+	}
+	rec, errs := secretshare.Recover(t, encs)
+	if len(errs) > 0 {
+		// Tampered share groups are suppressed, not fatal; report count.
+		err = fmt.Errorf("analyzer: %d share groups failed recovery", len(errs))
+	}
+	return rec, malformed, err
+}

@@ -1,0 +1,100 @@
+package analyzer
+
+import (
+	crand "crypto/rand"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/encoder"
+)
+
+func newAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Analyzer{Priv: priv}
+}
+
+func sealTo(t *testing.T, a *Analyzer, data string) []byte {
+	t.Helper()
+	ct, err := hybrid.Seal(crand.Reader, a.Priv.Public(), []byte(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func TestOpenAndHistogram(t *testing.T) {
+	a := newAnalyzer(t)
+	items := [][]byte{
+		sealTo(t, a, "x"), sealTo(t, a, "x"), sealTo(t, a, "y"),
+		[]byte("garbage-record"),
+	}
+	db, undec := a.Open(items)
+	if undec != 1 {
+		t.Errorf("undecryptable = %d, want 1", undec)
+	}
+	h := Histogram(db)
+	if h["x"] != 2 || h["y"] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestHistogramDP(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	db := make([][]byte, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		db = append(db, []byte("v"))
+	}
+	// Average many releases: the Laplace mechanism is unbiased (modulo the
+	// zero clamp, negligible at count 1000).
+	var sum float64
+	const runs = 200
+	for i := 0; i < runs; i++ {
+		out := HistogramDP(rng, db, 1.0)
+		sum += out["v"]
+	}
+	mean := sum / runs
+	if math.Abs(mean-1000) > 2 {
+		t.Errorf("mean released count = %.2f, want ~1000", mean)
+	}
+	// No negative counts ever.
+	for i := 0; i < 50; i++ {
+		out := HistogramDP(rng, [][]byte{[]byte("w")}, 0.1)
+		if out["w"] < 0 {
+			t.Fatal("negative released count")
+		}
+	}
+}
+
+func TestRecoverSecretShared(t *testing.T) {
+	a := newAnalyzer(t)
+	var db [][]byte
+	addShares := func(value string, n int) {
+		for i := 0; i < n; i++ {
+			rec, err := encoder.SecretShareData(crand.Reader, 5, []byte(value))
+			if err != nil {
+				t.Fatal(err)
+			}
+			db = append(db, rec)
+		}
+	}
+	addShares("frequent", 12)
+	addShares("rare", 3)
+	db = append(db, []byte("not-an-encoding"))
+
+	recovered, malformed, _ := a.RecoverSecretShared(5, db)
+	if malformed != 1 {
+		t.Errorf("malformed = %d, want 1", malformed)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d values, want 1", len(recovered))
+	}
+	if string(recovered[0].Value) != "frequent" || recovered[0].Count != 12 {
+		t.Errorf("recovered = %+v", recovered[0])
+	}
+}

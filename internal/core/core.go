@@ -1,0 +1,76 @@
+// Package core defines the wire types shared by the ESA pipeline stages:
+// the client report, the nested-encrypted envelope a client submits to a
+// shuffler, and the blinded-crowd-ID envelope of the split-shuffler protocol
+// (§4.3). Stage logic lives in packages encoder, shuffler, and analyzer; the
+// public pipeline API is the repository root package.
+package core
+
+import (
+	"crypto/sha256"
+	"time"
+)
+
+// CrowdIDSize is the fixed width of crowd identifiers on the wire — the
+// paper's "8-byte integer crowd ID". Fixed width keeps all envelopes the
+// same size, which oblivious shuffling requires.
+const CrowdIDSize = 8
+
+// CrowdID is the wire form of a crowd identifier.
+type CrowdID [CrowdIDSize]byte
+
+// HashCrowdID maps an arbitrary crowd label (application name, word hash,
+// ⟨page, feature⟩ pair, ...) to its wire form.
+func HashCrowdID(label string) CrowdID {
+	h := sha256.Sum256([]byte("prochlo-crowd:" + label))
+	var id CrowdID
+	copy(id[:], h[:CrowdIDSize])
+	return id
+}
+
+// Report is a plaintext client report before encoding: the crowd it should
+// be counted in and the data destined for the analyzer.
+type Report struct {
+	CrowdID CrowdID
+	Data    []byte
+}
+
+// Envelope is what a client submits to a single shuffler: the nested
+// ciphertext Seal(shuffler, crowdID || Seal(analyzer, data)) plus the
+// implicit metadata a network service inevitably observes. The shuffler's
+// first job (§3.3) is to strip that metadata.
+type Envelope struct {
+	Blob []byte
+
+	// Implicit metadata, visible to the shuffler and stripped by it.
+	SourceIP    string
+	ArrivalTime time.Time
+	SeqNo       int
+}
+
+// BlindedEnvelope is the split-shuffler wire format (§4.3): the crowd ID
+// travels as an El Gamal encryption of its hash point under Shuffler 2's
+// key, so that Shuffler 1 can blind it without seeing it and Shuffler 2 can
+// count it without un-blinding it.
+type BlindedEnvelope struct {
+	CrowdC1 []byte // compressed P-256 point
+	CrowdC2 []byte // compressed P-256 point
+	Blob    []byte // Seal(shuffler2, Seal(analyzer, data))
+
+	SourceIP    string
+	ArrivalTime time.Time
+	SeqNo       int
+}
+
+// StripMetadata zeroes an envelope's implicit metadata in place.
+func (e *Envelope) StripMetadata() {
+	e.SourceIP = ""
+	e.ArrivalTime = time.Time{}
+	e.SeqNo = 0
+}
+
+// StripMetadata zeroes a blinded envelope's implicit metadata in place.
+func (e *BlindedEnvelope) StripMetadata() {
+	e.SourceIP = ""
+	e.ArrivalTime = time.Time{}
+	e.SeqNo = 0
+}

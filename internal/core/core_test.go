@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHashCrowdIDDeterministic(t *testing.T) {
+	a := HashCrowdID("app:chrome")
+	b := HashCrowdID("app:chrome")
+	c := HashCrowdID("app:firefox")
+	if a != b {
+		t.Error("HashCrowdID not deterministic")
+	}
+	if a == c {
+		t.Error("distinct labels collided")
+	}
+}
+
+func TestStripMetadata(t *testing.T) {
+	e := Envelope{Blob: []byte{1}, SourceIP: "10.0.0.1", ArrivalTime: time.Now(), SeqNo: 7}
+	e.StripMetadata()
+	if e.SourceIP != "" || !e.ArrivalTime.IsZero() || e.SeqNo != 0 {
+		t.Errorf("metadata not stripped: %+v", e)
+	}
+	if len(e.Blob) != 1 {
+		t.Error("blob must survive stripping")
+	}
+	b := BlindedEnvelope{Blob: []byte{1}, SourceIP: "10.0.0.1", ArrivalTime: time.Now(), SeqNo: 7}
+	b.StripMetadata()
+	if b.SourceIP != "" || !b.ArrivalTime.IsZero() || b.SeqNo != 0 {
+		t.Errorf("blinded metadata not stripped: %+v", b)
+	}
+}

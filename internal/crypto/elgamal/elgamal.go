@@ -1,0 +1,207 @@
+// Package elgamal implements El Gamal encryption over NIST P-256 together
+// with the exponent-blinding trick that enables Prochlo's split shuffler to
+// threshold on sensitive crowd IDs without seeing them in the clear (§4.3).
+//
+// The encoder hashes a crowd ID to a curve point µ = H(crowdID) and encrypts
+// it to Shuffler 2's public key as (rG, rH + µ). Shuffler 1 blinds the pair
+// with a secret scalar α, shuffles, and forwards; Shuffler 2 decrypts and
+// obtains αµ — a pseudonym that preserves equality (so counting works) while
+// resisting dictionary attacks by either shuffler alone.
+//
+// The implementation uses crypto/elliptic for point arithmetic; this is the
+// one place the deprecated API is required, because crypto/ecdh does not
+// expose point addition.
+package elgamal
+
+import (
+	"crypto/elliptic"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var curve = elliptic.P256()
+
+// Point is a point on P-256. The zero value is the point at infinity.
+type Point struct {
+	X, Y *big.Int
+}
+
+// IsInfinity reports whether p is the identity element.
+func (p Point) IsInfinity() bool {
+	return p.X == nil || p.Y == nil || (p.X.Sign() == 0 && p.Y.Sign() == 0)
+}
+
+// Equal reports whether two points are the same.
+func (p Point) Equal(q Point) bool {
+	if p.IsInfinity() || q.IsInfinity() {
+		return p.IsInfinity() == q.IsInfinity()
+	}
+	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
+}
+
+// Bytes returns the compressed encoding of the point, usable as a map key
+// for equality-preserving counting of blinded crowd IDs.
+func (p Point) Bytes() []byte {
+	if p.IsInfinity() {
+		return []byte{0}
+	}
+	return elliptic.MarshalCompressed(curve, p.X, p.Y)
+}
+
+// ParsePoint decodes a compressed point.
+func ParsePoint(b []byte) (Point, error) {
+	if len(b) == 1 && b[0] == 0 {
+		return Point{}, nil
+	}
+	x, y := elliptic.UnmarshalCompressed(curve, b)
+	if x == nil {
+		return Point{}, errors.New("elgamal: invalid point encoding")
+	}
+	return Point{X: x, Y: y}, nil
+}
+
+// add returns p + q.
+func add(p, q Point) Point {
+	if p.IsInfinity() {
+		return q
+	}
+	if q.IsInfinity() {
+		return p
+	}
+	x, y := curve.Add(p.X, p.Y, q.X, q.Y)
+	return Point{X: x, Y: y}
+}
+
+// scalarMult returns k*p for a scalar in big-endian bytes.
+func scalarMult(p Point, k []byte) Point {
+	if p.IsInfinity() {
+		return Point{}
+	}
+	x, y := curve.ScalarMult(p.X, p.Y, k)
+	return Point{X: x, Y: y}
+}
+
+// baseMult returns k*G.
+func baseMult(k []byte) Point {
+	x, y := curve.ScalarBaseMult(k)
+	return Point{X: x, Y: y}
+}
+
+// neg returns -p.
+func neg(p Point) Point {
+	if p.IsInfinity() {
+		return p
+	}
+	y := new(big.Int).Sub(curve.Params().P, p.Y)
+	return Point{X: new(big.Int).Set(p.X), Y: y}
+}
+
+// RandomScalar returns a uniformly random scalar in [1, n-1].
+func RandomScalar(rng io.Reader) (*big.Int, error) {
+	n := curve.Params().N
+	max := new(big.Int).Sub(n, big.NewInt(1))
+	for {
+		b := make([]byte, 32)
+		if _, err := io.ReadFull(rng, b); err != nil {
+			return nil, err
+		}
+		k := new(big.Int).SetBytes(b)
+		k.Mod(k, max)
+		k.Add(k, big.NewInt(1)) // in [1, n-1]
+		return k, nil
+	}
+}
+
+// HashToPoint maps arbitrary data to a curve point by try-and-increment:
+// candidate x-coordinates are derived from SHA-256(data || counter) until one
+// lies on the curve. The expected number of attempts is 2.
+func HashToPoint(data []byte) Point {
+	p := curve.Params().P
+	b := curve.Params().B
+	three := big.NewInt(3)
+	for ctr := uint32(0); ; ctr++ {
+		h := sha256.New()
+		h.Write([]byte("prochlo-h2c"))
+		h.Write(data)
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		h.Write(cb[:])
+		x := new(big.Int).SetBytes(h.Sum(nil))
+		x.Mod(x, p)
+		// y^2 = x^3 - 3x + b mod p
+		y2 := new(big.Int).Exp(x, three, p)
+		y2.Sub(y2, new(big.Int).Mul(three, x))
+		y2.Add(y2, b)
+		y2.Mod(y2, p)
+		// p ≡ 3 (mod 4) so a square root, if it exists, is y2^((p+1)/4).
+		y := new(big.Int).ModSqrt(y2, p)
+		if y == nil {
+			continue
+		}
+		return Point{X: x, Y: y}
+	}
+}
+
+// KeyPair is Shuffler 2's decryption key pair: H = x*G.
+type KeyPair struct {
+	X *big.Int // private
+	H Point    // public
+}
+
+// GenerateKeyPair creates a fresh El Gamal key pair.
+func GenerateKeyPair(rng io.Reader) (*KeyPair, error) {
+	x, err := RandomScalar(rng)
+	if err != nil {
+		return nil, fmt.Errorf("elgamal: %w", err)
+	}
+	return &KeyPair{X: x, H: baseMult(x.Bytes())}, nil
+}
+
+// Ciphertext is an El Gamal encryption (C1, C2) = (rG, rH + M).
+type Ciphertext struct {
+	C1, C2 Point
+}
+
+// Encrypt encrypts the message point m to the public key h.
+func Encrypt(rng io.Reader, h Point, m Point) (Ciphertext, error) {
+	r, err := RandomScalar(rng)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	rb := r.Bytes()
+	return Ciphertext{
+		C1: baseMult(rb),
+		C2: add(scalarMult(h, rb), m),
+	}, nil
+}
+
+// Blind multiplies both ciphertext components by the scalar alpha. For a
+// ciphertext of M under key H this produces a valid encryption of αM under
+// the same key, so decryption yields the blinded pseudonym αM. Blinding
+// preserves equality of plaintexts: two reports carry the same crowd ID iff
+// their blinded decryptions match.
+func Blind(ct Ciphertext, alpha *big.Int) Ciphertext {
+	ab := alpha.Bytes()
+	return Ciphertext{C1: scalarMult(ct.C1, ab), C2: scalarMult(ct.C2, ab)}
+}
+
+// Decrypt recovers the message point: C2 - x*C1.
+func (k *KeyPair) Decrypt(ct Ciphertext) Point {
+	return add(ct.C2, neg(scalarMult(ct.C1, k.X.Bytes())))
+}
+
+// EncryptCrowdID is the encoder-side helper: hash the crowd ID to a point
+// and encrypt it to Shuffler 2's key.
+func EncryptCrowdID(rng io.Reader, h Point, crowdID []byte) (Ciphertext, error) {
+	return Encrypt(rng, h, HashToPoint(crowdID))
+}
+
+// BlindedPseudonym is what Shuffler 2 computes for counting: the compressed
+// encoding of α·H(crowdID). It is the group-by key for blinded thresholding.
+func (k *KeyPair) BlindedPseudonym(ct Ciphertext) string {
+	return string(k.Decrypt(ct).Bytes())
+}

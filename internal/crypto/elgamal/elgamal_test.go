@@ -1,0 +1,176 @@
+package elgamal
+
+import (
+	"bytes"
+	"crypto/elliptic"
+	"crypto/rand"
+	"testing"
+)
+
+func TestHashToPointOnCurve(t *testing.T) {
+	for _, s := range []string{"", "a", "crowd-42", "the quick brown fox"} {
+		p := HashToPoint([]byte(s))
+		if !elliptic.P256().IsOnCurve(p.X, p.Y) {
+			t.Errorf("HashToPoint(%q) not on curve", s)
+		}
+	}
+}
+
+func TestHashToPointDeterministicAndDistinct(t *testing.T) {
+	a := HashToPoint([]byte("crowd-a"))
+	a2 := HashToPoint([]byte("crowd-a"))
+	b := HashToPoint([]byte("crowd-b"))
+	if !a.Equal(a2) {
+		t.Error("HashToPoint not deterministic")
+	}
+	if a.Equal(b) {
+		t.Error("distinct inputs mapped to the same point")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	kp, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := HashToPoint([]byte("message"))
+	ct, err := Encrypt(rand.Reader, kp.H, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kp.Decrypt(ct); !got.Equal(m) {
+		t.Fatal("decrypt did not recover message point")
+	}
+}
+
+func TestRandomizedCiphertexts(t *testing.T) {
+	kp, _ := GenerateKeyPair(rand.Reader)
+	m := HashToPoint([]byte("m"))
+	a, _ := Encrypt(rand.Reader, kp.H, m)
+	b, _ := Encrypt(rand.Reader, kp.H, m)
+	if a.C1.Equal(b.C1) {
+		t.Error("two encryptions shared randomness")
+	}
+}
+
+// TestBlindingPreservesEquality is the core §4.3 property: after blinding
+// with α and decrypting, equal crowd IDs yield equal pseudonyms and distinct
+// crowd IDs yield distinct pseudonyms.
+func TestBlindingPreservesEquality(t *testing.T) {
+	kp, _ := GenerateKeyPair(rand.Reader)
+	alpha, _ := RandomScalar(rand.Reader)
+
+	ct1, _ := EncryptCrowdID(rand.Reader, kp.H, []byte("zip-94043"))
+	ct2, _ := EncryptCrowdID(rand.Reader, kp.H, []byte("zip-94043"))
+	ct3, _ := EncryptCrowdID(rand.Reader, kp.H, []byte("zip-10001"))
+
+	p1 := kp.BlindedPseudonym(Blind(ct1, alpha))
+	p2 := kp.BlindedPseudonym(Blind(ct2, alpha))
+	p3 := kp.BlindedPseudonym(Blind(ct3, alpha))
+
+	if p1 != p2 {
+		t.Error("same crowd ID produced different pseudonyms")
+	}
+	if p1 == p3 {
+		t.Error("different crowd IDs collided")
+	}
+}
+
+// TestBlindingHidesCrowdID checks that the pseudonym is not the bare hash
+// point (which would be dictionary-attackable by Shuffler 2).
+func TestBlindingHidesCrowdID(t *testing.T) {
+	kp, _ := GenerateKeyPair(rand.Reader)
+	alpha, _ := RandomScalar(rand.Reader)
+	ct, _ := EncryptCrowdID(rand.Reader, kp.H, []byte("secret-crowd"))
+	pseudo := kp.BlindedPseudonym(Blind(ct, alpha))
+	bare := string(HashToPoint([]byte("secret-crowd")).Bytes())
+	if pseudo == bare {
+		t.Error("blinded pseudonym equals unblinded hash point")
+	}
+}
+
+// TestUnblindedDecryptRecoversHash: without blinding, Shuffler 2 sees the
+// bare hash point (the dictionary-attack risk that motivates blinding).
+func TestUnblindedDecryptRecoversHash(t *testing.T) {
+	kp, _ := GenerateKeyPair(rand.Reader)
+	ct, _ := EncryptCrowdID(rand.Reader, kp.H, []byte("crowd"))
+	if got := kp.Decrypt(ct); !got.Equal(HashToPoint([]byte("crowd"))) {
+		t.Error("unblinded decryption should recover the hash point")
+	}
+}
+
+func TestDifferentAlphaDifferentPseudonym(t *testing.T) {
+	kp, _ := GenerateKeyPair(rand.Reader)
+	a1, _ := RandomScalar(rand.Reader)
+	a2, _ := RandomScalar(rand.Reader)
+	ct, _ := EncryptCrowdID(rand.Reader, kp.H, []byte("crowd"))
+	if kp.BlindedPseudonym(Blind(ct, a1)) == kp.BlindedPseudonym(Blind(ct, a2)) {
+		t.Error("different blinding factors produced the same pseudonym")
+	}
+}
+
+func TestPointBytesRoundTrip(t *testing.T) {
+	p := HashToPoint([]byte("round trip"))
+	q, err := ParsePoint(p.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Error("point round trip failed")
+	}
+	inf := Point{}
+	q, err = ParsePoint(inf.Bytes())
+	if err != nil || !q.IsInfinity() {
+		t.Error("infinity round trip failed")
+	}
+}
+
+func TestParsePointRejectsGarbage(t *testing.T) {
+	if _, err := ParsePoint(bytes.Repeat([]byte{0xff}, 33)); err == nil {
+		t.Error("garbage point accepted")
+	}
+}
+
+func TestRandomScalarInRange(t *testing.T) {
+	n := elliptic.P256().Params().N
+	for i := 0; i < 20; i++ {
+		k, err := RandomScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Sign() <= 0 || k.Cmp(n) >= 0 {
+			t.Fatalf("scalar %v out of range", k)
+		}
+	}
+}
+
+func BenchmarkEncryptCrowdID(b *testing.B) {
+	kp, _ := GenerateKeyPair(rand.Reader)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncryptCrowdID(rand.Reader, kp.H, []byte("crowd")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlind(b *testing.B) {
+	kp, _ := GenerateKeyPair(rand.Reader)
+	alpha, _ := RandomScalar(rand.Reader)
+	ct, _ := EncryptCrowdID(rand.Reader, kp.H, []byte("crowd"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Blind(ct, alpha)
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	kp, _ := GenerateKeyPair(rand.Reader)
+	ct, _ := EncryptCrowdID(rand.Reader, kp.H, []byte("crowd"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kp.Decrypt(ct)
+	}
+}

@@ -1,0 +1,178 @@
+package gf128
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randomElem(r *rand.Rand) Elem {
+	return Elem{Lo: r.Uint64(), Hi: r.Uint64()}
+}
+
+// quickConfig generates random field elements for testing/quick.
+var quickConfig = &quick.Config{
+	Values: func(args []reflect.Value, r *rand.Rand) {
+		for i := range args {
+			args[i] = reflect.ValueOf(Elem{Lo: r.Uint64(), Hi: r.Uint64()})
+		}
+	},
+	MaxCount: 300,
+}
+
+func TestAddIsXORAndSelfInverse(t *testing.T) {
+	f := func(a, b Elem) bool {
+		s := a.Add(b)
+		return s.Add(b) == a && a.Add(a).IsZero()
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b Elem) bool { return a.Mul(b) == b.Mul(a) }
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c Elem) bool { return a.Mul(b).Mul(c) == a.Mul(b.Mul(c)) }
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c Elem) bool {
+		return a.Mul(b.Add(c)) == a.Mul(b).Add(a.Mul(c))
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplicativeIdentity(t *testing.T) {
+	f := func(a Elem) bool { return a.Mul(One) == a && One.Mul(a) == a }
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulByZero(t *testing.T) {
+	f := func(a Elem) bool { return a.Mul(Zero).IsZero() }
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquareMatchesMul(t *testing.T) {
+	f := func(a Elem) bool { return a.Square() == a.Mul(a) }
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := func(a Elem) bool {
+		if a.IsZero() {
+			return a.Inv().IsZero()
+		}
+		return a.Mul(a.Inv()) == One
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiv(t *testing.T) {
+	f := func(a, b Elem) bool {
+		if b.IsZero() {
+			return a.Div(b).IsZero()
+		}
+		return a.Div(b).Mul(b) == a
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	for i := 0; i < 50; i++ {
+		a := randomElem(r)
+		n := uint64(r.Intn(20))
+		want := One
+		for j := uint64(0); j < n; j++ {
+			want = want.Mul(a)
+		}
+		if got := a.Pow(n); got != want {
+			t.Fatalf("Pow(%v, %d) = %v, want %v", a, n, got, want)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(a Elem) bool { return FromBytes(a.Bytes()) == a }
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleIsMulByX(t *testing.T) {
+	x := Elem{Lo: 2} // the polynomial "x"
+	f := func(a Elem) bool { return a.double() == a.Mul(x) }
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnownReduction(t *testing.T) {
+	// x^127 * x = x^128 = x^7 + x^2 + x + 1 = 0x87.
+	x127 := Elem{Hi: 1 << 63}
+	got := x127.double()
+	want := Elem{Lo: polyLow}
+	if got != want {
+		t.Errorf("x^128 reduced = %+v, want %+v", got, want)
+	}
+}
+
+func TestFromUint64(t *testing.T) {
+	if FromUint64(5).Lo != 5 || FromUint64(5).Hi != 0 {
+		t.Error("FromUint64 misplaced bits")
+	}
+}
+
+func TestFieldHasNoZeroDivisors(t *testing.T) {
+	f := func(a, b Elem) bool {
+		if a.IsZero() || b.IsZero() {
+			return true
+		}
+		return !a.Mul(b).IsZero()
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	x, y := randomElem(r), randomElem(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+	_ = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	x := randomElem(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Inv()
+	}
+	_ = x
+}

@@ -1,0 +1,204 @@
+// Package hybrid implements the nested (hybrid) public-key encryption used
+// between ESA stages: an ephemeral ECDH key agreement over NIST P-256,
+// HKDF-SHA256 key derivation, and AES-128-GCM authenticated encryption. This
+// mirrors Prochlo's wire cryptography (§5.1: "NIST P-256 asymmetric key
+// pairs used to derive AES-128 GCM symmetric keys").
+//
+// A client encrypts its report first to the analyzer's public key (the inner
+// layer) and then, together with the crowd ID, to the shuffler's public key
+// (the outer layer); see package encoder for the nesting.
+package hybrid
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	pubKeyLen = 65 // uncompressed P-256 point
+	nonceLen  = 12
+	tagLen    = 16
+	keyLen    = 16 // AES-128
+
+	// Overhead is the ciphertext expansion of one Seal: ephemeral public
+	// key, GCM nonce, and GCM tag.
+	Overhead = pubKeyLen + nonceLen + tagLen
+)
+
+// ErrDecrypt is returned for any malformed or unauthentic ciphertext.
+var ErrDecrypt = errors.New("hybrid: decryption failed")
+
+// PrivateKey is a recipient's decryption key.
+type PrivateKey struct {
+	key *ecdh.PrivateKey
+}
+
+// PublicKey is a recipient's encryption key.
+type PublicKey struct {
+	key *ecdh.PublicKey
+}
+
+// GenerateKey creates a fresh P-256 key pair.
+func GenerateKey(rng io.Reader) (*PrivateKey, error) {
+	k, err := ecdh.P256().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	return &PrivateKey{key: k}, nil
+}
+
+// Public returns the public half of the key.
+func (p *PrivateKey) Public() *PublicKey {
+	return &PublicKey{key: p.key.PublicKey()}
+}
+
+// Bytes returns the uncompressed point encoding of the public key, suitable
+// for embedding in client software or publishing in an attestation quote.
+func (p *PublicKey) Bytes() []byte { return p.key.Bytes() }
+
+// ParsePublicKey decodes a public key produced by (*PublicKey).Bytes.
+func ParsePublicKey(b []byte) (*PublicKey, error) {
+	k, err := ecdh.P256().NewPublicKey(b)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	return &PublicKey{key: k}, nil
+}
+
+// hkdf derives length bytes from the shared secret and context using the
+// extract-and-expand construction of RFC 5869 with SHA-256.
+func hkdf(secret, salt, info []byte, length int) []byte {
+	ext := hmac.New(sha256.New, salt)
+	ext.Write(secret)
+	prk := ext.Sum(nil)
+	var out []byte
+	var prev []byte
+	for i := byte(1); len(out) < length; i++ {
+		h := hmac.New(sha256.New, prk)
+		h.Write(prev)
+		h.Write(info)
+		h.Write([]byte{i})
+		prev = h.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length]
+}
+
+// sealKey derives the symmetric key for a (sender ephemeral, recipient) pair.
+func sealKey(shared, ephPub, rcptPub []byte) []byte {
+	salt := append(append([]byte{}, ephPub...), rcptPub...)
+	return hkdf(shared, salt, []byte("prochlo-hybrid-v1"), keyLen)
+}
+
+// Seal encrypts plaintext to the recipient pub, binding aad (which is
+// authenticated but not encrypted). The output layout is
+// ephemeralPubKey || nonce || ciphertext+tag.
+func Seal(rng io.Reader, pub *PublicKey, plaintext, aad []byte) ([]byte, error) {
+	eph, err := ecdh.P256().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	shared, err := eph.ECDH(pub.key)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	ephPub := eph.PublicKey().Bytes()
+	key := sealKey(shared, ephPub, pub.Bytes())
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, nonceLen)
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, pubKeyLen+nonceLen+len(plaintext)+tagLen)
+	out = append(out, ephPub...)
+	out = append(out, nonce...)
+	out = gcm.Seal(out, nonce, plaintext, aad)
+	return out, nil
+}
+
+// Open decrypts a ciphertext produced by Seal for this private key.
+func (p *PrivateKey) Open(sealed, aad []byte) ([]byte, error) {
+	if len(sealed) < pubKeyLen+nonceLen+tagLen {
+		return nil, ErrDecrypt
+	}
+	ephPub, err := ecdh.P256().NewPublicKey(sealed[:pubKeyLen])
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	shared, err := p.key.ECDH(ephPub)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	key := sealKey(shared, sealed[:pubKeyLen], p.Public().Bytes())
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := sealed[pubKeyLen : pubKeyLen+nonceLen]
+	pt, err := gcm.Open(nil, nonce, sealed[pubKeyLen+nonceLen:], aad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// SymmetricSeal encrypts with a raw 16-byte key (no key agreement); it is
+// the primitive the oblivious shuffler uses for its ephemeral intermediate
+// re-encryption, where both endpoints are the same enclave.
+func SymmetricSeal(rng io.Reader, key *[16]byte, plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, nonceLen)
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, nonceLen+len(plaintext)+tagLen)
+	out = append(out, nonce...)
+	return gcm.Seal(out, nonce, plaintext, nil), nil
+}
+
+// SymmetricOpen reverses SymmetricSeal.
+func SymmetricOpen(key *[16]byte, sealed []byte) ([]byte, error) {
+	if len(sealed) < nonceLen+tagLen {
+		return nil, ErrDecrypt
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := gcm.Open(nil, sealed[:nonceLen], sealed[nonceLen:], nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// SymmetricOverhead is the expansion of SymmetricSeal.
+const SymmetricOverhead = nonceLen + tagLen

@@ -1,0 +1,203 @@
+package hybrid
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	priv, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("report payload")
+	aad := []byte("crowd-id")
+	ct, err := Seal(rand.Reader, priv.Public(), pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := priv.Open(ct, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip = %q, want %q", got, pt)
+	}
+}
+
+func TestOverheadConstant(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	for _, n := range []int{0, 1, 64, 1000} {
+		pt := make([]byte, n)
+		ct, err := Seal(rand.Reader, priv.Public(), pt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct) != n+Overhead {
+			t.Errorf("len(ct) for %d-byte plaintext = %d, want %d", n, len(ct), n+Overhead)
+		}
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	a, _ := GenerateKey(rand.Reader)
+	b, _ := GenerateKey(rand.Reader)
+	ct, err := Seal(rand.Reader, a.Public(), []byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(ct, nil); err == nil {
+		t.Fatal("wrong private key decrypted ciphertext")
+	}
+}
+
+func TestWrongAADFails(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	ct, err := Seal(rand.Reader, priv.Public(), []byte("secret"), []byte("aad-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := priv.Open(ct, []byte("aad-2")); err == nil {
+		t.Fatal("modified AAD accepted")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	ct, err := Seal(rand.Reader, priv.Public(), []byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 70, len(ct) - 1} {
+		mod := append([]byte{}, ct...)
+		mod[i] ^= 1
+		if _, err := priv.Open(mod, nil); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestTruncatedCiphertext(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	if _, err := priv.Open([]byte("short"), nil); err == nil {
+		t.Fatal("truncated ciphertext accepted")
+	}
+}
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	b := priv.Public().Bytes()
+	pk, err := ParsePublicKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Seal(rand.Reader, pk, []byte("via parsed key"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := priv.Open(ct, nil); err != nil {
+		t.Fatal("parsed public key does not match private key")
+	}
+}
+
+func TestParsePublicKeyRejectsGarbage(t *testing.T) {
+	if _, err := ParsePublicKey([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage public key accepted")
+	}
+}
+
+func TestNestedTwoLayers(t *testing.T) {
+	analyzer, _ := GenerateKey(rand.Reader)
+	shuffler, _ := GenerateKey(rand.Reader)
+	data := []byte("api-bitvector-fragment")
+	inner, err := Seal(rand.Reader, analyzer.Public(), data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowdID := []byte("app:example")
+	outerPayload := append(append([]byte{}, crowdID...), inner...)
+	outer, err := Seal(rand.Reader, shuffler.Public(), outerPayload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffler peels the outer layer; sees crowd ID but not data.
+	peeled, err := shuffler.Open(outer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(peeled[:len(crowdID)], crowdID) {
+		t.Fatal("crowd ID corrupted through outer layer")
+	}
+	// Analyzer cannot open the outer layer.
+	if _, err := analyzer.Open(outer, nil); err == nil {
+		t.Fatal("analyzer opened shuffler-layer ciphertext")
+	}
+	// Analyzer opens the inner layer.
+	got, err := analyzer.Open(peeled[len(crowdID):], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("inner payload corrupted")
+	}
+}
+
+func TestSymmetricRoundTrip(t *testing.T) {
+	f := func(pt []byte) bool {
+		var key [16]byte
+		rand.Read(key[:])
+		ct, err := SymmetricSeal(rand.Reader, &key, pt)
+		if err != nil {
+			return false
+		}
+		if len(ct) != len(pt)+SymmetricOverhead {
+			return false
+		}
+		got, err := SymmetricOpen(&key, ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetricWrongKey(t *testing.T) {
+	var k1, k2 [16]byte
+	k2[0] = 1
+	ct, err := SymmetricSeal(rand.Reader, &k1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SymmetricOpen(&k2, ct); err == nil {
+		t.Fatal("wrong symmetric key accepted")
+	}
+}
+
+func BenchmarkSeal64B(b *testing.B) {
+	priv, _ := GenerateKey(rand.Reader)
+	pub := priv.Public()
+	pt := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Seal(rand.Reader, pub, pt, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpen64B(b *testing.B) {
+	priv, _ := GenerateKey(rand.Reader)
+	ct, _ := Seal(rand.Reader, priv.Public(), make([]byte, 64), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := priv.Open(ct, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

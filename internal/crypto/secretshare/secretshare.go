@@ -1,0 +1,258 @@
+// Package secretshare implements Prochlo's secret-share encoding (§4.2).
+//
+// A t-secret-share encoding of an arbitrary string m is the pair (c, aux):
+// c is a deterministic encryption of m under the message-derived key
+// km = H(m), and aux is a Shamir t-secret share of km. Because both the key
+// and the sharing polynomial are derived deterministically from m, clients
+// holding the same value produce shares of the *same* polynomial without any
+// coordination; any t shares with distinct evaluation points recover km and
+// hence m, while t-1 or fewer reveal nothing beyond what can be guessed
+// a priori.
+//
+// The field is GF(2^128) (package gf128), so km is exactly an AES-128 key.
+package secretshare
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+
+	"prochlo/internal/crypto/gf128"
+)
+
+// Encoding is one client's report of a value: the deterministic ciphertext
+// plus this client's share of the message-derived key.
+type Encoding struct {
+	Ciphertext []byte   // deterministic AES-128-GCM encryption of m
+	X          [16]byte // evaluation point (random, nonzero)
+	Y          [16]byte // P(X) where P(0) = km
+}
+
+// T used by the Vocab experiments; the paper sets it equal to the shuffler's
+// crowd threshold (20) so that any crowd large enough to survive
+// thresholding is also large enough to decrypt.
+const DefaultT = 20
+
+var (
+	// ErrInsufficientShares is returned when fewer than t distinct shares
+	// are available for a ciphertext.
+	ErrInsufficientShares = errors.New("secretshare: insufficient shares to recover")
+	// ErrCorrupt is returned when recovered key material fails to decrypt
+	// or authenticate the ciphertext.
+	ErrCorrupt = errors.New("secretshare: shares inconsistent with ciphertext")
+)
+
+// messageKey derives km = H(m), truncated to an AES-128 key.
+func messageKey(m []byte) [16]byte {
+	h := sha256.Sum256(m)
+	var k [16]byte
+	copy(k[:], h[:16])
+	return k
+}
+
+// coefficient derives the i-th polynomial coefficient (i >= 1)
+// deterministically from km, using HMAC-SHA256 as a PRF. All clients holding
+// m derive the same polynomial.
+func coefficient(km [16]byte, i int) gf128.Elem {
+	mac := hmac.New(sha256.New, km[:])
+	fmt.Fprintf(mac, "prochlo-ss-coeff-%d", i)
+	var b [16]byte
+	copy(b[:], mac.Sum(nil)[:16])
+	return gf128.FromBytes(b)
+}
+
+// deterministicSeal encrypts m under km with a nonce derived from m itself
+// (a message-locked encryption in the style of convergent encryption). All
+// clients holding m produce the identical ciphertext, which is what lets the
+// analyzer group shares.
+func deterministicSeal(km [16]byte, m []byte) ([]byte, error) {
+	block, err := aes.NewCipher(km[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.Sum256(append([]byte("prochlo-ss-nonce"), m...))
+	nonce := h[:gcm.NonceSize()]
+	ct := gcm.Seal(nil, nonce, m, nil)
+	return append(append([]byte{}, nonce...), ct...), nil
+}
+
+// open decrypts a deterministicSeal ciphertext with km.
+func open(km [16]byte, sealed []byte) ([]byte, error) {
+	block, err := aes.NewCipher(km[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	ns := gcm.NonceSize()
+	if len(sealed) < ns {
+		return nil, ErrCorrupt
+	}
+	pt, err := gcm.Open(nil, sealed[:ns], sealed[ns:], nil)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	return pt, nil
+}
+
+// Encoder produces t-secret-share encodings.
+type Encoder struct {
+	// T is the recovery threshold: T distinct shares of the same value are
+	// necessary and sufficient to decrypt it.
+	T int
+}
+
+// Encode produces this client's encoding of m, drawing the evaluation point
+// from rng. Each call draws a fresh random point, so repeated reports from
+// one client count as independent shares (matching the paper's model, where
+// per-client deduplication is the shuffler's anonymity job, not the
+// encoder's).
+func (e *Encoder) Encode(rng io.Reader, m []byte) (Encoding, error) {
+	if e.T < 1 {
+		return Encoding{}, errors.New("secretshare: threshold must be >= 1")
+	}
+	km := messageKey(m)
+	ct, err := deterministicSeal(km, m)
+	if err != nil {
+		return Encoding{}, err
+	}
+	// Random nonzero evaluation point.
+	var xb [16]byte
+	for {
+		if _, err := io.ReadFull(rng, xb[:]); err != nil {
+			return Encoding{}, err
+		}
+		if !gf128.FromBytes(xb).IsZero() {
+			break
+		}
+	}
+	x := gf128.FromBytes(xb)
+	// Evaluate P(x) = km + c1*x + ... + c_{t-1}*x^{t-1} by Horner.
+	y := gf128.Zero
+	for i := e.T - 1; i >= 1; i-- {
+		y = y.Add(coefficient(km, i)).Mul(x)
+	}
+	y = y.Add(gf128.FromBytes(km))
+	return Encoding{Ciphertext: ct, X: xb, Y: y.Bytes()}, nil
+}
+
+// Interpolate recovers P(0) from t shares with pairwise-distinct X values
+// using Lagrange interpolation in GF(2^128).
+func Interpolate(shares []Encoding) ([16]byte, error) {
+	var zero [16]byte
+	if len(shares) == 0 {
+		return zero, ErrInsufficientShares
+	}
+	xs := make([]gf128.Elem, len(shares))
+	ys := make([]gf128.Elem, len(shares))
+	for i, s := range shares {
+		xs[i] = gf128.FromBytes(s.X)
+		ys[i] = gf128.FromBytes(s.Y)
+		for j := 0; j < i; j++ {
+			if xs[j] == xs[i] {
+				return zero, fmt.Errorf("secretshare: duplicate evaluation point at %d and %d", j, i)
+			}
+		}
+	}
+	acc := gf128.Zero
+	for i := range shares {
+		num, den := gf128.One, gf128.One
+		for j := range shares {
+			if j == i {
+				continue
+			}
+			num = num.Mul(xs[j])
+			den = den.Mul(xs[j].Add(xs[i])) // subtraction == addition
+		}
+		acc = acc.Add(ys[i].Mul(num).Div(den))
+	}
+	return acc.Bytes(), nil
+}
+
+// Recovered is one value successfully decoded by Recover.
+type Recovered struct {
+	Value []byte // the plaintext m
+	Count int    // how many encodings of it were present
+}
+
+// Recover groups encodings by ciphertext, and for every group with at least
+// t shares at distinct evaluation points, interpolates the key and decrypts.
+// Groups below the threshold stay undecryptable and are skipped; groups whose
+// recovered key fails authentication are reported via the error slice (an
+// attacker submitting bogus shares can suppress a group but not forge one).
+func Recover(t int, encs []Encoding) ([]Recovered, []error) {
+	groups := make(map[string][]Encoding)
+	for _, e := range encs {
+		groups[string(e.Ciphertext)] = append(groups[string(e.Ciphertext)], e)
+	}
+	var out []Recovered
+	var errs []error
+	for ct, g := range groups {
+		distinct := dedupeByX(g)
+		if len(distinct) < t {
+			continue
+		}
+		kb, err := Interpolate(distinct[:t])
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		pt, err := open(kb, []byte(ct))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("group of %d: %w", len(g), err))
+			continue
+		}
+		out = append(out, Recovered{Value: pt, Count: len(g)})
+	}
+	return out, errs
+}
+
+// Marshal serializes an encoding for transport: u16 ciphertext length,
+// ciphertext, X, Y.
+func Marshal(e Encoding) []byte {
+	out := make([]byte, 0, 2+len(e.Ciphertext)+32)
+	out = append(out, byte(len(e.Ciphertext)>>8), byte(len(e.Ciphertext)))
+	out = append(out, e.Ciphertext...)
+	out = append(out, e.X[:]...)
+	out = append(out, e.Y[:]...)
+	return out
+}
+
+// Unmarshal reverses Marshal.
+func Unmarshal(b []byte) (Encoding, error) {
+	if len(b) < 2 {
+		return Encoding{}, errors.New("secretshare: truncated encoding")
+	}
+	n := int(b[0])<<8 | int(b[1])
+	if len(b) != 2+n+32 {
+		return Encoding{}, fmt.Errorf("secretshare: encoding length %d, want %d", len(b), 2+n+32)
+	}
+	var e Encoding
+	e.Ciphertext = append([]byte{}, b[2:2+n]...)
+	copy(e.X[:], b[2+n:2+n+16])
+	copy(e.Y[:], b[2+n+16:])
+	return e, nil
+}
+
+// dedupeByX keeps one encoding per distinct evaluation point.
+func dedupeByX(g []Encoding) []Encoding {
+	seen := make(map[[16]byte]bool, len(g))
+	out := g[:0:0]
+	for _, e := range g {
+		if !seen[e.X] {
+			seen[e.X] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package secretshare
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"testing"
+)
+
+func encodeN(t *testing.T, enc *Encoder, m []byte, n int) []Encoding {
+	t.Helper()
+	out := make([]Encoding, n)
+	for i := range out {
+		e, err := enc.Encode(rand.Reader, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = e
+	}
+	return out
+}
+
+func TestRecoverAtThreshold(t *testing.T) {
+	enc := &Encoder{T: 5}
+	m := []byte("a hard-to-guess secret value 42")
+	encs := encodeN(t, enc, m, 5)
+	rec, errs := Recover(5, encs)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(rec) != 1 || !bytes.Equal(rec[0].Value, m) {
+		t.Fatalf("recovered %v, want %q", rec, m)
+	}
+	if rec[0].Count != 5 {
+		t.Errorf("count = %d, want 5", rec[0].Count)
+	}
+}
+
+func TestBelowThresholdStaysHidden(t *testing.T) {
+	enc := &Encoder{T: 20}
+	m := []byte("private key material")
+	encs := encodeN(t, enc, m, 19)
+	rec, _ := Recover(20, encs)
+	if len(rec) != 0 {
+		t.Fatalf("recovered %d values from %d < t shares", len(rec), len(encs))
+	}
+}
+
+// TestWrongSubsetFails checks that interpolating fewer than t shares yields a
+// key that fails authenticated decryption rather than silently decrypting.
+func TestWrongSubsetFails(t *testing.T) {
+	enc := &Encoder{T: 4}
+	m := []byte("secret")
+	encs := encodeN(t, enc, m, 3)
+	kb, err := Interpolate(encs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := open(kb, encs[0].Ciphertext); err == nil {
+		t.Fatal("3 shares of a t=4 sharing decrypted the ciphertext")
+	}
+}
+
+func TestDeterministicCiphertext(t *testing.T) {
+	enc := &Encoder{T: 3}
+	m := []byte("same value")
+	a, err := enc.Encode(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := enc.Encode(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Ciphertext, b.Ciphertext) {
+		t.Error("two encodings of the same value have different ciphertexts")
+	}
+	if a.X == b.X {
+		t.Error("two encodings drew the same evaluation point")
+	}
+	if a.Y == b.Y {
+		t.Error("distinct points produced identical share values")
+	}
+}
+
+func TestDistinctValuesDistinctGroups(t *testing.T) {
+	enc := &Encoder{T: 2}
+	var encs []Encoding
+	for i := 0; i < 4; i++ {
+		m := []byte(fmt.Sprintf("word-%d", i))
+		encs = append(encs, encodeN(t, enc, m, 2+i)...)
+	}
+	rec, errs := Recover(2, encs)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(rec) != 4 {
+		t.Fatalf("recovered %d values, want 4", len(rec))
+	}
+	counts := map[string]int{}
+	for _, r := range rec {
+		counts[string(r.Value)] = r.Count
+	}
+	for i := 0; i < 4; i++ {
+		if counts[fmt.Sprintf("word-%d", i)] != 2+i {
+			t.Errorf("word-%d count = %d, want %d", i, counts[fmt.Sprintf("word-%d", i)], 2+i)
+		}
+	}
+}
+
+func TestMoreThanThresholdShares(t *testing.T) {
+	enc := &Encoder{T: 20}
+	m := []byte("popular word")
+	encs := encodeN(t, enc, m, 100)
+	rec, errs := Recover(20, encs)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(rec) != 1 || !bytes.Equal(rec[0].Value, m) || rec[0].Count != 100 {
+		t.Fatalf("got %+v", rec)
+	}
+}
+
+func TestThresholdOne(t *testing.T) {
+	enc := &Encoder{T: 1}
+	m := []byte("no crowd needed")
+	encs := encodeN(t, enc, m, 1)
+	rec, errs := Recover(1, encs)
+	if len(errs) != 0 || len(rec) != 1 || !bytes.Equal(rec[0].Value, m) {
+		t.Fatalf("rec=%v errs=%v", rec, errs)
+	}
+}
+
+func TestDuplicateSharesDoNotCount(t *testing.T) {
+	enc := &Encoder{T: 3}
+	m := []byte("replayed share")
+	e, err := enc.Encode(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same share replayed 10 times must not reach the threshold.
+	encs := []Encoding{e, e, e, e, e, e, e, e, e, e}
+	rec, _ := Recover(3, encs)
+	if len(rec) != 0 {
+		t.Fatal("replayed single share reached recovery threshold")
+	}
+}
+
+func TestTamperedShareDetected(t *testing.T) {
+	enc := &Encoder{T: 3}
+	m := []byte("integrity matters")
+	encs := encodeN(t, enc, m, 3)
+	encs[1].Y[0] ^= 0xff
+	rec, errs := Recover(3, encs)
+	if len(rec) != 0 {
+		t.Fatal("tampered share still recovered plaintext")
+	}
+	if len(errs) == 0 {
+		t.Fatal("tampering not reported")
+	}
+}
+
+func TestInterpolateRejectsDuplicatePoints(t *testing.T) {
+	enc := &Encoder{T: 2}
+	e, err := enc.Encode(rand.Reader, []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Interpolate([]Encoding{e, e}); err == nil {
+		t.Fatal("Interpolate accepted duplicate evaluation points")
+	}
+}
+
+func TestEncodeRejectsBadThreshold(t *testing.T) {
+	enc := &Encoder{T: 0}
+	if _, err := enc.Encode(rand.Reader, []byte("m")); err == nil {
+		t.Fatal("Encode accepted t=0")
+	}
+}
+
+func TestLargeMessage(t *testing.T) {
+	enc := &Encoder{T: 2}
+	m := bytes.Repeat([]byte("long form text "), 1000)
+	encs := encodeN(t, enc, m, 2)
+	rec, errs := Recover(2, encs)
+	if len(errs) != 0 || len(rec) != 1 || !bytes.Equal(rec[0].Value, m) {
+		t.Fatal("large message did not round-trip")
+	}
+}
+
+func BenchmarkEncodeT20(b *testing.B) {
+	enc := &Encoder{T: 20}
+	m := []byte("a typical vocabulary word")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(rand.Reader, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoverT20(b *testing.B) {
+	enc := &Encoder{T: 20}
+	m := []byte("a typical vocabulary word")
+	encs := make([]Encoding, 20)
+	for i := range encs {
+		e, err := enc.Encode(rand.Reader, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		encs[i] = e
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, errs := Recover(20, encs)
+		if len(errs) != 0 || len(rec) != 1 {
+			b.Fatal("recover failed")
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package dp implements the differential-privacy mechanisms used throughout
+// the ESA pipeline: Laplace and Gaussian noise, the analytic Gaussian
+// mechanism calibration of Balle and Wang, randomized response, the
+// rounded-normal noisy thresholding performed by the ESA shuffler (§3.5 of
+// the Prochlo paper), and simple composition accounting.
+//
+// All samplers take an explicit *rand.Rand so that experiments are
+// reproducible; none of the samplers is safe for concurrent use of a single
+// Rand.
+package dp
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+)
+
+// Laplace returns a sample from the Laplace distribution with mean 0 and
+// scale b. A mechanism with L1 sensitivity s achieves eps-DP with b = s/eps.
+func Laplace(rng *rand.Rand, b float64) float64 {
+	// Inverse CDF sampling: u uniform in (-1/2, 1/2).
+	u := rng.Float64() - 0.5
+	if u < 0 {
+		return b * math.Log(1+2*u)
+	}
+	return -b * math.Log(1-2*u)
+}
+
+// LaplaceScale returns the Laplace scale required for eps-DP at the given L1
+// sensitivity.
+func LaplaceScale(sensitivity, eps float64) float64 {
+	return sensitivity / eps
+}
+
+// Gaussian returns a sample from N(0, sigma^2).
+func Gaussian(rng *rand.Rand, sigma float64) float64 {
+	return rng.NormFloat64() * sigma
+}
+
+// Phi is the standard normal cumulative distribution function.
+func Phi(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// GaussianDelta returns the smallest delta for which additive Gaussian noise
+// of standard deviation sigma on a statistic of L2 sensitivity sens is
+// (eps, delta)-differentially private, using the exact characterization of
+// the analytic Gaussian mechanism (Balle & Wang, ICML 2018):
+//
+//	delta = Phi(s/(2*sigma) - eps*sigma/s) - e^eps * Phi(-s/(2*sigma) - eps*sigma/s)
+//
+// The Prochlo paper's shuffler setting (sigma=2, sensitivity 1) yields
+// (2.25, ~1e-6)-DP, matching §5's quoted guarantee.
+func GaussianDelta(eps, sigma, sens float64) float64 {
+	if sigma <= 0 || sens <= 0 {
+		return 1
+	}
+	a := sens / (2 * sigma)
+	b := eps * sigma / sens
+	d := Phi(a-b) - math.Exp(eps)*Phi(-a-b)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// GaussianEpsilon inverts GaussianDelta: it returns the smallest eps for
+// which Gaussian noise sigma provides (eps, delta)-DP at the given L2
+// sensitivity. It searches eps in [0, 128]; it returns an error if even
+// eps=128 cannot meet delta.
+func GaussianEpsilon(delta, sigma, sens float64) (float64, error) {
+	if delta <= 0 || delta >= 1 {
+		return 0, errors.New("dp: delta must be in (0,1)")
+	}
+	lo, hi := 0.0, 128.0
+	if GaussianDelta(hi, sigma, sens) > delta {
+		return 0, errors.New("dp: sigma too small for requested delta")
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if GaussianDelta(mid, sigma, sens) > delta {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// GaussianSigma returns the smallest noise standard deviation such that the
+// Gaussian mechanism with L2 sensitivity sens is (eps, delta)-DP.
+func GaussianSigma(eps, delta, sens float64) float64 {
+	lo, hi := 1e-9, 1e9
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi)
+		if GaussianDelta(eps, mid, sens) > delta {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// RandomizedResponseEpsilon returns the local differential-privacy parameter
+// of the "keep with probability keep, replace with a random element
+// otherwise" mechanism over a large domain, which is ln(keep/(1-keep)).
+//
+// The Flix pipeline's 10% movie-identifier substitution (keep=0.9) yields
+// eps = ln 9 ≈ 2.2, the figure quoted in §5.5.
+func RandomizedResponseEpsilon(keep float64) float64 {
+	return math.Log(keep / (1 - keep))
+}
+
+// BitFlipEpsilon returns the per-bit local DP parameter of flipping a bit
+// with probability flip: ln((1-flip)/flip).
+func BitFlipEpsilon(flip float64) float64 {
+	return math.Log((1 - flip) / flip)
+}
+
+// ThresholdNoise describes the randomized thresholding performed by the ESA
+// shuffler (§3.5): before comparing a crowd's cardinality to the threshold T,
+// the shuffler drops d items from each crowd bucket, with d sampled from the
+// rounded normal distribution round(N(D, Sigma^2)) truncated at 0.
+type ThresholdNoise struct {
+	T     int     // minimum surviving cardinality
+	D     float64 // mean number of dropped items
+	Sigma float64 // standard deviation of the dropped-item count
+}
+
+// PaperThresholdNoise is the setting used for all of §5's experiments:
+// T=20, D=10, sigma=2, which guarantees (2.25, 1e-6)-DP for the multiset of
+// crowd IDs forwarded to the analyzer.
+var PaperThresholdNoise = ThresholdNoise{T: 20, D: 10, Sigma: 2}
+
+// Drops samples the number of items to drop from one crowd bucket.
+func (n ThresholdNoise) Drops(rng *rand.Rand) int {
+	d := int(math.Round(rng.NormFloat64()*n.Sigma + n.D))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Survives reports whether a crowd of the given cardinality passes the noisy
+// threshold, and returns the surviving count (0 if dropped entirely).
+func (n ThresholdNoise) Survives(rng *rand.Rand, count int) (int, bool) {
+	c := count - n.Drops(rng)
+	if c < n.T {
+		return 0, false
+	}
+	return c, true
+}
+
+// Privacy returns the (eps, delta) differential-privacy guarantee that the
+// noisy thresholding provides for the multiset of crowd IDs, for the given
+// delta target fraction. The guarantee follows from the Gaussian mechanism
+// on per-crowd counts with sensitivity 1 (one user contributes one report to
+// one crowd).
+func (n ThresholdNoise) Privacy(delta float64) (eps float64, err error) {
+	return GaussianEpsilon(delta, n.Sigma, 1)
+}
+
+// Delta returns the delta at which the noisy thresholding is (eps, delta)-DP.
+func (n ThresholdNoise) Delta(eps float64) float64 {
+	return GaussianDelta(eps, n.Sigma, 1)
+}
+
+// NaiveCompose returns the parameters of the basic composition of k
+// mechanisms each of which is (eps, delta)-DP.
+func NaiveCompose(eps, delta float64, k int) (float64, float64) {
+	return eps * float64(k), delta * float64(k)
+}
+
+// AdvancedCompose returns the epsilon of the advanced (strong) composition of
+// k mechanisms each (eps, delta)-DP, with slack deltaPrime; the overall
+// guarantee is (eps', k*delta + deltaPrime)-DP.
+func AdvancedCompose(eps, deltaPrime float64, k int) float64 {
+	kf := float64(k)
+	return eps*math.Sqrt(2*kf*math.Log(1/deltaPrime)) + kf*eps*(math.Exp(eps)-1)
+}
+
+// RoundedNormal samples round(N(mean, sigma^2)) truncated below at 0; it is
+// exposed for workloads that need the shuffler's drop distribution directly.
+func RoundedNormal(rng *rand.Rand, mean, sigma float64) int {
+	d := int(math.Round(rng.NormFloat64()*sigma + mean))
+	if d < 0 {
+		return 0
+	}
+	return d
+}

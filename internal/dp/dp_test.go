@@ -1,0 +1,225 @@
+package dp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func newRNG() *rand.Rand { return rand.New(rand.NewPCG(1, 2)) }
+
+func TestLaplaceMoments(t *testing.T) {
+	rng := newRNG()
+	const n = 200000
+	b := 2.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Laplace(rng, b)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq / n
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	// Var of Laplace(b) is 2b^2 = 8.
+	if math.Abs(variance-8) > 0.3 {
+		t.Errorf("Laplace variance = %v, want ~8", variance)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	rng := newRNG()
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Gaussian(rng, 3)
+		sum += x
+		sumSq += x * x
+	}
+	if m := sum / n; math.Abs(m) > 0.05 {
+		t.Errorf("Gaussian mean = %v, want ~0", m)
+	}
+	if v := sumSq / n; math.Abs(v-9) > 0.3 {
+		t.Errorf("Gaussian variance = %v, want ~9", v)
+	}
+}
+
+func TestPhi(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.0, 0.8413447},
+		{-1.0, 0.1586553},
+		{2.0, 0.9772499},
+		{-4.25, 1.0689e-5},
+	}
+	for _, c := range cases {
+		got := Phi(c.x)
+		if math.Abs(got-c.want) > 1e-4*math.Max(c.want, 1e-5) && math.Abs(got-c.want) > 1e-7 {
+			t.Errorf("Phi(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// TestThresholdPrivacyPaperSettings verifies the paper's §5 claim: shuffler
+// thresholding with sigma=2 provides (2.25, 1e-6)-approximate DP for the
+// multiset of crowd IDs.
+func TestThresholdPrivacyPaperSettings(t *testing.T) {
+	d := PaperThresholdNoise.Delta(2.25)
+	if d > 1.2e-6 || d < 0.8e-6 {
+		t.Errorf("delta at eps=2.25, sigma=2 = %g, want ~1e-6 (paper)", d)
+	}
+	eps, err := PaperThresholdNoise.Privacy(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps < 2.0 || eps > 2.5 {
+		t.Errorf("eps at delta=1e-6, sigma=2 = %v, want ~2.25 (paper)", eps)
+	}
+}
+
+// TestPermsPrivacySetting verifies §5.3: the Perms pipeline with Gaussian
+// noise sigma=4 achieves at least (1.2, 1e-7)-DP.
+func TestPermsPrivacySetting(t *testing.T) {
+	d := GaussianDelta(1.2, 4, 1)
+	if d > 1.1e-7 {
+		t.Errorf("Perms delta at eps=1.2, sigma=4 = %g, want <= ~1e-7 (paper)", d)
+	}
+}
+
+// TestFlixSubstitutionEpsilon verifies §5.5: replacing 10%% of movie
+// identifiers affords 2.2-DP for the set of rated movies.
+func TestFlixSubstitutionEpsilon(t *testing.T) {
+	eps := RandomizedResponseEpsilon(0.9)
+	if math.Abs(eps-2.197) > 0.01 {
+		t.Errorf("RandomizedResponseEpsilon(0.9) = %v, want ~2.2 (ln 9)", eps)
+	}
+}
+
+func TestGaussianEpsilonInverts(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1, 2, 4, 8} {
+		for _, eps := range []float64{0.5, 1, 2.25, 4} {
+			delta := GaussianDelta(eps, sigma, 1)
+			if delta <= 0 {
+				continue
+			}
+			back, err := GaussianEpsilon(delta, sigma, 1)
+			if err != nil {
+				t.Fatalf("sigma=%v eps=%v: %v", sigma, eps, err)
+			}
+			if math.Abs(back-eps) > 1e-3 {
+				t.Errorf("sigma=%v: eps %v -> delta %g -> eps %v", sigma, eps, delta, back)
+			}
+		}
+	}
+}
+
+func TestGaussianSigmaCalibration(t *testing.T) {
+	sigma := GaussianSigma(2.25, 1e-6, 1)
+	if math.Abs(sigma-2) > 0.02 {
+		t.Errorf("GaussianSigma(2.25, 1e-6, 1) = %v, want ~2 (paper setting)", sigma)
+	}
+}
+
+func TestGaussianDeltaMonotone(t *testing.T) {
+	// Delta must be non-increasing in eps and in sigma.
+	f := func(a, b uint8) bool {
+		e1 := 0.1 + float64(a%40)/10
+		e2 := e1 + 0.5
+		s := 0.5 + float64(b%40)/10
+		return GaussianDelta(e2, s, 1) <= GaussianDelta(e1, s, 1)+1e-15 &&
+			GaussianDelta(e1, s+1, 1) <= GaussianDelta(e1, s, 1)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdNoiseDrops(t *testing.T) {
+	rng := newRNG()
+	n := ThresholdNoise{T: 20, D: 10, Sigma: 2}
+	const iters = 100000
+	var sum float64
+	for i := 0; i < iters; i++ {
+		d := n.Drops(rng)
+		if d < 0 {
+			t.Fatalf("negative drop count %d", d)
+		}
+		sum += float64(d)
+	}
+	if m := sum / iters; math.Abs(m-10) > 0.1 {
+		t.Errorf("mean drops = %v, want ~10", m)
+	}
+}
+
+func TestThresholdSurvives(t *testing.T) {
+	rng := newRNG()
+	n := PaperThresholdNoise
+	// A crowd far above T+D must nearly always survive; far below must not.
+	surviveBig, surviveSmall := 0, 0
+	for i := 0; i < 1000; i++ {
+		if _, ok := n.Survives(rng, 100); ok {
+			surviveBig++
+		}
+		if _, ok := n.Survives(rng, 5); ok {
+			surviveSmall++
+		}
+	}
+	if surviveBig != 1000 {
+		t.Errorf("crowd of 100 survived %d/1000 times, want 1000", surviveBig)
+	}
+	if surviveSmall != 0 {
+		t.Errorf("crowd of 5 survived %d/1000 times, want 0", surviveSmall)
+	}
+}
+
+func TestSurvivingCountNeverBelowThreshold(t *testing.T) {
+	rng := newRNG()
+	n := PaperThresholdNoise
+	for i := 0; i < 10000; i++ {
+		c, ok := n.Survives(rng, rng.IntN(200))
+		if ok && c < n.T {
+			t.Fatalf("surviving count %d below threshold %d", c, n.T)
+		}
+		if !ok && c != 0 {
+			t.Fatalf("dropped crowd reported count %d, want 0", c)
+		}
+	}
+}
+
+func TestCompose(t *testing.T) {
+	e, d := NaiveCompose(0.5, 1e-7, 4)
+	if e != 2.0 || d != 4e-7 {
+		t.Errorf("NaiveCompose = (%v, %v), want (2, 4e-7)", e, d)
+	}
+	adv := AdvancedCompose(0.1, 1e-6, 100)
+	naive := 0.1 * 100
+	if adv >= naive {
+		t.Errorf("advanced composition %v not better than naive %v for small eps", adv, naive)
+	}
+}
+
+func TestBitFlipEpsilon(t *testing.T) {
+	// Perms flips each bitmap bit with probability 1e-4.
+	eps := BitFlipEpsilon(1e-4)
+	if eps < 9 || eps > 10 {
+		t.Errorf("BitFlipEpsilon(1e-4) = %v, want ~9.2", eps)
+	}
+}
+
+func TestLaplaceScale(t *testing.T) {
+	if b := LaplaceScale(1, 0.5); b != 2 {
+		t.Errorf("LaplaceScale(1, 0.5) = %v, want 2", b)
+	}
+}
+
+func TestRoundedNormalTruncation(t *testing.T) {
+	rng := newRNG()
+	for i := 0; i < 10000; i++ {
+		if RoundedNormal(rng, -5, 1) < 0 {
+			t.Fatal("RoundedNormal returned negative value")
+		}
+	}
+}

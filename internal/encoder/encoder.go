@@ -1,0 +1,155 @@
+// Package encoder implements the ESA client stage (§3.2): it transforms
+// monitored data for privacy — fragmenting, randomized response, secret
+// sharing — attaches crowd IDs, and applies the nested encryption that pins
+// which parties may process the report and in what order.
+package encoder
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/elgamal"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/crypto/secretshare"
+)
+
+// Client encodes reports for a single-shuffler pipeline. The embedded keys
+// are the user's trust statement: only the holder of ShufflerKey can peel
+// the outer layer, and only the holder of AnalyzerKey can read the data.
+type Client struct {
+	ShufflerKey *hybrid.PublicKey
+	AnalyzerKey *hybrid.PublicKey
+	Rand        io.Reader
+}
+
+// Encode produces the nested-encrypted envelope of a report:
+// Seal(shuffler, crowdID || Seal(analyzer, data)).
+func (c *Client) Encode(r core.Report) (core.Envelope, error) {
+	inner, err := hybrid.Seal(c.Rand, c.AnalyzerKey, r.Data, nil)
+	if err != nil {
+		return core.Envelope{}, fmt.Errorf("encoder: inner layer: %w", err)
+	}
+	payload := make([]byte, 0, core.CrowdIDSize+len(inner))
+	payload = append(payload, r.CrowdID[:]...)
+	payload = append(payload, inner...)
+	blob, err := hybrid.Seal(c.Rand, c.ShufflerKey, payload, nil)
+	if err != nil {
+		return core.Envelope{}, fmt.Errorf("encoder: outer layer: %w", err)
+	}
+	return core.Envelope{Blob: blob}, nil
+}
+
+// BlindedClient encodes reports for the split-shuffler pipeline (§4.3): the
+// crowd ID is El Gamal-encrypted to Shuffler 2's blinding key, and the data
+// is nested-encrypted to Shuffler 2 and the analyzer. Shuffler 1 sees
+// neither crowd IDs nor data; it blinds, batches, and shuffles.
+type BlindedClient struct {
+	Shuffler2Blinding elgamal.Point // Shuffler 2's El Gamal public key
+	Shuffler2Key      *hybrid.PublicKey
+	AnalyzerKey       *hybrid.PublicKey
+	Rand              io.Reader
+}
+
+// Encode produces a blinded envelope for the report with the given crowd
+// label (the label is hashed to the curve, not truncated to 8 bytes, since
+// it never appears in the clear).
+func (c *BlindedClient) Encode(crowdLabel string, data []byte) (core.BlindedEnvelope, error) {
+	ct, err := elgamal.EncryptCrowdID(c.Rand, c.Shuffler2Blinding, []byte(crowdLabel))
+	if err != nil {
+		return core.BlindedEnvelope{}, fmt.Errorf("encoder: crowd ID: %w", err)
+	}
+	inner, err := hybrid.Seal(c.Rand, c.AnalyzerKey, data, nil)
+	if err != nil {
+		return core.BlindedEnvelope{}, fmt.Errorf("encoder: inner layer: %w", err)
+	}
+	blob, err := hybrid.Seal(c.Rand, c.Shuffler2Key, inner, nil)
+	if err != nil {
+		return core.BlindedEnvelope{}, fmt.Errorf("encoder: shuffler-2 layer: %w", err)
+	}
+	return core.BlindedEnvelope{
+		CrowdC1: ct.C1.Bytes(),
+		CrowdC2: ct.C2.Bytes(),
+		Blob:    blob,
+	}, nil
+}
+
+// SecretShareData produces the §4.2 secret-share encoding of a value as a
+// report payload: the value is recoverable by the analyzer only once t
+// clients have reported it.
+func SecretShareData(rng io.Reader, t int, value []byte) ([]byte, error) {
+	enc := secretshare.Encoder{T: t}
+	e, err := enc.Encode(rng, value)
+	if err != nil {
+		return nil, err
+	}
+	return secretshare.Marshal(e), nil
+}
+
+// --- Fragmenting encoders (§3.2) ---
+
+// Pairs returns all index pairs (i, j), i < j, of a set of n items: the
+// paper's pairwise fragmentation of rating sets ("the rating set may be
+// encoded as its pairwise combinations").
+func Pairs(n int) [][2]int {
+	out := make([][2]int, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// SampledPairs returns up to max random index pairs without replacement —
+// the Flix encoder's capped four-tuple sampling (§5.5).
+func SampledPairs(rng *rand.Rand, n, max int) [][2]int {
+	all := Pairs(n)
+	if len(all) <= max {
+		return all
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:max]
+}
+
+// DisjointTuples fragments a sequence into disjoint m-tuples, dropping the
+// remainder — the Suggest encoder (§5.4): "fragmented each user's view
+// history into short, disjoint m-tuples".
+func DisjointTuples[T any](seq []T, m int) [][]T {
+	if m < 1 {
+		return nil
+	}
+	out := make([][]T, 0, len(seq)/m)
+	for i := 0; i+m <= len(seq); i += m {
+		out = append(out, seq[i:i+m:i+m])
+	}
+	return out
+}
+
+// RandomizedResponse keeps value with probability keep and otherwise
+// replaces it with a uniform draw from [0, domain) — the textbook mechanism
+// the Flix encoder applies to movie identifiers (10% substitution ⇒ 2.2-DP
+// for the set of rated movies).
+func RandomizedResponse(rng *rand.Rand, value, domain uint64, keep float64) uint64 {
+	if rng.Float64() < keep {
+		return value
+	}
+	return rng.Uint64N(domain)
+}
+
+// FlipBits flips each of the low nbits of bitmap independently with the
+// given probability — the Perms encoder's plausible-deniability noise
+// (§5.3: each bitmap bit flipped with probability 1e-4).
+func FlipBits(rng *rand.Rand, bitmap uint8, nbits int, p float64) uint8 {
+	for b := 0; b < nbits; b++ {
+		if rng.Float64() < p {
+			bitmap ^= 1 << b
+		}
+	}
+	return bitmap
+}
+
+// ErrNoData is returned by encoders given nothing to encode.
+var ErrNoData = errors.New("encoder: no data")

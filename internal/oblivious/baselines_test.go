@@ -1,0 +1,272 @@
+package oblivious
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"prochlo/internal/sgx"
+)
+
+func TestOddEvenMergeSortNetworkSorts(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		net := oddEvenMergeSortNetwork(n)
+		// Zero-one principle: a comparator network sorts all inputs iff it
+		// sorts all 0/1 inputs.
+		for mask := 0; mask < 1<<n; mask++ {
+			vals := make([]int, n)
+			for i := range vals {
+				vals[i] = (mask >> i) & 1
+			}
+			for _, c := range net {
+				if vals[c[0]] > vals[c[1]] {
+					vals[c[0]], vals[c[1]] = vals[c[1]], vals[c[0]]
+				}
+			}
+			if !sort.IntsAreSorted(vals) {
+				t.Fatalf("n=%d: network failed on mask %b", n, mask)
+			}
+		}
+		if n > 8 {
+			break // exhaustive 0/1 testing beyond 2^8 inputs is slow
+		}
+	}
+}
+
+func TestBatcherShufflePermutation(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 500, 3000} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			in := makeItems(n, 24)
+			b := &BatcherShuffle{Enclave: testEnclave(), Codec: Passthrough{},
+				BucketSize: 64, Seed: 17}
+			out, err := b.Shuffle(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPermutation(t, in, out)
+		})
+	}
+}
+
+func TestBatcherPassCountMatchesModel(t *testing.T) {
+	n, bucket := 4096, 64
+	in := makeItems(n, 16)
+	b := &BatcherShuffle{Enclave: testEnclave(), Codec: Passthrough{},
+		BucketSize: bucket, Seed: 1}
+	if _, err := b.Shuffle(in); err != nil {
+		t.Fatal(err)
+	}
+	m := nextPow2((n + bucket - 1) / bucket) // 64 buckets
+	// Odd-even merge sort has m/4·lg(m)·(lg(m)-1) + m - 1 comparators.
+	k := int(math.Log2(float64(m)))
+	want := m/4*k*(k-1) + m - 1
+	if b.Passes != want {
+		t.Errorf("Passes = %d, want %d", b.Passes, want)
+	}
+}
+
+func TestColumnSortShufflePermutation(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 2000, 5000} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			in := makeItems(n, 24)
+			c := &ColumnSortShuffle{Enclave: testEnclave(), Codec: Passthrough{},
+				ColumnSize: 2048, Seed: 23}
+			out, err := c.Shuffle(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPermutation(t, in, out)
+			if c.SortRounds != 4 {
+				t.Errorf("SortRounds = %d, want 4", c.SortRounds)
+			}
+		})
+	}
+}
+
+// TestColumnSortSortsCorrectly validates the 8-step network itself: if
+// ColumnSort mis-sorted, dummies could displace real items and the output
+// would not be a permutation; additionally, run the marked-item uniformity
+// check to catch ordering biases.
+func TestColumnSortUniformity(t *testing.T) {
+	const n = 6
+	const trials = 3000
+	in := makeItems(n, 16)
+	counts := make([]int, n)
+	e := testEnclave()
+	for trial := 0; trial < trials; trial++ {
+		c := &ColumnSortShuffle{Enclave: e, Codec: Passthrough{},
+			ColumnSize: 8, Seed: uint64(trial + 1)}
+		out, err := c.Shuffle(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos, rec := range out {
+			if binary.BigEndian.Uint64(rec) == 0 {
+				counts[pos]++
+			}
+		}
+	}
+	expected := float64(trials) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 5 degrees of freedom; 99.9th percentile ~ 20.5.
+	if chi2 > 20.5 {
+		t.Errorf("chi-square = %.1f (counts %v)", chi2, counts)
+	}
+}
+
+func TestColumnSortSizeCap(t *testing.T) {
+	c := &ColumnSortShuffle{Enclave: testEnclave(), Codec: Passthrough{},
+		ColumnSize: 8, Seed: 1}
+	in := makeItems(ColumnSortMaxItems(8)+100, 16)
+	if _, err := c.Shuffle(in); !errors.Is(err, ErrTooManyItems) {
+		t.Fatalf("err = %v, want ErrTooManyItems", err)
+	}
+}
+
+func TestColumnSortMaxItemsPaperFigure(t *testing.T) {
+	// §4.1.3: "it can at most sort 118 million 318-byte records".
+	r := EnclaveItemCapacity(sgx.DefaultEPC, PaperItemSize)
+	max := ColumnSortMaxItems(r)
+	if max < 110_000_000 || max > 125_000_000 {
+		t.Errorf("ColumnSort cap = %d, want ~118M (paper)", max)
+	}
+}
+
+func TestMelbourneShufflePermutation(t *testing.T) {
+	for _, n := range []int{1, 10, 300, 2500} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			in := makeItems(n, 24)
+			m := &MelbourneShuffle{Enclave: testEnclave(), Codec: Passthrough{}, Seed: 31}
+			out, err := m.Shuffle(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPermutation(t, in, out)
+		})
+	}
+}
+
+func TestMelbourneMemoryWall(t *testing.T) {
+	// An enclave that cannot hold the permutation must fail upfront: this
+	// is §4.1.3's scalability objection to the Melbourne Shuffle.
+	n := 10000
+	in := makeItems(n, 16)
+	tiny := sgx.New(int64(8*n)-1, sgx.Measure("tiny"))
+	m := &MelbourneShuffle{Enclave: tiny, Codec: Passthrough{}, Seed: 1}
+	if _, err := m.Shuffle(in); !errors.Is(err, sgx.ErrOutOfEnclaveMemory) {
+		t.Fatalf("err = %v, want ErrOutOfEnclaveMemory", err)
+	}
+}
+
+func TestMelbourneMaxItemsPaperScale(t *testing.T) {
+	// "a few dozen million items, at most": 92MB/8B = ~11.5M even ignoring
+	// data storage.
+	max := MelbourneMaxItems(sgx.DefaultEPC)
+	if max < 10_000_000 || max > 50_000_000 {
+		t.Errorf("MelbourneMaxItems = %d, want ~12M", max)
+	}
+}
+
+func TestMelbourneFailureProbabilitySane(t *testing.T) {
+	p4 := MelbourneFailureProbability(100000, 4)
+	p2 := MelbourneFailureProbability(100000, 2)
+	if p4 >= p2 {
+		t.Errorf("density 4 failure prob %g not below density 2's %g", p4, p2)
+	}
+	if p4 > 1e-6 {
+		t.Errorf("density-4 failure probability %g unexpectedly large", p4)
+	}
+}
+
+func TestCascadeMixPermutation(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 1000} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			in := makeItems(n, 24)
+			c := &CascadeMixShuffle{Enclave: testEnclave(), Codec: Passthrough{},
+				ChunkSize: 32, Rounds: 6, Seed: 37}
+			out, err := c.Shuffle(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPermutation(t, in, out)
+		})
+	}
+}
+
+func TestCascadeRoundsGrowWithSecurity(t *testing.T) {
+	chunk := 152_000
+	r64 := CascadeRoundsForSecurity(10_000_000, chunk, -64)
+	r32 := CascadeRoundsForSecurity(10_000_000, chunk, -32)
+	if r64 <= r32 {
+		t.Errorf("rounds for 2^-64 (%d) not above rounds for 2^-32 (%d)", r64, r32)
+	}
+	if r1 := CascadeRoundsForSecurity(1000, 2000, -64); r1 != 1 {
+		t.Errorf("single-chunk problem needs %d rounds, want 1", r1)
+	}
+}
+
+func TestMeteredCodecCounts(t *testing.T) {
+	e := testEnclave()
+	mc := meteredCodec{c: Passthrough{}, e: e}
+	if _, err := mc.Open([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Seal([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Counters()
+	if c.OpenOps != 1 || c.SealOps != 1 {
+		t.Errorf("counters = %+v, want 1 open, 1 seal", c)
+	}
+}
+
+func TestSealerRoundTrip(t *testing.T) {
+	s, err := newSealer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("intermediate record")
+	ct := s.seal(pt)
+	got, err := s.open(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(pt) {
+		t.Fatal("sealer round trip failed")
+	}
+	if _, err := s.open(ct[:10]); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestSealerNoncesUnique(t *testing.T) {
+	s, _ := newSealer()
+	a := s.seal([]byte("x"))
+	b := s.seal([]byte("x"))
+	if string(a) == string(b) {
+		t.Fatal("two seals of the same plaintext are identical (nonce reuse)")
+	}
+}
+
+func TestValidateUniform(t *testing.T) {
+	if _, err := validateUniform(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := validateUniform([][]byte{{}}); err == nil {
+		t.Error("zero-size records accepted")
+	}
+	if n, err := validateUniform([][]byte{{1, 2}, {3, 4}}); err != nil || n != 2 {
+		t.Errorf("uniform input rejected: %v", err)
+	}
+}

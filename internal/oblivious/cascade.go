@@ -1,0 +1,160 @@
+package oblivious
+
+import (
+	"fmt"
+	"math"
+
+	"prochlo/internal/sgx"
+)
+
+// CascadeMixShuffle implements a cascade mix network (§4.1.3; M2R's
+// approach): the data is split into enclave-sized chunks, each chunk is
+// shuffled privately, and the chunks' contents are redistributed by a fixed
+// transpose interleave between rounds, so every next-round chunk draws from
+// all current chunks. A cascade of such rounds approaches a uniform
+// permutation; the number of rounds needed for a target security parameter
+// follows Klonowski and Kutyłowski's mixing analysis and grows quickly,
+// which is what makes the cascade expensive (114× at 10M items for
+// ε = 2^-64).
+type CascadeMixShuffle struct {
+	Enclave   *sgx.Enclave
+	Codec     Codec
+	ChunkSize int // items per enclave-resident chunk
+	Rounds    int // mixing rounds; zero selects CascadeRoundsForSecurity(-64)
+	Seed      uint64
+
+	// RoundsRun records the rounds executed by the last Shuffle.
+	RoundsRun int
+}
+
+// Name implements Shuffler.
+func (c *CascadeMixShuffle) Name() string { return "CascadeMix" }
+
+// CascadeRoundsForSecurity returns the number of cascade rounds required to
+// bring the total-variation distance of the network's permutation below
+// 2^logEps (logEps negative), for n items in chunks of the given size.
+//
+// The mixing analysis of Klonowski–Kutyłowski gives convergence after
+// O(log B) rounds of chunk mixing, with the constant governed by the
+// chunk/batch ratio; we model rounds = ceil(-logEps · ln(B) / ln(chunk)) + 2.
+// The §4.1.3 comparison additionally carries the paper's own computed
+// figures (see CostModel in cost.go).
+func CascadeRoundsForSecurity(n, chunk int, logEps float64) int {
+	if n <= chunk {
+		return 1
+	}
+	b := float64(n)/float64(chunk) + 1
+	r := int(math.Ceil(-logEps*math.Log(b)/math.Log(float64(chunk)))) + 2
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Shuffle implements Shuffler.
+func (c *CascadeMixShuffle) Shuffle(in [][]byte) ([][]byte, error) {
+	if c.ChunkSize < 2 {
+		return nil, fmt.Errorf("oblivious: invalid chunk size %d", c.ChunkSize)
+	}
+	if _, err := validateUniform(in); err != nil {
+		return nil, err
+	}
+	rounds := c.Rounds
+	if rounds == 0 {
+		rounds = CascadeRoundsForSecurity(len(in), c.ChunkSize, -64)
+	}
+	c.RoundsRun = rounds
+	codec := meteredCodec{c: c.Codec, e: c.Enclave}
+	rng := newRand(c.Seed)
+	seal, err := newSealer()
+	if err != nil {
+		return nil, err
+	}
+	n := len(in)
+	pSize := codec.PlainSize(len(in[0]))
+
+	chunkMem := int64(c.ChunkSize * (1 + pSize + sealedOverhead))
+	if err := c.Enclave.Alloc(chunkMem); err != nil {
+		return nil, err
+	}
+	defer c.Enclave.Free(chunkMem)
+
+	// Ingest: peel the transport layer, tag, pad to whole chunks so the
+	// inter-round interleave is a clean transpose, and re-encrypt under the
+	// ephemeral key. Dummies take the same code path as real items.
+	nChunks := (n + c.ChunkSize - 1) / c.ChunkSize
+	total := nChunks * c.ChunkSize
+	work := make([][]byte, total)
+	for i := 0; i < total; i++ {
+		buf := make([]byte, 1+pSize)
+		if i < n {
+			c.Enclave.ReadUntrusted(len(in[i]))
+			pt, err := codec.Open(in[i])
+			if err != nil {
+				return nil, err
+			}
+			buf[0] = 0
+			copy(buf[1:], pt)
+		} else {
+			buf[0] = 1
+		}
+		enc := seal.seal(buf)
+		work[i] = enc
+		c.Enclave.WriteUntrusted(len(enc))
+	}
+
+	for round := 0; round < rounds; round++ {
+		// Shuffle each chunk privately.
+		for ch := 0; ch < nChunks; ch++ {
+			lo := ch * c.ChunkSize
+			buf := make([][]byte, c.ChunkSize)
+			for i := range buf {
+				c.Enclave.ReadUntrusted(len(work[lo+i]))
+				pt, err := seal.open(work[lo+i])
+				if err != nil {
+					return nil, err
+				}
+				buf[i] = pt
+			}
+			rng.Shuffle(len(buf), func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
+			for i := range buf {
+				enc := seal.seal(buf[i])
+				work[lo+i] = enc
+				c.Enclave.WriteUntrusted(len(enc))
+			}
+		}
+		// Transpose interleave between rounds: item (chunk ch, slot pos)
+		// moves to position pos*nChunks + ch.
+		if round < rounds-1 && nChunks > 1 {
+			next := make([][]byte, total)
+			for i := 0; i < total; i++ {
+				ch, pos := i/c.ChunkSize, i%c.ChunkSize
+				next[pos*nChunks+ch] = work[i]
+			}
+			work = next
+		}
+	}
+
+	// Emit: drop dummies, seal output.
+	out := make([][]byte, 0, n)
+	for _, enc := range work {
+		c.Enclave.ReadUntrusted(len(enc))
+		pt, err := seal.open(enc)
+		if err != nil {
+			return nil, err
+		}
+		if pt[0] != 0 {
+			continue
+		}
+		rec, err := codec.Seal(pt[1:])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+		c.Enclave.WriteUntrusted(len(rec))
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("oblivious: cascade emitted %d of %d items", len(out), n)
+	}
+	return out, nil
+}

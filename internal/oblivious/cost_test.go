@@ -1,0 +1,112 @@
+package oblivious
+
+import (
+	"math"
+	"testing"
+
+	"prochlo/internal/sgx"
+)
+
+// TestBatcherOverheadPaperFigures reproduces §4.1.3: "to apply Batcher's
+// sort to 10 million records ... the data processed will be 49× the dataset
+// size; correspondingly, for 100 million records, the overhead would be
+// 100×".
+func TestBatcherOverheadPaperFigures(t *testing.T) {
+	b := BatcherBucketSize(sgx.DefaultEPC, PaperItemSize)
+	if b < 145_000 || b > 160_000 {
+		t.Fatalf("Batcher bucket size = %d, want ~152K (paper)", b)
+	}
+	if got := BatcherOverhead(10_000_000, b); got != 49 {
+		t.Errorf("Batcher overhead at 10M = %v, want 49", got)
+	}
+	if got := BatcherOverhead(100_000_000, b); got != 100 {
+		t.Errorf("Batcher overhead at 100M = %v, want 100", got)
+	}
+}
+
+// TestStashOverheadReproducesTable1 checks the overhead column of Table 1
+// exactly from the formula (N + B²C + S) / N.
+func TestStashOverheadReproducesTable1(t *testing.T) {
+	for _, sc := range PaperScenarios {
+		got := StashOverhead(sc.N, sc.B, sc.C, sc.S)
+		if math.Abs(got-sc.PaperOverhead) > 0.005 {
+			t.Errorf("N=%d: overhead = %.3f, want %.2f (Table 1)", sc.N, got, sc.PaperOverhead)
+		}
+	}
+}
+
+// TestStashBeatsBaselines asserts the paper's headline comparison: the Stash
+// Shuffle's overhead is far below Batcher's and the cascade's at both
+// reference sizes, and below ColumnSort's 8×.
+func TestStashBeatsBaselines(t *testing.T) {
+	b := BatcherBucketSize(sgx.DefaultEPC, PaperItemSize)
+	for _, cmp := range PaperComparisons {
+		var stash float64
+		for _, sc := range PaperScenarios {
+			if sc.N == cmp.N {
+				stash = StashOverhead(sc.N, sc.B, sc.C, sc.S)
+			}
+		}
+		if stash == 0 {
+			t.Fatalf("no scenario for N=%d", cmp.N)
+		}
+		if batcher := BatcherOverhead(cmp.N, b); stash >= batcher/10 {
+			t.Errorf("N=%d: stash %0.2f× not an order of magnitude below Batcher %0.0f×", cmp.N, stash, batcher)
+		}
+		if stash >= ColumnSortOverhead {
+			t.Errorf("N=%d: stash %0.2f× not below ColumnSort 8×", cmp.N, stash)
+		}
+		if stash >= cmp.CascadeOverhead/10 {
+			t.Errorf("N=%d: stash %0.2f× not far below cascade %0.0f×", cmp.N, stash, cmp.CascadeOverhead)
+		}
+	}
+}
+
+func TestEnclaveItemCapacityPaperFigure(t *testing.T) {
+	got := EnclaveItemCapacity(sgx.DefaultEPC, PaperItemSize)
+	if got < 290_000 || got > 320_000 {
+		t.Errorf("capacity = %d 318-byte records, want ~303K", got)
+	}
+}
+
+// TestStashSecurityBoundStrong checks that the implementation's
+// infeasibility bound at the Table 1 scenarios is at least as strong as a
+// useful security parameter (well below 2^-40), and that it weakens when the
+// stash shrinks.
+func TestStashSecurityBoundStrong(t *testing.T) {
+	for _, sc := range PaperScenarios {
+		logEps := StashSecurityBound(sc.N, sc.B, sc.C, sc.S, sc.W, 0)
+		if logEps > -30 {
+			t.Errorf("N=%d: log2(eps) = %.1f, want <= -30", sc.N, logEps)
+		}
+	}
+	strong := StashSecurityBound(10_000_000, 1000, 25, 40_000, 4, 0)
+	weak := StashSecurityBound(10_000_000, 1000, 25, 4_000, 4, 0)
+	if weak <= strong {
+		t.Errorf("smaller stash gave stronger bound: S=40K -> %.1f, S=4K -> %.1f", strong, weak)
+	}
+}
+
+func TestStashSecurityBoundMonotoneInC(t *testing.T) {
+	loose := StashSecurityBound(1_000_000, 316, 30, 12_000, 4, 0)
+	tight := StashSecurityBound(1_000_000, 316, 18, 12_000, 4, 0)
+	if tight <= loose {
+		t.Errorf("smaller C gave stronger bound: C=30 -> %.1f, C=18 -> %.1f", loose, tight)
+	}
+}
+
+func TestLogFactorial(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {1, 0}, {2, math.Log(2)}, {5, math.Log(120)},
+		{20, 42.3356164607535},
+		{100, 363.73937555556347},
+	}
+	for _, c := range cases {
+		if got := logFactorial(c.n); math.Abs(got-c.want) > 1e-6*(1+c.want) {
+			t.Errorf("logFactorial(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package oblivious
+
+import "fmt"
+
+// DoubleShuffle chains two oblivious shuffles, the paper's standard
+// technique (§4.1.4) for boosting the security parameter of a single pass or
+// for scaling beyond a single pass's problem-size limit: "[the algorithm]
+// can be run twice in succession with smaller security parameters, which has
+// the effect of boosting the overall security of shuffling".
+//
+// The transport Codec (e.g. the outer-layer peel) belongs on First; Second
+// typically runs with Passthrough so records are re-encrypted only under
+// each pass's ephemeral key.
+type DoubleShuffle struct {
+	First, Second Shuffler
+}
+
+// Name implements Shuffler.
+func (d DoubleShuffle) Name() string {
+	return fmt.Sprintf("Double(%s,%s)", d.First.Name(), d.Second.Name())
+}
+
+// Shuffle implements Shuffler.
+func (d DoubleShuffle) Shuffle(in [][]byte) ([][]byte, error) {
+	mid, err := d.First.Shuffle(in)
+	if err != nil {
+		return nil, fmt.Errorf("oblivious: first pass: %w", err)
+	}
+	out, err := d.Second.Shuffle(mid)
+	if err != nil {
+		return nil, fmt.Errorf("oblivious: second pass: %w", err)
+	}
+	return out, nil
+}
+
+// DoubleStash builds a two-pass Stash Shuffle over the same enclave with
+// independent parameters and fresh randomness per pass. The composed
+// security parameter is (heuristically) the product of the passes' total
+// variation bounds.
+func DoubleStash(first *StashShuffle) DoubleShuffle {
+	second := &StashShuffle{
+		Enclave: first.Enclave,
+		Codec:   Passthrough{},
+		B:       first.B, C: first.C, W: first.W, S: first.S,
+		QueueSlack:  first.QueueSlack,
+		MaxAttempts: first.MaxAttempts,
+	}
+	if first.Seed != 0 {
+		second.Seed = first.Seed ^ 0xdeadbeefcafef00d
+	}
+	return DoubleShuffle{First: first, Second: second}
+}

@@ -1,0 +1,92 @@
+package oblivious
+
+import "testing"
+
+func TestDoubleShufflePermutation(t *testing.T) {
+	n := 2000
+	in := makeItems(n, 24)
+	e := testEnclave()
+	first := NewStashShuffle(e, Passthrough{}, n)
+	first.Seed = 51
+	d := DoubleStash(first)
+	out, err := d.Shuffle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPermutation(t, in, out)
+	if d.Name() != "Double(StashShuffle,StashShuffle)" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestDoubleShuffleIndependentPasses(t *testing.T) {
+	// A double shuffle must differ from its first pass alone (the second
+	// pass re-permutes).
+	n := 500
+	in := makeItems(n, 16)
+	e := testEnclave()
+	first := NewStashShuffle(e, Passthrough{}, n)
+	first.Seed = 53
+	firstOut, err := first.Shuffle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first2 := NewStashShuffle(e, Passthrough{}, n)
+	first2.Seed = 53
+	d := DoubleStash(first2)
+	doubleOut, err := d.Shuffle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range firstOut {
+		if string(firstOut[i]) == string(doubleOut[i]) {
+			same++
+		}
+	}
+	if same > n/10 {
+		t.Errorf("double shuffle agrees with single pass on %d/%d positions", same, n)
+	}
+}
+
+func TestBatcherSortByPrefixGroups(t *testing.T) {
+	// Records with equal 8-byte prefixes must come out adjacent.
+	var in [][]byte
+	for i := 0; i < 300; i++ {
+		rec := make([]byte, 24)
+		rec[7] = byte(i % 7) // prefix = crowd id in [0,7)
+		rec[8] = byte(i)     // payload distinguisher
+		rec[9] = byte(i >> 8)
+		in = append(in, rec)
+	}
+	b := &BatcherShuffle{Enclave: testEnclave(), Codec: Passthrough{},
+		BucketSize: 32, SortByPrefix: true, Seed: 3}
+	out, err := b.Shuffle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPermutation(t, in, out)
+	transitions := 0
+	for i := 1; i < len(out); i++ {
+		if out[i][7] != out[i-1][7] {
+			transitions++
+		}
+	}
+	if transitions != 6 {
+		t.Errorf("%d prefix transitions in sorted output, want 6 (7 groups)", transitions)
+	}
+	// And the groups must be in ascending prefix order (it's a sort).
+	for i := 1; i < len(out); i++ {
+		if out[i][7] < out[i-1][7] {
+			t.Fatal("prefix order not ascending")
+		}
+	}
+}
+
+func TestBatcherSortByPrefixRejectsShortPayload(t *testing.T) {
+	b := &BatcherShuffle{Enclave: testEnclave(), Codec: Passthrough{},
+		BucketSize: 4, SortByPrefix: true, Seed: 1}
+	if _, err := b.Shuffle([][]byte{{1, 2, 3}, {4, 5, 6}}); err == nil {
+		t.Fatal("short payloads accepted for prefix sort")
+	}
+}

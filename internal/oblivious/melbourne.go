@@ -1,0 +1,213 @@
+package oblivious
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prochlo/internal/sgx"
+)
+
+// MelbourneShuffle implements the Melbourne Shuffle of Ohrimenko et al.
+// (§4.1.3): instead of sorting under random identifiers, it picks one target
+// permutation π up front and obliviously rearranges the data to it in two
+// passes over √N-sized buckets, padding with dummies to hide occupancy.
+//
+// Its defining scalability limit — the one the paper calls out — is that the
+// entire permutation must reside in private memory: the Alloc of 8·N bytes
+// fails against the 92 MB EPC beyond a few dozen million items.
+type MelbourneShuffle struct {
+	Enclave *sgx.Enclave
+	Codec   Codec
+	Seed    uint64
+
+	// Density is the over-provisioning factor of intermediate buckets
+	// (p in the paper's notation); each of the √N intermediate buckets has
+	// capacity Density·√N. Zero selects 4, giving a comfortably small
+	// failure probability; failures retry with a fresh permutation.
+	Density int
+
+	// MaxAttempts bounds retries on bucket overflow. Zero selects 5.
+	MaxAttempts int
+
+	// Attempts records the retry count of the last run.
+	Attempts int
+}
+
+// Name implements Shuffler.
+func (m *MelbourneShuffle) Name() string { return "MelbourneShuffle" }
+
+// Shuffle implements Shuffler.
+func (m *MelbourneShuffle) Shuffle(in [][]byte) ([][]byte, error) {
+	if _, err := validateUniform(in); err != nil {
+		return nil, err
+	}
+	n := len(in)
+	// The whole permutation lives in private memory for the duration: this
+	// is the algorithm's scalability wall.
+	permMem := int64(8 * n)
+	if err := m.Enclave.Alloc(permMem); err != nil {
+		return nil, err
+	}
+	defer m.Enclave.Free(permMem)
+
+	maxAttempts := m.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 5
+	}
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		m.Attempts = attempt
+		out, err := m.attempt(in, uint64(attempt))
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, maxAttempts, lastErr)
+}
+
+func (m *MelbourneShuffle) attempt(in [][]byte, attempt uint64) ([][]byte, error) {
+	n := len(in)
+	codec := meteredCodec{c: m.Codec, e: m.Enclave}
+	rng := newRand(mixSeed(m.Seed, attempt))
+	seal, err := newSealer()
+	if err != nil {
+		return nil, err
+	}
+	pSize := codec.PlainSize(len(in[0]))
+
+	density := m.Density
+	if density == 0 {
+		density = 4
+	}
+	nb := intSqrt(n)
+	if nb < 1 {
+		nb = 1
+	}
+	if nb*nb < n {
+		nb++
+	}
+	bucketCap := density * ((n + nb - 1) / nb)
+
+	// π[i] is the output position of input item i.
+	perm := rng.Perm(n)
+
+	// Phase 1 (distribution): stream input buckets through the enclave,
+	// sending each item toward the intermediate bucket that owns its target
+	// position; pad every intermediate bucket to its fixed capacity.
+	positionsPerBucket := (n + nb - 1) / nb
+	inter := make([][][]byte, nb) // encrypted (position-tagged) records
+	for i := range inter {
+		inter[i] = make([][]byte, 0, bucketCap)
+	}
+	bucketMem := int64(bucketCap * (9 + pSize + sealedOverhead))
+	if err := m.Enclave.Alloc(bucketMem); err != nil {
+		return nil, err
+	}
+	defer m.Enclave.Free(bucketMem)
+
+	for i, rec := range in {
+		m.Enclave.ReadUntrusted(len(rec))
+		pt, err := codec.Open(rec)
+		if err != nil {
+			return nil, err
+		}
+		target := perm[i] / positionsPerBucket
+		if len(inter[target]) >= bucketCap {
+			return nil, fmt.Errorf("oblivious: melbourne intermediate bucket %d overflow", target)
+		}
+		tagged := make([]byte, 9+pSize)
+		tagged[0] = 0
+		putUint64(tagged[1:], uint64(perm[i]))
+		copy(tagged[9:], pt)
+		enc := seal.seal(tagged)
+		inter[target] = append(inter[target], enc)
+		m.Enclave.WriteUntrusted(len(enc))
+	}
+	// Pad buckets with dummies so all intermediate buckets have identical
+	// size (hiding the distribution).
+	for b := range inter {
+		for len(inter[b]) < bucketCap {
+			tagged := make([]byte, 9+pSize)
+			tagged[0] = 1
+			enc := seal.seal(tagged)
+			inter[b] = append(inter[b], enc)
+			m.Enclave.WriteUntrusted(len(enc))
+		}
+	}
+
+	// Phase 2 (clean-up): read each intermediate bucket, drop dummies, sort
+	// by target position inside the enclave, and emit.
+	out := make([][]byte, n)
+	type posItem struct {
+		pos     int
+		payload []byte
+	}
+	for b := range inter {
+		items := make([]posItem, 0, bucketCap)
+		for _, enc := range inter[b] {
+			m.Enclave.ReadUntrusted(len(enc))
+			pt, err := seal.open(enc)
+			if err != nil {
+				return nil, err
+			}
+			if pt[0] != 0 {
+				continue
+			}
+			items = append(items, posItem{pos: int(getUint64(pt[1:])), payload: pt[9:]})
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i].pos < items[j].pos })
+		for _, it := range items {
+			rec, err := codec.Seal(it.payload)
+			if err != nil {
+				return nil, err
+			}
+			out[it.pos] = rec
+			m.Enclave.WriteUntrusted(len(rec))
+		}
+	}
+	for i, rec := range out {
+		if rec == nil {
+			return nil, fmt.Errorf("oblivious: melbourne output position %d unfilled", i)
+		}
+	}
+	return out, nil
+}
+
+// MelbourneMaxItems returns the largest problem the Melbourne Shuffle can
+// handle in the given private memory: the permutation alone takes 8 bytes
+// per item (§4.1.3: "can handle only a few dozen million items, at most,
+// even if we ignore storage space for actual data").
+func MelbourneMaxItems(epc int64) int {
+	return int(epc / 8)
+}
+
+// melbourneFailureProbability estimates the chance an intermediate bucket
+// overflows, from the binomial tail: each bucket receives Binomial(n, 1/nb)
+// items against capacity density·n/nb. Exposed for the ablation benchmarks.
+func MelbourneFailureProbability(n, density int) float64 {
+	nb := intSqrt(n)
+	if nb < 1 {
+		return 0
+	}
+	mean := float64(n) / float64(nb)
+	cap_ := float64(density) * mean
+	// Chernoff: P(X > c) <= exp(-(c-mean)^2 / (2c)) per bucket, union over nb.
+	p := math.Exp(-(cap_ - mean) * (cap_ - mean) / (2 * cap_))
+	return math.Min(1, float64(nb)*p)
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,374 @@
+package oblivious
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"prochlo/internal/sgx"
+)
+
+// StashShuffle implements the paper's oblivious-shuffle algorithm (§4.1.4,
+// Algorithms 1–4). Input and output are considered in B sequential buckets
+// of D = ceil(N/B) items. The Distribution phase assigns each input item a
+// uniformly random output bucket, writing at most C items per
+// (input bucket, output bucket) pair into an intermediate array in untrusted
+// memory and spilling the binomial overflow into a private stash of total
+// capacity S, which drains into K = S/B dedicated slots per output bucket at
+// the end of the phase. The Compression phase re-reads the intermediate
+// buckets through a sliding window of W buckets, discards the dummy padding,
+// shuffles, and emits the output.
+//
+// Obliviousness: an external observer sees only fixed-size encrypted records
+// being read and written in a data-independent order; dummy items are
+// generated, encrypted, and written on the same code path as real items, and
+// per-pair item counts are hidden by the constant chunk size C.
+//
+// One deliberate deviation from the paper's presentation: Algorithm 2's
+// SHUFFLETOBUCKETS is described as shuffling D items with B-1 separators;
+// this implementation draws an independent uniform target bucket per item
+// (multinomial assignment), which matches the paper's own parameter analysis
+// (C = D/B + α·sqrt(D/B) is a binomial tail bound) and yields the uniform
+// target distribution the security analysis assumes.
+type StashShuffle struct {
+	Enclave *sgx.Enclave
+	Codec   Codec
+
+	B int // number of buckets
+	C int // per-(input,output)-bucket chunk capacity
+	W int // compression sliding-window size, in buckets
+	S int // total stash capacity, in items
+
+	// QueueSlack is extra compression-queue capacity beyond the steady
+	// state of W·D items, absorbing the binomial elasticity of real-item
+	// counts per intermediate bucket. Zero selects a default of
+	// 4·sqrt(N) + 64.
+	QueueSlack int
+
+	// MaxAttempts bounds the fail-and-retry loop (§4.1.4: "Upon failure,
+	// the algorithm aborts and starts anew"). Zero selects 5.
+	MaxAttempts int
+
+	// Seed makes the shuffle deterministic for tests when nonzero.
+	Seed uint64
+
+	// Metrics of the most recent Shuffle call.
+	Metrics StashMetrics
+}
+
+// StashMetrics records the observable cost of a Shuffle call; Table 2 is
+// generated from these.
+type StashMetrics struct {
+	Attempts          int
+	Items             int
+	IntermediateItems int
+	StashPeak         int           // maximum stash occupancy observed
+	QueuePeak         int           // maximum compression-queue occupancy
+	DistributionTime  time.Duration // Table 2 "Distribution"
+	CompressionTime   time.Duration // Table 2 "Compression"
+	PeakEnclaveMemory int64         // Table 2 "SGX Mem"
+}
+
+// RecommendedParams returns Stash Shuffle parameters for a problem of n
+// items, following the scaling of the paper's Table 1 scenarios:
+// B ≈ sqrt(n/10) (so D ≈ 10·B), C = D/B + 5·sqrt(D/B), W = 4, S = 40·B.
+func RecommendedParams(n int) (b, c, w, s int) {
+	b = int(math.Round(math.Sqrt(float64(n) / 10)))
+	if b < 1 {
+		b = 1
+	}
+	d := (n + b - 1) / b
+	load := float64(d) / float64(b)
+	c = int(math.Ceil(load + 5*math.Sqrt(load)))
+	if c < 1 {
+		c = 1
+	}
+	return b, c, 4, 40 * b
+}
+
+// NewStashShuffle constructs a Stash Shuffle with recommended parameters for
+// the given problem size.
+func NewStashShuffle(e *sgx.Enclave, codec Codec, n int) *StashShuffle {
+	b, c, w, s := RecommendedParams(n)
+	return &StashShuffle{Enclave: e, Codec: codec, B: b, C: c, W: w, S: s}
+}
+
+// Name implements Shuffler.
+func (s *StashShuffle) Name() string { return "StashShuffle" }
+
+// Shuffle obliviously permutes in, retrying with fresh ephemeral keys on
+// stash or queue overflow. Failed attempts leak nothing: intermediate items
+// are encrypted under a per-attempt ephemeral key that is discarded.
+func (s *StashShuffle) Shuffle(in [][]byte) ([][]byte, error) {
+	if s.B < 1 || s.C < 1 || s.W < 1 {
+		return nil, fmt.Errorf("oblivious: invalid stash-shuffle parameters B=%d C=%d W=%d", s.B, s.C, s.W)
+	}
+	if _, err := validateUniform(in); err != nil {
+		return nil, err
+	}
+	maxAttempts := s.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 5
+	}
+	s.Metrics = StashMetrics{Items: len(in)}
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		s.Metrics.Attempts = attempt
+		out, err := s.attempt(in, uint64(attempt))
+		if err == nil {
+			s.Metrics.PeakEnclaveMemory = s.Enclave.PeakMemory()
+			return out, nil
+		}
+		if !isTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, maxAttempts, lastErr)
+}
+
+// isTransient reports whether a failed attempt may succeed with fresh
+// randomness (§4.1.4's fail-and-restart cases), as opposed to a
+// configuration error such as enclave memory exhaustion.
+func isTransient(err error) bool {
+	return errors.Is(err, ErrStashOverflow) || errors.Is(err, ErrStashResidue) ||
+		errors.Is(err, ErrQueueOverflow) || errors.Is(err, ErrQueueUnderflow)
+}
+
+// bucketBounds returns the input range [lo, hi) of bucket b for N items in
+// B buckets of D = ceil(N/B).
+func bucketBounds(b, d, n int) (lo, hi int) {
+	lo = b * d
+	hi = lo + d
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+func (s *StashShuffle) attempt(in [][]byte, attempt uint64) ([][]byte, error) {
+	n := len(in)
+	b := s.B
+	d := (n + b - 1) / b
+	k := 0
+	if b > 0 {
+		k = s.S / b
+	}
+	codec := meteredCodec{c: s.Codec, e: s.Enclave}
+	pSize := codec.PlainSize(len(in[0]))
+	interSize := 1 + pSize + sealedOverhead
+	midStride := b*s.C + k
+	rng := newRand(mixSeed(s.Seed, attempt))
+
+	seal, err := newSealer()
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Distribution phase (Algorithms 1–2) ---
+	start := time.Now()
+	// Private memory: one decoded input bucket, the B staged chunks of up
+	// to C items, and the stash.
+	distMem := int64(d*pSize + b*s.C*pSize + s.S*pSize)
+	if err := s.Enclave.Alloc(distMem); err != nil {
+		return nil, err
+	}
+	mid := make([][]byte, b*midStride)
+
+	stash := make([][][]byte, b) // per-output-bucket FIFO queues
+	stashCount := 0
+	chunks := make([][][]byte, b)
+	for j := range chunks {
+		chunks[j] = make([][]byte, 0, s.C)
+	}
+
+	fail := func(err error) ([][]byte, error) {
+		s.Enclave.Free(distMem)
+		return nil, err
+	}
+
+	for ib := 0; ib < b; ib++ {
+		for j := range chunks {
+			chunks[j] = chunks[j][:0]
+		}
+		// Take queued stash items first (Algorithm 2, lines 4–6).
+		for j := 0; j < b; j++ {
+			for len(chunks[j]) < s.C && len(stash[j]) > 0 {
+				chunks[j] = append(chunks[j], stash[j][0])
+				stash[j] = stash[j][1:]
+				stashCount--
+			}
+		}
+		// Read, decode, and distribute this input bucket (lines 7–15).
+		lo, hi := bucketBounds(ib, d, n)
+		for i := lo; i < hi; i++ {
+			s.Enclave.ReadUntrusted(len(in[i]))
+			pt, err := codec.Open(in[i])
+			if err != nil {
+				return fail(fmt.Errorf("oblivious: input record %d: %w", i, err))
+			}
+			j := rng.IntN(b)
+			switch {
+			case len(chunks[j]) < s.C:
+				chunks[j] = append(chunks[j], pt)
+			case stashCount < s.S:
+				stash[j] = append(stash[j], pt)
+				stashCount++
+				if stashCount > s.Metrics.StashPeak {
+					s.Metrics.StashPeak = stashCount
+				}
+			default:
+				return fail(ErrStashOverflow)
+			}
+		}
+		// Pad with dummies, encrypt, and write out (lines 16–20).
+		for j := 0; j < b; j++ {
+			base := j*midStride + ib*s.C
+			for i := 0; i < s.C; i++ {
+				rec := seal.seal(packItem(chunks[j], i, pSize))
+				mid[base+i] = rec
+				s.Enclave.WriteUntrusted(len(rec))
+			}
+		}
+	}
+	// Drain the stash into K extra slots per output bucket (Algorithm 1,
+	// line 5).
+	for j := 0; j < b; j++ {
+		base := j*midStride + b*s.C
+		for i := 0; i < k; i++ {
+			rec := seal.seal(packItem(stash[j], i, pSize))
+			mid[base+i] = rec
+			s.Enclave.WriteUntrusted(len(rec))
+		}
+		if len(stash[j]) > k {
+			return fail(ErrStashResidue) // Algorithm 1, line 6
+		}
+	}
+	s.Enclave.Free(distMem)
+	s.Metrics.DistributionTime = time.Since(start)
+	s.Metrics.IntermediateItems = len(mid)
+
+	// --- Compression phase (Algorithms 3–4) ---
+	start = time.Now()
+	l := s.W
+	if l > b {
+		l = b // effective window (Algorithm 3's L)
+	}
+	slack := s.QueueSlack
+	if slack == 0 {
+		slack = 4*int(math.Sqrt(float64(n))) + 64
+	}
+	queueCap := l*d + slack
+	compMem := int64(queueCap*pSize + midStride*interSize)
+	if err := s.Enclave.Alloc(compMem); err != nil {
+		return nil, err
+	}
+	cfail := func(err error) ([][]byte, error) {
+		s.Enclave.Free(compMem)
+		return nil, err
+	}
+
+	queue := make([][]byte, 0, queueCap)
+	qHead := 0
+	out := make([][]byte, 0, n)
+
+	importBucket := func(j int) error {
+		// Algorithm 4: load the intermediate bucket, shuffle it in
+		// private memory, decrypt, and enqueue the real items.
+		base := j * midStride
+		order := rng.Perm(midStride)
+		for _, idx := range order {
+			rec := mid[base+idx]
+			s.Enclave.ReadUntrusted(len(rec))
+			pt, err := seal.open(rec)
+			if err != nil {
+				return fmt.Errorf("oblivious: intermediate record: %w", err)
+			}
+			if pt[0] != 0 {
+				continue // dummy
+			}
+			if len(queue)-qHead >= queueCap {
+				return ErrQueueOverflow
+			}
+			queue = append(queue, pt[1:])
+			if occ := len(queue) - qHead; occ > s.Metrics.QueuePeak {
+				s.Metrics.QueuePeak = occ
+			}
+		}
+		return nil
+	}
+	drain := func(ob int) error {
+		lo, hi := bucketBounds(ob, d, n)
+		for i := lo; i < hi; i++ {
+			if qHead >= len(queue) {
+				return ErrQueueUnderflow
+			}
+			pt := queue[qHead]
+			queue[qHead] = nil
+			qHead++
+			rec, err := codec.Seal(pt)
+			if err != nil {
+				return err
+			}
+			out = append(out, rec)
+			s.Enclave.WriteUntrusted(len(rec))
+		}
+		// Compact the queue backing array once the dead prefix dominates.
+		if qHead > queueCap {
+			queue = append(queue[:0], queue[qHead:]...)
+			qHead = 0
+		}
+		return nil
+	}
+
+	for j := 0; j < l; j++ {
+		if err := importBucket(j); err != nil {
+			return cfail(err)
+		}
+	}
+	for j := l; j < b; j++ {
+		if err := drain(j - l); err != nil {
+			return cfail(err)
+		}
+		if err := importBucket(j); err != nil {
+			return cfail(err)
+		}
+	}
+	for j := b - l; j < b; j++ {
+		if err := drain(j); err != nil {
+			return cfail(err)
+		}
+	}
+	s.Enclave.Free(compMem)
+	s.Metrics.CompressionTime = time.Since(start)
+	if len(out) != n {
+		return nil, fmt.Errorf("oblivious: internal error: emitted %d of %d items", len(out), n)
+	}
+	return out, nil
+}
+
+// packItem returns the tagged plaintext of slot i: a real item from items if
+// available, otherwise an all-zero dummy of the same size. Real and dummy
+// slots follow the same code path and produce identically sized records.
+func packItem(items [][]byte, i, pSize int) []byte {
+	buf := make([]byte, 1+pSize)
+	if i < len(items) {
+		buf[0] = 0
+		copy(buf[1:], items[i])
+	} else {
+		buf[0] = 1
+	}
+	return buf
+}
+
+// mixSeed derives a per-attempt seed, keeping zero (crypto-seeded) as zero.
+func mixSeed(seed, attempt uint64) uint64 {
+	if seed == 0 {
+		return 0
+	}
+	return seed*0x9e3779b97f4a7c15 + attempt
+}

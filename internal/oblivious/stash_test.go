@@ -1,0 +1,319 @@
+package oblivious
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"prochlo/internal/sgx"
+)
+
+func testEnclave() *sgx.Enclave {
+	return sgx.New(sgx.DefaultEPC, sgx.Measure("test"))
+}
+
+// makeItems produces n distinguishable fixed-size records.
+func makeItems(n, size int) [][]byte {
+	items := make([][]byte, n)
+	for i := range items {
+		b := make([]byte, size)
+		binary.BigEndian.PutUint64(b, uint64(i))
+		items[i] = b
+	}
+	return items
+}
+
+// assertPermutation checks that out is a permutation of in.
+func assertPermutation(t *testing.T, in, out [][]byte) {
+	t.Helper()
+	if len(in) != len(out) {
+		t.Fatalf("got %d items, want %d", len(out), len(in))
+	}
+	a := make([]string, len(in))
+	b := make([]string, len(out))
+	for i := range in {
+		a[i] = string(in[i])
+		b[i] = string(out[i])
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output is not a permutation of input (first mismatch at sorted index %d)", i)
+		}
+	}
+}
+
+func TestStashShufflePermutation(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 1000, 5000} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			in := makeItems(n, 32)
+			s := NewStashShuffle(testEnclave(), Passthrough{}, n)
+			s.Seed = 42
+			out, err := s.Shuffle(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPermutation(t, in, out)
+		})
+	}
+}
+
+func TestStashShuffleActuallyPermutes(t *testing.T) {
+	n := 1000
+	in := makeItems(n, 16)
+	s := NewStashShuffle(testEnclave(), Passthrough{}, n)
+	s.Seed = 7
+	out, err := s.Shuffle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range in {
+		if string(in[i]) == string(out[i]) {
+			same++
+		}
+	}
+	// Expected fixed points of a uniform permutation: 1.
+	if same > 20 {
+		t.Errorf("%d of %d items kept their position; shuffle looks like identity", same, n)
+	}
+}
+
+func TestStashShuffleDeterministicWithSeed(t *testing.T) {
+	n := 500
+	in := makeItems(n, 16)
+	run := func() [][]byte {
+		s := NewStashShuffle(testEnclave(), Passthrough{}, n)
+		s.Seed = 99
+		out, err := s.Shuffle(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatal("same seed produced different permutations")
+		}
+	}
+}
+
+// TestStashShuffleUniformity does a chi-square test on the position marginal
+// of one marked item over many runs.
+func TestStashShuffleUniformity(t *testing.T) {
+	const n = 8
+	const trials = 4000
+	in := makeItems(n, 16)
+	counts := make([]int, n) // where item 0 lands
+	e := testEnclave()
+	for trial := 0; trial < trials; trial++ {
+		s := &StashShuffle{Enclave: e, Codec: Passthrough{}, B: 2, C: 6, W: 2, S: 8,
+			Seed: uint64(trial + 1)}
+		out, err := s.Shuffle(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos, rec := range out {
+			if binary.BigEndian.Uint64(rec) == 0 {
+				counts[pos]++
+			}
+		}
+	}
+	expected := float64(trials) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 7 degrees of freedom; 99.9th percentile ~ 24.3.
+	if chi2 > 24.3 {
+		t.Errorf("chi-square = %.1f (counts %v); marked item's position is not uniform", chi2, counts)
+	}
+}
+
+func TestStashShuffleMetrics(t *testing.T) {
+	n := 2000
+	in := makeItems(n, 32)
+	e := testEnclave()
+	s := NewStashShuffle(e, Passthrough{}, n)
+	s.Seed = 3
+	if _, err := s.Shuffle(in); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics
+	if m.Items != n {
+		t.Errorf("Items = %d, want %d", m.Items, n)
+	}
+	k := s.S / s.B
+	wantInter := s.B*s.B*s.C + s.B*k
+	if m.IntermediateItems != wantInter {
+		t.Errorf("IntermediateItems = %d, want B²C+BK = %d", m.IntermediateItems, wantInter)
+	}
+	if m.Attempts < 1 {
+		t.Error("Attempts not recorded")
+	}
+	if m.PeakEnclaveMemory <= 0 {
+		t.Error("PeakEnclaveMemory not recorded")
+	}
+	if m.DistributionTime <= 0 || m.CompressionTime <= 0 {
+		t.Error("phase durations not recorded")
+	}
+}
+
+func TestStashShuffleBoundaryTrafficMatchesCostModel(t *testing.T) {
+	n := 1000
+	itemSize := 48
+	in := makeItems(n, itemSize)
+	e := testEnclave()
+	s := NewStashShuffle(e, Passthrough{}, n)
+	s.Seed = 5
+	if _, err := s.Shuffle(in); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Counters()
+	// Reads: N input records + all intermediate records.
+	interSize := 1 + itemSize + sealedOverhead
+	wantIn := int64(n*itemSize) + int64(s.Metrics.IntermediateItems*interSize)
+	if c.BytesIn != wantIn {
+		t.Errorf("BytesIn = %d, want %d", c.BytesIn, wantIn)
+	}
+	// Writes: all intermediate records + N output records.
+	wantOut := int64(s.Metrics.IntermediateItems*interSize) + int64(n*itemSize)
+	if c.BytesOut != wantOut {
+		t.Errorf("BytesOut = %d, want %d", c.BytesOut, wantOut)
+	}
+}
+
+func TestStashOverflowRetriesThenFails(t *testing.T) {
+	n := 1000
+	in := makeItems(n, 16)
+	// C=1 with B=4 means each input bucket can forward only 4 items; with
+	// S=0 the stash overflows immediately and every attempt fails.
+	s := &StashShuffle{Enclave: testEnclave(), Codec: Passthrough{},
+		B: 4, C: 1, W: 2, S: 0, MaxAttempts: 3, Seed: 1}
+	_, err := s.Shuffle(in)
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	if s.Metrics.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", s.Metrics.Attempts)
+	}
+}
+
+func TestStashAbsorbsOverflow(t *testing.T) {
+	// C is set below the typical per-pair maximum so the stash is
+	// exercised; the shuffle must still succeed and be a permutation.
+	n := 4000
+	in := makeItems(n, 16)
+	s := &StashShuffle{Enclave: testEnclave(), Codec: Passthrough{},
+		B: 10, C: 42, W: 3, S: 2000, Seed: 11}
+	out, err := s.Shuffle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPermutation(t, in, out)
+	if s.Metrics.StashPeak == 0 {
+		t.Error("stash never used; C too generous for this test to be meaningful")
+	}
+}
+
+func TestStashShuffleEnclaveTooSmall(t *testing.T) {
+	n := 10000
+	in := makeItems(n, 64)
+	tiny := sgx.New(1<<10, sgx.Measure("tiny"))
+	s := NewStashShuffle(tiny, Passthrough{}, n)
+	if _, err := s.Shuffle(in); !errors.Is(err, sgx.ErrOutOfEnclaveMemory) {
+		t.Fatalf("err = %v, want ErrOutOfEnclaveMemory", err)
+	}
+}
+
+func TestStashShuffleRejectsRaggedInput(t *testing.T) {
+	in := [][]byte{make([]byte, 16), make([]byte, 17)}
+	s := NewStashShuffle(testEnclave(), Passthrough{}, 2)
+	if _, err := s.Shuffle(in); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestStashShuffleRejectsEmptyInput(t *testing.T) {
+	s := NewStashShuffle(testEnclave(), Passthrough{}, 0)
+	if _, err := s.Shuffle(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestStashShuffleInvalidParams(t *testing.T) {
+	in := makeItems(10, 8)
+	for _, s := range []*StashShuffle{
+		{Enclave: testEnclave(), Codec: Passthrough{}, B: 0, C: 1, W: 1},
+		{Enclave: testEnclave(), Codec: Passthrough{}, B: 1, C: 0, W: 1},
+		{Enclave: testEnclave(), Codec: Passthrough{}, B: 1, C: 1, W: 0},
+	} {
+		if _, err := s.Shuffle(in); err == nil {
+			t.Errorf("invalid params B=%d C=%d W=%d accepted", s.B, s.C, s.W)
+		}
+	}
+}
+
+func TestRecommendedParamsScaleLikePaper(t *testing.T) {
+	// At the paper's sizes the recommended parameters should be close to
+	// the Table 1 scenarios.
+	b, c, w, s := RecommendedParams(10_000_000)
+	if b < 800 || b > 1200 {
+		t.Errorf("B at 10M = %d, want ~1000", b)
+	}
+	if c < 20 || c > 30 {
+		t.Errorf("C at 10M = %d, want ~25", c)
+	}
+	if w != 4 {
+		t.Errorf("W = %d, want 4", w)
+	}
+	if s < 30*b || s > 50*b {
+		t.Errorf("S at 10M = %d, want ~40B", s)
+	}
+}
+
+func TestRecommendedParamsSmallN(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 9, 100} {
+		b, c, w, s := RecommendedParams(n)
+		if b < 1 || c < 1 || w < 1 || s < 0 {
+			t.Errorf("RecommendedParams(%d) = %d,%d,%d,%d", n, b, c, w, s)
+		}
+	}
+}
+
+func TestStashEnclaveMemoryFreed(t *testing.T) {
+	n := 3000
+	in := makeItems(n, 32)
+	e := testEnclave()
+	s := NewStashShuffle(e, Passthrough{}, n)
+	s.Seed = 13
+	if _, err := s.Shuffle(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Used(); got != 0 {
+		t.Errorf("enclave memory leak: %d bytes still allocated", got)
+	}
+}
+
+func BenchmarkStashShuffle10K(b *testing.B) { benchStash(b, 10_000) }
+func BenchmarkStashShuffle50K(b *testing.B) { benchStash(b, 50_000) }
+
+func benchStash(b *testing.B, n int) {
+	in := makeItems(n, 72) // 64-byte data + 8-byte crowd ID payload
+	e := testEnclave()
+	b.SetBytes(int64(n * 72))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewStashShuffle(e, Passthrough{}, n)
+		if _, err := s.Shuffle(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

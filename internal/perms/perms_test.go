@@ -1,0 +1,99 @@
+package perms
+
+import (
+	"testing"
+
+	"prochlo/internal/workload"
+)
+
+func runDefault(t *testing.T, n int) Result {
+	t.Helper()
+	rng := workload.NewRand(21)
+	events := workload.DefaultPerms.Generate(rng, n)
+	return Run(rng, DefaultConfig(), events)
+}
+
+// TestTable4Shape verifies the structural properties of Table 4: per-action
+// noisy-threshold recovery is below the naive per-feature recovery,
+// notifications dominate, audio is rare, and every cell is nonzero at
+// sufficient scale.
+func TestTable4Shape(t *testing.T) {
+	res := runDefault(t, 2_000_000)
+	for f := 0; f < workload.NumFeatures; f++ {
+		if res.Naive[f] == 0 {
+			t.Fatalf("naive recovery for %s is zero", workload.FeatureName(f))
+		}
+		for a := 0; a < workload.NumActions; a++ {
+			if res.ByAction[a][f] > res.Naive[f] {
+				t.Errorf("%s/%s: per-action %d exceeds naive %d",
+					workload.FeatureName(f), workload.ActionName(a),
+					res.ByAction[a][f], res.Naive[f])
+			}
+			if res.ByAction[a][f] == 0 {
+				t.Errorf("%s/%s: zero pages recovered", workload.FeatureName(f), workload.ActionName(a))
+			}
+		}
+	}
+	if !(res.Naive[workload.FeatureNotification] > res.Naive[workload.FeatureGeolocation] &&
+		res.Naive[workload.FeatureGeolocation] > res.Naive[workload.FeatureAudio]) {
+		t.Errorf("feature ordering wrong: %v (want Notification > Geolocation > Audio)", res.Naive)
+	}
+	// Per-action recovery is a large fraction of naive (Table 4: ~5850 of
+	// 6610 for Geolocation), not a collapse.
+	for f := 0; f < workload.NumFeatures; f++ {
+		best := 0
+		for a := 0; a < workload.NumActions; a++ {
+			if res.ByAction[a][f] > best {
+				best = res.ByAction[a][f]
+			}
+		}
+		if best*3 < res.Naive[f] {
+			t.Errorf("%s: best action recovery %d collapsed vs naive %d",
+				workload.FeatureName(f), best, res.Naive[f])
+		}
+	}
+}
+
+func TestPrivacyGuarantee(t *testing.T) {
+	eps, err := DefaultConfig().Privacy(1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.3: "at least (eps=1.2, delta=1e-7)-differential privacy".
+	if eps > 1.3 {
+		t.Errorf("eps at delta=1e-7 = %.3f, want <= ~1.2 (paper)", eps)
+	}
+}
+
+func TestBitFlipDoesNotDistortCounts(t *testing.T) {
+	// With flip probability 1e-4 the recovered sets with and without
+	// flipping should be nearly identical.
+	rng := workload.NewRand(22)
+	events := workload.DefaultPerms.Generate(rng, 500_000)
+	noisy := Run(workload.NewRand(23), DefaultConfig(), events)
+	clean := Run(workload.NewRand(23), Config{Threshold: 100, D: 10, Sigma: 4, FlipProb: 0}, events)
+	for f := 0; f < workload.NumFeatures; f++ {
+		for a := 0; a < workload.NumActions; a++ {
+			d := noisy.ByAction[a][f] - clean.ByAction[a][f]
+			if d < 0 {
+				d = -d
+			}
+			if d > clean.ByAction[a][f]/10+5 {
+				t.Errorf("%s/%s: flip noise moved recovery from %d to %d",
+					workload.FeatureName(f), workload.ActionName(a),
+					clean.ByAction[a][f], noisy.ByAction[a][f])
+			}
+		}
+	}
+}
+
+func TestSmallDatasetRecoversNothing(t *testing.T) {
+	res := runDefault(t, 1000)
+	for f := 0; f < workload.NumFeatures; f++ {
+		for a := 0; a < workload.NumActions; a++ {
+			if res.ByAction[a][f] != 0 {
+				t.Errorf("recovered pages from a 1000-event dataset with threshold 100")
+			}
+		}
+	}
+}

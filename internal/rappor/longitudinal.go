@@ -1,0 +1,84 @@
+package rappor
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"math"
+	"math/rand/v2"
+)
+
+// This file implements RAPPOR's *permanent* randomized response (PRR), the
+// memoized first randomization layer that bounds a client's lifetime privacy
+// loss across unboundedly many reports of the same value. The Prochlo
+// evaluation's one-shot experiments use the instantaneous layer only (F=0);
+// PRR is provided for longitudinal deployments, matching the production
+// RAPPOR the paper's authors operated.
+
+// ClientState is a client's persistent RAPPOR state: a secret that
+// deterministically fixes the permanent randomized response of every
+// (value, bit) pair, so repeated reports of one value always pass through
+// the same memoized noise.
+type ClientState struct {
+	Secret [16]byte
+}
+
+// NewClientState draws a fresh client secret.
+func NewClientState(rng io.Reader) (*ClientState, error) {
+	var s ClientState
+	if _, err := io.ReadFull(rng, s.Secret[:]); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// prrBit returns the memoized PRR decision for one Bloom bit: with
+// probability f/2 permanently 1, with probability f/2 permanently 0,
+// otherwise the true bit — all derived from the client secret so the
+// decision never changes across reports.
+func (s *ClientState) prrBit(f float64, value []byte, bit int, truth bool) bool {
+	mac := hmac.New(sha256.New, s.Secret[:])
+	mac.Write([]byte("rappor-prr"))
+	mac.Write(value)
+	var ib [4]byte
+	binary.BigEndian.PutUint32(ib[:], uint32(bit))
+	mac.Write(ib[:])
+	u := float64(binary.BigEndian.Uint32(mac.Sum(nil))) / float64(math.MaxUint32)
+	switch {
+	case u < f/2:
+		return true
+	case u < f:
+		return false
+	default:
+		return truth
+	}
+}
+
+// EncodeLongitudinal produces a report with both randomization layers: the
+// memoized permanent response (parameter F) followed by the per-report
+// instantaneous response (P, Q). With F = 0 it reduces to Encode.
+func (p Params) EncodeLongitudinal(st *ClientState, rng *rand.Rand, cohort uint32, value []byte) []bool {
+	truth := make([]bool, p.BloomBits)
+	for _, b := range p.bloomBits(cohort, value) {
+		truth[b] = true
+	}
+	report := make([]bool, p.BloomBits)
+	for i := range truth {
+		prr := st.prrBit(p.F, value, i, truth[i])
+		pr := p.P
+		if prr {
+			pr = p.Q
+		}
+		report[i] = rng.Float64() < pr
+	}
+	return report
+}
+
+// EpsilonInfinity returns the lifetime (longitudinal) privacy bound of the
+// permanent randomized response with parameter f: no matter how many
+// reports a client sends about a value, the adversary's knowledge of the
+// true Bloom bits is bounded by 2k·ln((1-f/2)/(f/2)).
+func (p Params) EpsilonInfinity() float64 {
+	return 2 * float64(p.Hashes) * math.Log((1-p.F/2)/(p.F/2))
+}

@@ -1,0 +1,119 @@
+package rappor
+
+import (
+	crand "crypto/rand"
+	"math"
+	"testing"
+)
+
+func TestPRRDeterministicPerClientValue(t *testing.T) {
+	st, err := NewClientState(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < 32; bit++ {
+		a := st.prrBit(0.5, []byte("value"), bit, true)
+		b := st.prrBit(0.5, []byte("value"), bit, true)
+		if a != b {
+			t.Fatal("PRR decision changed across calls (memoization broken)")
+		}
+	}
+}
+
+func TestPRRDiffersAcrossClients(t *testing.T) {
+	a, _ := NewClientState(crand.Reader)
+	b, _ := NewClientState(crand.Reader)
+	diff := 0
+	for bit := 0; bit < 256; bit++ {
+		if a.prrBit(1.0, []byte("v"), bit, true) != b.prrBit(1.0, []byte("v"), bit, true) {
+			diff++
+		}
+	}
+	// With f=1 every bit is a fair coin per client; two clients should
+	// disagree on roughly half.
+	if diff < 80 || diff > 176 {
+		t.Errorf("clients disagree on %d/256 fully-randomized bits, want ~128", diff)
+	}
+}
+
+func TestPRRRates(t *testing.T) {
+	st, _ := NewClientState(crand.Reader)
+	const f = 0.5
+	ones, zeros := 0, 0
+	const n = 4000
+	for bit := 0; bit < n; bit++ {
+		if st.prrBit(f, []byte("x"), bit, true) {
+			ones++
+		}
+		if st.prrBit(f, []byte("y"), bit, false) {
+			zeros++
+		}
+	}
+	// True bit 1: reported 1 with prob 1 - f/2 = 0.75.
+	if r := float64(ones) / n; math.Abs(r-0.75) > 0.03 {
+		t.Errorf("true-1 PRR rate = %.3f, want 0.75", r)
+	}
+	// True bit 0: reported 1 with prob f/2 = 0.25.
+	if r := float64(zeros) / n; math.Abs(r-0.25) > 0.03 {
+		t.Errorf("true-0 PRR rate = %.3f, want 0.25", r)
+	}
+}
+
+// TestLongitudinalReportsBounded: two reports of the same value share the
+// same PRR layer, so their agreement is far above that of reports of
+// different values — yet each individual report still carries IRR noise.
+func TestLongitudinalReportsBounded(t *testing.T) {
+	p := DefaultParams()
+	p.F = 0.5
+	st, _ := NewClientState(crand.Reader)
+	rng := newRNG()
+	a := p.EncodeLongitudinal(st, rng, 0, []byte("value"))
+	b := p.EncodeLongitudinal(st, rng, 0, []byte("value"))
+	identical := true
+	for i := range a {
+		if a[i] != b[i] {
+			identical = false
+		}
+	}
+	if identical {
+		t.Error("two longitudinal reports identical; IRR layer missing")
+	}
+}
+
+func TestEpsilonInfinity(t *testing.T) {
+	p := Params{Hashes: 2, F: 0.5}
+	// 2*2*ln(0.75/0.25) = 4*ln(3) ≈ 4.394.
+	if got := p.EpsilonInfinity(); math.Abs(got-4*math.Log(3)) > 1e-9 {
+		t.Errorf("EpsilonInfinity = %v, want %v", got, 4*math.Log(3))
+	}
+	// Stronger f => smaller lifetime epsilon.
+	strong := Params{Hashes: 2, F: 0.9}
+	if strong.EpsilonInfinity() >= p.EpsilonInfinity() {
+		t.Error("larger f should give smaller lifetime epsilon")
+	}
+}
+
+func TestEncodeLongitudinalReducesToEncodeWithZeroF(t *testing.T) {
+	p := DefaultParams() // F = 0
+	st, _ := NewClientState(crand.Reader)
+	rng := newRNG()
+	// With F=0 the PRR layer is the identity; statistically the report
+	// rates must match Encode's. Check the true bits' rate.
+	trueBits := map[int]bool{}
+	for _, b := range p.bloomBits(0, []byte("v")) {
+		trueBits[b] = true
+	}
+	onesTrue, n := 0, 3000
+	for i := 0; i < n; i++ {
+		rep := p.EncodeLongitudinal(st, rng, 0, []byte("v"))
+		for b := range trueBits {
+			if rep[b] {
+				onesTrue++
+			}
+		}
+	}
+	rate := float64(onesTrue) / float64(n*len(trueBits))
+	if math.Abs(rate-p.Q) > 0.03 {
+		t.Errorf("true-bit rate = %.3f, want q = %.3f", rate, p.Q)
+	}
+}

@@ -1,0 +1,228 @@
+// Package rappor implements the RAPPOR local-differential-privacy mechanism
+// (Erlingsson, Pihur, Korolova, CCS 2014) that Prochlo's evaluation uses as
+// its baseline: values are hashed into a per-cohort Bloom filter and each
+// bit is reported through randomized response. The decoder estimates
+// per-candidate counts from the aggregated bit counts with bias correction
+// and a significance test, and greedily deflates Bloom-filter collisions.
+//
+// Prochlo's Figure 5 compares RAPPOR (and RAPPOR over partitioned report
+// sets) against the ESA pipeline on a long-tail word distribution; package
+// vocab drives this implementation to regenerate that comparison.
+package rappor
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Params configures a RAPPOR collection.
+type Params struct {
+	BloomBits int     // m: bits per Bloom filter
+	Hashes    int     // k: hash functions per value
+	Cohorts   int     // number of cohorts (hash-function families)
+	P         float64 // P(report 1 | true bit 0)
+	Q         float64 // P(report 1 | true bit 1)
+	F         float64 // permanent randomized response; 0 = one-shot reporting
+}
+
+// DefaultParams returns the configuration used by the Vocab experiments:
+// 128-bit Bloom filters, 2 hashes, 32 cohorts, and p/q calibrated for the
+// paper's ε = 2 one-time privacy budget.
+func DefaultParams() Params {
+	p := Params{BloomBits: 128, Hashes: 2, Cohorts: 32, P: 0.25}
+	p.Q = QForEpsilon(2.0, p.Hashes, p.P)
+	return p
+}
+
+// Epsilon returns the one-time local differential privacy parameter of the
+// instantaneous randomized response: two distinct values differ in at most
+// 2k Bloom bits, each contributing ln(q(1-p)/(p(1-q))).
+func (p Params) Epsilon() float64 {
+	return 2 * float64(p.Hashes) * math.Log(p.Q*(1-p.P)/(p.P*(1-p.Q)))
+}
+
+// QForEpsilon solves Epsilon() = eps for q at the given k and p.
+func QForEpsilon(eps float64, k int, p float64) float64 {
+	ratio := math.Exp(eps / (2 * float64(k)))
+	// q(1-p) / (p(1-q)) = ratio  =>  q = ratio*p / (1 - p + ratio*p)
+	return ratio * p / (1 - p + ratio*p)
+}
+
+// bloomBits returns the k bit positions of value in the given cohort.
+func (p Params) bloomBits(cohort uint32, value []byte) []int {
+	h := sha256.New()
+	var cb [4]byte
+	binary.BigEndian.PutUint32(cb[:], cohort)
+	h.Write(cb[:])
+	h.Write(value)
+	sum := h.Sum(nil)
+	bits := make([]int, p.Hashes)
+	for i := 0; i < p.Hashes; i++ {
+		v := binary.BigEndian.Uint32(sum[4*i%len(sum):])
+		// Rotate through the digest for many hashes.
+		bits[i] = int(v+uint32(i)*0x9e3779b9) % p.BloomBits
+	}
+	return bits
+}
+
+// Encode produces one client's randomized report: the Bloom filter of value
+// in the client's cohort, passed through per-bit randomized response.
+func (p Params) Encode(rng *rand.Rand, cohort uint32, value []byte) []bool {
+	true_ := make([]bool, p.BloomBits)
+	for _, b := range p.bloomBits(cohort, value) {
+		true_[b] = true
+	}
+	report := make([]bool, p.BloomBits)
+	for i, t := range true_ {
+		pr := p.P
+		if t {
+			pr = p.Q
+		}
+		report[i] = rng.Float64() < pr
+	}
+	return report
+}
+
+// Aggregate accumulates randomized reports per cohort.
+type Aggregate struct {
+	Params  Params
+	Counts  [][]int // [cohort][bit] count of 1s
+	Reports []int   // [cohort] number of reports
+}
+
+// NewAggregate creates an empty aggregate for the given parameters.
+func NewAggregate(p Params) *Aggregate {
+	counts := make([][]int, p.Cohorts)
+	for i := range counts {
+		counts[i] = make([]int, p.BloomBits)
+	}
+	return &Aggregate{Params: p, Counts: counts, Reports: make([]int, p.Cohorts)}
+}
+
+// Add accumulates one report.
+func (a *Aggregate) Add(cohort uint32, report []bool) {
+	c := int(cohort) % a.Params.Cohorts
+	a.Reports[c]++
+	for i, bit := range report {
+		if bit {
+			a.Counts[c][i]++
+		}
+	}
+}
+
+// Collect is a convenience that encodes and aggregates n values drawn from
+// next(), assigning cohorts round-robin.
+func Collect(p Params, rng *rand.Rand, n int, next func(i int) []byte) *Aggregate {
+	agg := NewAggregate(p)
+	for i := 0; i < n; i++ {
+		cohort := uint32(i % p.Cohorts)
+		agg.Add(cohort, p.Encode(rng, cohort, next(i)))
+	}
+	return agg
+}
+
+// Estimate is the decoder's per-candidate result.
+type Estimate struct {
+	Candidate string
+	Count     float64 // estimated number of true reports
+	StdDev    float64 // standard deviation of the estimate under the null
+}
+
+// Decode estimates the count of every candidate value from the aggregate.
+// For each candidate it averages the bias-corrected estimates of its Bloom
+// bits per cohort (taking the minimum across the candidate's k bits to
+// resist collisions), then greedily deflates shared bits in descending
+// count order. Only candidates whose estimate exceeds z standard deviations
+// are returned (z = 3 is a reasonable default; Figure 5 uses the count of
+// such significant candidates as its utility metric).
+func Decode(a *Aggregate, candidates [][]byte, z float64) []Estimate {
+	p := a.Params
+	denom := p.Q - p.P
+	// Per-cohort, per-bit estimate of the number of reports whose true
+	// Bloom filter sets the bit: x = (c - p*N) / (q - p).
+	est := make([][]float64, p.Cohorts)
+	for c := range est {
+		est[c] = make([]float64, p.BloomBits)
+		for b := range est[c] {
+			est[c][b] = (float64(a.Counts[c][b]) - p.P*float64(a.Reports[c])) / denom
+		}
+	}
+	type cand struct {
+		idx   int
+		bits  [][]int // per cohort
+		count float64
+	}
+	cands := make([]cand, len(candidates))
+	for i, v := range candidates {
+		bits := make([][]int, p.Cohorts)
+		for c := 0; c < p.Cohorts; c++ {
+			bits[c] = p.bloomBits(uint32(c), v)
+		}
+		cands[i] = cand{idx: i, bits: bits}
+	}
+	score := func(cd *cand) float64 {
+		total := 0.0
+		for c := 0; c < p.Cohorts; c++ {
+			// Minimum across the candidate's bits: a value is present
+			// in a cohort only to the extent all its bits are.
+			m := math.Inf(1)
+			for _, b := range cd.bits[c] {
+				if est[c][b] < m {
+					m = est[c][b]
+				}
+			}
+			if m > 0 {
+				total += m
+			}
+		}
+		return total
+	}
+	for i := range cands {
+		cands[i].count = score(&cands[i])
+	}
+	// Greedy deflation: strongest candidate claims its mass, which is
+	// subtracted from its bits before weaker candidates are scored.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].count > cands[j].count })
+	var out []Estimate
+	for i := range cands {
+		cd := &cands[i]
+		cd.count = score(cd) // rescore after earlier deflations
+		if cd.count <= 0 {
+			continue
+		}
+		sd := nullStdDev(p, a)
+		if cd.count > z*sd {
+			out = append(out, Estimate{
+				Candidate: string(candidates[cd.idx]),
+				Count:     cd.count,
+				StdDev:    sd,
+			})
+			perCohort := cd.count / float64(p.Cohorts)
+			for c := 0; c < p.Cohorts; c++ {
+				for _, b := range cd.bits[c] {
+					est[c][b] -= perCohort
+				}
+			}
+		}
+	}
+	return out
+}
+
+// nullStdDev returns the standard deviation of a candidate's count estimate
+// when the candidate's true count is zero: per cohort and bit, the report
+// count is Binomial(N_c, p), so the bit estimate has variance
+// N_c·p(1-p)/(q-p)²; summing cohorts gives the candidate-level null spread.
+func nullStdDev(p Params, a *Aggregate) float64 {
+	denom := (p.Q - p.P) * (p.Q - p.P)
+	variance := 0.0
+	for c := 0; c < p.Cohorts; c++ {
+		variance += float64(a.Reports[c]) * p.P * (1 - p.P) / denom
+	}
+	// Taking the minimum over the candidate's k bits (rather than the sum)
+	// shrinks the null spread roughly by k; clipping at zero makes the
+	// resulting threshold conservative.
+	return math.Sqrt(variance / float64(p.Hashes))
+}

@@ -1,0 +1,192 @@
+package rappor
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func newRNG() *rand.Rand { return rand.New(rand.NewPCG(5, 17)) }
+
+func TestEpsilonCalibration(t *testing.T) {
+	p := DefaultParams()
+	if eps := p.Epsilon(); math.Abs(eps-2.0) > 1e-9 {
+		t.Errorf("DefaultParams epsilon = %v, want 2.0 (paper's RAPPOR setting)", eps)
+	}
+}
+
+func TestQForEpsilonInverts(t *testing.T) {
+	for _, eps := range []float64{0.5, 1, 2, 4} {
+		for _, k := range []int{1, 2, 4} {
+			p := Params{BloomBits: 64, Hashes: k, Cohorts: 8, P: 0.3}
+			p.Q = QForEpsilon(eps, k, p.P)
+			if got := p.Epsilon(); math.Abs(got-eps) > 1e-9 {
+				t.Errorf("k=%d eps=%v: round trip = %v", k, eps, got)
+			}
+			if p.Q <= p.P || p.Q >= 1 {
+				t.Errorf("k=%d eps=%v: q=%v out of range", k, eps, p.Q)
+			}
+		}
+	}
+}
+
+func TestBloomBitsDeterministicPerCohort(t *testing.T) {
+	p := DefaultParams()
+	a := p.bloomBits(3, []byte("word"))
+	b := p.bloomBits(3, []byte("word"))
+	c := p.bloomBits(4, []byte("word"))
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Error("bloom bits not deterministic")
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Error("different cohorts produced identical bits (hash families not distinct)")
+	}
+	for _, bit := range a {
+		if bit < 0 || bit >= p.BloomBits {
+			t.Errorf("bit %d out of range", bit)
+		}
+	}
+}
+
+func TestEncodeBitFlipRates(t *testing.T) {
+	p := Params{BloomBits: 64, Hashes: 2, Cohorts: 1, P: 0.25, Q: 0.75}
+	rng := newRNG()
+	const n = 20000
+	ones := make([]int, p.BloomBits)
+	for i := 0; i < n; i++ {
+		rep := p.Encode(rng, 0, []byte("v"))
+		for b, set := range rep {
+			if set {
+				ones[b]++
+			}
+		}
+	}
+	trueBits := map[int]bool{}
+	for _, b := range p.bloomBits(0, []byte("v")) {
+		trueBits[b] = true
+	}
+	for b, c := range ones {
+		rate := float64(c) / n
+		want := p.P
+		if trueBits[b] {
+			want = p.Q
+		}
+		if math.Abs(rate-want) > 0.02 {
+			t.Errorf("bit %d rate = %.3f, want %.2f", b, rate, want)
+		}
+	}
+}
+
+// TestDecodeRecoversHeavyHitters: frequent values are recovered, absent ones
+// are not falsely reported.
+func TestDecodeRecoversHeavyHitters(t *testing.T) {
+	p := DefaultParams()
+	rng := newRNG()
+	// 3 heavy values and a tail of rare ones.
+	values := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	const n = 30000
+	agg := Collect(p, rng, n, func(i int) []byte {
+		switch {
+		case i%10 < 5:
+			return values[0]
+		case i%10 < 8:
+			return values[1]
+		default:
+			return values[2]
+		}
+	})
+	candidates := append([][]byte{}, values...)
+	for i := 0; i < 50; i++ {
+		candidates = append(candidates, []byte(fmt.Sprintf("absent-%d", i)))
+	}
+	ests := Decode(agg, candidates, 4)
+	got := map[string]float64{}
+	for _, e := range ests {
+		got[e.Candidate] = e.Count
+	}
+	for i, v := range values {
+		if _, ok := got[string(v)]; !ok {
+			t.Errorf("heavy value %q not recovered", v)
+		}
+		_ = i
+	}
+	for name := range got {
+		if len(name) > 6 && name[:6] == "absent" {
+			t.Errorf("absent value %q falsely recovered with count %.0f", name, got[name])
+		}
+	}
+	// Counts should be ordered alpha > beta > gamma.
+	if !(got["alpha"] > got["beta"] && got["beta"] > got["gamma"]) {
+		t.Errorf("count ordering wrong: %v", got)
+	}
+	// Alpha's estimate should be in the right ballpark (50% of n).
+	if math.Abs(got["alpha"]-0.5*n) > 0.15*n {
+		t.Errorf("alpha estimate = %.0f, want ~%d", got["alpha"], n/2)
+	}
+}
+
+// TestNoiseFloorHidesRareValues is the paper's core criticism of local DP
+// (§2.2): a value appearing ~sqrt(N) times is lost in the binomial noise.
+func TestNoiseFloorHidesRareValues(t *testing.T) {
+	p := DefaultParams()
+	rng := newRNG()
+	const n = 40000
+	rare := []byte("needle")
+	agg := Collect(p, rng, n, func(i int) []byte {
+		if i < 20 { // 20 occurrences, well under sqrt(40000)=200
+			return rare
+		}
+		return []byte(fmt.Sprintf("filler-%d", i%200))
+	})
+	ests := Decode(agg, [][]byte{rare}, 4)
+	for _, e := range ests {
+		if e.Candidate == string(rare) {
+			t.Errorf("value with 20/%d occurrences recovered despite noise floor (count %.0f)", n, e.Count)
+		}
+	}
+}
+
+func TestAggregateAdd(t *testing.T) {
+	p := Params{BloomBits: 8, Hashes: 1, Cohorts: 2, P: 0, Q: 1}
+	agg := NewAggregate(p)
+	rng := newRNG()
+	agg.Add(0, p.Encode(rng, 0, []byte("x")))
+	agg.Add(1, p.Encode(rng, 1, []byte("x")))
+	if agg.Reports[0] != 1 || agg.Reports[1] != 1 {
+		t.Errorf("report counts = %v", agg.Reports)
+	}
+	// With p=0, q=1 the report is exactly the Bloom filter.
+	total := 0
+	for _, c := range agg.Counts[0] {
+		total += c
+	}
+	if total != p.Hashes {
+		t.Errorf("cohort 0 bit count = %d, want %d", total, p.Hashes)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	p := DefaultParams()
+	rng := newRNG()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Encode(rng, uint32(i%32), []byte("benchmark-word"))
+	}
+}
+
+func BenchmarkDecode1000Candidates(b *testing.B) {
+	p := DefaultParams()
+	rng := newRNG()
+	agg := Collect(p, rng, 10000, func(i int) []byte {
+		return []byte(fmt.Sprintf("w%d", i%100))
+	})
+	cands := make([][]byte, 1000)
+	for i := range cands {
+		cands[i] = []byte(fmt.Sprintf("w%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(agg, cands, 4)
+	}
+}

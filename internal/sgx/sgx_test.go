@@ -1,0 +1,198 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAllocWithinBudget(t *testing.T) {
+	e := New(1000, Measure("test"))
+	if err := e.Alloc(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Alloc(400); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Alloc(1); !errors.Is(err, ErrOutOfEnclaveMemory) {
+		t.Fatalf("over-budget alloc: err = %v, want ErrOutOfEnclaveMemory", err)
+	}
+	e.Free(400)
+	if err := e.Alloc(300); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Used(); got != 900 {
+		t.Errorf("Used = %d, want 900", got)
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	e := New(1000, Measure("test"))
+	e.Alloc(700)
+	e.Free(700)
+	e.Alloc(100)
+	if got := e.PeakMemory(); got != 700 {
+		t.Errorf("PeakMemory = %d, want 700", got)
+	}
+	e.ResetPeak()
+	if got := e.PeakMemory(); got != 100 {
+		t.Errorf("after ResetPeak, PeakMemory = %d, want 100", got)
+	}
+}
+
+func TestFreeUnallocatedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Free of unallocated memory did not panic")
+		}
+	}()
+	e := New(1000, Measure("test"))
+	e.Free(1)
+}
+
+func TestCounters(t *testing.T) {
+	e := New(1000, Measure("test"))
+	e.ReadUntrusted(100)
+	e.WriteUntrusted(50)
+	e.OCall()
+	e.CountSeal()
+	e.CountOpen()
+	e.CountPubKey()
+	c := e.Counters()
+	if c.BytesIn != 100 || c.BytesOut != 50 || c.OCalls != 1 ||
+		c.SealOps != 1 || c.OpenOps != 1 || c.PubKeyOps != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+	e.ResetCounters()
+	if e.Counters() != (Counters{}) {
+		t.Error("ResetCounters did not zero counters")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{BytesIn: 1, BytesOut: 2, OCalls: 3, SealOps: 4, OpenOps: 5, PubKeyOps: 6}
+	b := a
+	b.Add(a)
+	want := Counters{BytesIn: 2, BytesOut: 4, OCalls: 6, SealOps: 8, OpenOps: 10, PubKeyOps: 12}
+	if b != want {
+		t.Errorf("Add = %+v, want %+v", b, want)
+	}
+}
+
+func TestConcurrentMetering(t *testing.T) {
+	e := New(1<<20, Measure("test"))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				e.ReadUntrusted(1)
+				e.WriteUntrusted(1)
+			}
+		}()
+	}
+	wg.Wait()
+	c := e.Counters()
+	if c.BytesIn != 8000 || c.BytesOut != 8000 {
+		t.Errorf("concurrent counters = %+v, want 8000/8000", c)
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	e := New(1000, Measure("shuffler"))
+	pt := []byte("enclave state")
+	sealed, err := e.Seal(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Unseal(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("unsealed %q, want %q", got, pt)
+	}
+}
+
+func TestUnsealOtherEnclaveFails(t *testing.T) {
+	a := New(1000, Measure("shuffler"))
+	b := New(1000, Measure("shuffler"))
+	sealed, err := a.Seal([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Unseal(sealed); err == nil {
+		t.Error("enclave with a different sealing key unsealed the blob")
+	}
+}
+
+func TestQuoteFlow(t *testing.T) {
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(DefaultEPC, Measure("stash-shuffler-v1"))
+	ca.Provision(e)
+
+	pub := []byte("PK_shuffler")
+	q, err := e.GenerateQuote(pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(ca.PublicKey(), q, Measure("stash-shuffler-v1")); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+	if !bytes.Equal(q.ReportData, pub) {
+		t.Error("quote does not carry report data")
+	}
+}
+
+func TestQuoteWrongMeasurementRejected(t *testing.T) {
+	ca, _ := NewCA()
+	e := New(DefaultEPC, Measure("evil-shuffler"))
+	ca.Provision(e)
+	q, err := e.GenerateQuote([]byte("PK"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(ca.PublicKey(), q, Measure("stash-shuffler-v1")); err == nil {
+		t.Error("quote for wrong code measurement accepted")
+	}
+}
+
+func TestQuoteWrongCARejected(t *testing.T) {
+	ca1, _ := NewCA()
+	ca2, _ := NewCA()
+	e := New(DefaultEPC, Measure("shuffler"))
+	ca1.Provision(e)
+	q, err := e.GenerateQuote([]byte("PK"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(ca2.PublicKey(), q, Measure("shuffler")); err == nil {
+		t.Error("quote verified under the wrong CA key")
+	}
+}
+
+func TestQuoteTamperedReportDataRejected(t *testing.T) {
+	ca, _ := NewCA()
+	e := New(DefaultEPC, Measure("shuffler"))
+	ca.Provision(e)
+	q, err := e.GenerateQuote([]byte("PK_real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.ReportData = []byte("PK_evil")
+	if err := VerifyQuote(ca.PublicKey(), q, Measure("shuffler")); err == nil {
+		t.Error("tampered report data accepted")
+	}
+}
+
+func TestUnprovisionedEnclaveCannotQuote(t *testing.T) {
+	e := New(DefaultEPC, Measure("shuffler"))
+	if _, err := e.GenerateQuote([]byte("PK")); err == nil {
+		t.Error("unprovisioned enclave produced a quote")
+	}
+}

@@ -1,0 +1,234 @@
+// Package shuffler implements the ESA intermediary (§3.3): it strips
+// implicit metadata, batches reports, shuffles them, applies (randomized)
+// crowd thresholding, peels the outer encryption layer, and forwards the
+// anonymous inner ciphertexts to the analyzer. Three variants are provided:
+//
+//   - Shuffler: the plain, trusted-third-party shuffler used by the §5 case
+//     studies ("the four case studies use non-oblivious shufflers");
+//   - SGXShuffler: the hardened variant of §4.1, which runs the Stash
+//     Shuffle and the §4.1.5 crowd thresholding inside a (simulated) SGX
+//     enclave and attests its public key per §4.1.1;
+//   - Shuffler1/Shuffler2: the split shuffler of §4.3, thresholding on
+//     blinded crowd IDs so neither party sees them in the clear.
+package shuffler
+
+import (
+	crand "crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand/v2"
+
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/elgamal"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/dp"
+)
+
+// Stats summarizes one processed batch; the shuffler's host learns only the
+// global selectivity of thresholding (§4.1.5), which these stats model.
+type Stats struct {
+	Received        int // envelopes in the batch
+	Undecryptable   int // envelopes that failed the outer layer
+	Crowds          int // distinct crowd IDs seen
+	CrowdsForwarded int // crowds surviving the threshold
+	Forwarded       int // reports forwarded to the analyzer
+}
+
+// Threshold configures crowd-cardinality filtering. Exactly one mode is
+// active: if Noise.Sigma > 0 the randomized thresholding of §3.5 is applied
+// (drop d ~ round(N(D, sigma²)) items, then require >= T); otherwise a naive
+// cardinality threshold of Naive is applied; Naive == 0 disables
+// thresholding entirely (the Vocab "NoCrowd" configuration).
+type Threshold struct {
+	Noise dp.ThresholdNoise
+	Naive int
+}
+
+// Apply returns the number of reports from a crowd of the given cardinality
+// that should be forwarded, and whether the crowd survives.
+func (t Threshold) Apply(rng *rand.Rand, count int) (int, bool) {
+	if t.Noise.Sigma > 0 {
+		return t.Noise.Survives(rng, count)
+	}
+	if t.Naive > 0 {
+		if count >= t.Naive {
+			return count, true
+		}
+		return 0, false
+	}
+	return count, true
+}
+
+// MinBatch is the default minimum batch size a shuffler will process;
+// batching over an epoch is the first defense against traffic analysis.
+const DefaultMinBatch = 2
+
+// Shuffler is the plain single-shuffler stage.
+type Shuffler struct {
+	Priv      *hybrid.PrivateKey
+	Threshold Threshold
+	Rand      *rand.Rand
+	MinBatch  int // minimum envelopes per batch; 0 selects DefaultMinBatch
+}
+
+// ErrBatchTooSmall is returned when a batch is below the minimum size;
+// callers should keep batching (§3.3: "the shuffler batches data items for a
+// while ... or until the batch is large enough").
+var ErrBatchTooSmall = errors.New("shuffler: batch below minimum size")
+
+// Process strips metadata, peels the outer layer, groups by crowd ID,
+// applies thresholding, and returns the surviving inner ciphertexts in
+// shuffled order.
+func (s *Shuffler) Process(batch []core.Envelope) ([][]byte, Stats, error) {
+	min := s.MinBatch
+	if min == 0 {
+		min = DefaultMinBatch
+	}
+	if len(batch) < min {
+		return nil, Stats{}, fmt.Errorf("%w: %d < %d", ErrBatchTooSmall, len(batch), min)
+	}
+	stats := Stats{Received: len(batch)}
+	type opened struct {
+		crowd core.CrowdID
+		inner []byte
+	}
+	items := make([]opened, 0, len(batch))
+	for i := range batch {
+		batch[i].StripMetadata()
+		payload, err := s.Priv.Open(batch[i].Blob, nil)
+		if err != nil || len(payload) < core.CrowdIDSize {
+			stats.Undecryptable++
+			continue
+		}
+		var o opened
+		copy(o.crowd[:], payload[:core.CrowdIDSize])
+		o.inner = payload[core.CrowdIDSize:]
+		items = append(items, o)
+	}
+	// Group by crowd ID and threshold.
+	groups := make(map[core.CrowdID][]int)
+	for i, it := range items {
+		groups[it.crowd] = append(groups[it.crowd], i)
+	}
+	stats.Crowds = len(groups)
+	var out [][]byte
+	for _, idxs := range groups {
+		keep, ok := s.Threshold.Apply(s.Rand, len(idxs))
+		if !ok {
+			continue
+		}
+		stats.CrowdsForwarded++
+		// Drop a random subset down to the post-noise count.
+		s.Rand.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		if keep > len(idxs) {
+			keep = len(idxs)
+		}
+		for _, i := range idxs[:keep] {
+			out = append(out, items[i].inner)
+		}
+	}
+	// Shuffle the batch so output order carries no grouping signal.
+	s.Rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	stats.Forwarded = len(out)
+	return out, stats, nil
+}
+
+// --- Split shuffler with blinded crowd IDs (§4.3) ---
+
+// Shuffler1 blinds crowd-ID ciphertexts with its secret exponent, strips
+// metadata, and shuffles. It cannot decrypt crowd IDs (no Shuffler 2 private
+// key) nor data (no analyzer key).
+type Shuffler1 struct {
+	Alpha *big.Int // blinding exponent, fixed per batch epoch
+	Rand  *rand.Rand
+}
+
+// NewShuffler1 draws a fresh blinding exponent.
+func NewShuffler1(rng *rand.Rand) (*Shuffler1, error) {
+	alpha, err := elgamal.RandomScalar(crand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Shuffler1{Alpha: alpha, Rand: rng}, nil
+}
+
+// Process blinds and shuffles a batch, forwarding it for Shuffler 2.
+func (s *Shuffler1) Process(batch []core.BlindedEnvelope) ([]core.BlindedEnvelope, error) {
+	out := make([]core.BlindedEnvelope, 0, len(batch))
+	for i := range batch {
+		batch[i].StripMetadata()
+		c1, err := elgamal.ParsePoint(batch[i].CrowdC1)
+		if err != nil {
+			continue
+		}
+		c2, err := elgamal.ParsePoint(batch[i].CrowdC2)
+		if err != nil {
+			continue
+		}
+		blinded := elgamal.Blind(elgamal.Ciphertext{C1: c1, C2: c2}, s.Alpha)
+		out = append(out, core.BlindedEnvelope{
+			CrowdC1: blinded.C1.Bytes(),
+			CrowdC2: blinded.C2.Bytes(),
+			Blob:    batch[i].Blob,
+		})
+	}
+	s.Rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+// Shuffler2 decrypts blinded crowd-ID pseudonyms, thresholds on them, peels
+// its encryption layer, and forwards the inner ciphertexts. It never sees a
+// crowd ID in the clear: only α·H(crowdID), useless for dictionary attacks
+// without Shuffler 1's α.
+type Shuffler2 struct {
+	Blinding  *elgamal.KeyPair
+	Priv      *hybrid.PrivateKey
+	Threshold Threshold
+	Rand      *rand.Rand
+}
+
+// Process thresholds on pseudonyms and returns surviving inner ciphertexts,
+// shuffled.
+func (s *Shuffler2) Process(batch []core.BlindedEnvelope) ([][]byte, Stats, error) {
+	stats := Stats{Received: len(batch)}
+	type opened struct {
+		pseudo string
+		inner  []byte
+	}
+	items := make([]opened, 0, len(batch))
+	for i := range batch {
+		c1, err1 := elgamal.ParsePoint(batch[i].CrowdC1)
+		c2, err2 := elgamal.ParsePoint(batch[i].CrowdC2)
+		inner, err3 := s.Priv.Open(batch[i].Blob, nil)
+		if err1 != nil || err2 != nil || err3 != nil {
+			stats.Undecryptable++
+			continue
+		}
+		pseudo := s.Blinding.BlindedPseudonym(elgamal.Ciphertext{C1: c1, C2: c2})
+		items = append(items, opened{pseudo: pseudo, inner: inner})
+	}
+	groups := make(map[string][]int)
+	for i, it := range items {
+		groups[it.pseudo] = append(groups[it.pseudo], i)
+	}
+	stats.Crowds = len(groups)
+	var out [][]byte
+	for _, idxs := range groups {
+		keep, ok := s.Threshold.Apply(s.Rand, len(idxs))
+		if !ok {
+			continue
+		}
+		stats.CrowdsForwarded++
+		s.Rand.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		if keep > len(idxs) {
+			keep = len(idxs)
+		}
+		for _, i := range idxs[:keep] {
+			out = append(out, items[i].inner)
+		}
+	}
+	s.Rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	stats.Forwarded = len(out)
+	return out, stats, nil
+}

@@ -1,0 +1,359 @@
+package shuffler
+
+import (
+	"bytes"
+	crand "crypto/rand"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/elgamal"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/dp"
+	"prochlo/internal/encoder"
+	"prochlo/internal/sgx"
+)
+
+func newRNG() *rand.Rand { return rand.New(rand.NewPCG(11, 13)) }
+
+type fixture struct {
+	shufPriv *hybrid.PrivateKey
+	anlzPriv *hybrid.PrivateKey
+	client   *encoder.Client
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	shuf, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlz, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		shufPriv: shuf,
+		anlzPriv: anlz,
+		client: &encoder.Client{
+			ShufflerKey: shuf.Public(), AnalyzerKey: anlz.Public(), Rand: crand.Reader,
+		},
+	}
+}
+
+// submit encodes count reports with the given crowd label and data.
+func (f *fixture) submit(t *testing.T, crowd string, data []byte, count int) []core.Envelope {
+	t.Helper()
+	envs := make([]core.Envelope, count)
+	for i := range envs {
+		env, err := f.client.Encode(core.Report{CrowdID: core.HashCrowdID(crowd), Data: data})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.SourceIP = fmt.Sprintf("10.0.0.%d", i%250)
+		env.ArrivalTime = time.Now()
+		env.SeqNo = i
+		envs[i] = env
+	}
+	return envs
+}
+
+func (f *fixture) openAll(t *testing.T, inner [][]byte) []string {
+	t.Helper()
+	out := make([]string, 0, len(inner))
+	for _, ct := range inner {
+		pt, err := f.anlzPriv.Open(ct, nil)
+		if err != nil {
+			t.Fatalf("analyzer failed to open forwarded record: %v", err)
+		}
+		out = append(out, string(pt))
+	}
+	return out
+}
+
+func TestShufflerThresholding(t *testing.T) {
+	f := newFixture(t)
+	batch := f.submit(t, "big", []byte("common-value...................."), 100)
+	batch = append(batch, f.submit(t, "tiny", []byte("rare-value......................"), 3)...)
+	s := &Shuffler{Priv: f.shufPriv, Threshold: Threshold{Noise: dp.PaperThresholdNoise}, Rand: newRNG()}
+	inner, stats, err := s.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Received != 103 || stats.Crowds != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.CrowdsForwarded != 1 {
+		t.Errorf("CrowdsForwarded = %d, want 1 (tiny crowd must be dropped)", stats.CrowdsForwarded)
+	}
+	values := f.openAll(t, inner)
+	for _, v := range values {
+		if v != "common-value...................." {
+			t.Fatalf("rare value leaked through thresholding: %q", v)
+		}
+	}
+	// Noisy thresholding drops ~10 items from the big crowd.
+	if len(values) < 70 || len(values) > 100 {
+		t.Errorf("forwarded %d of 100, want ~90", len(values))
+	}
+}
+
+func TestShufflerStripsMetadata(t *testing.T) {
+	f := newFixture(t)
+	batch := f.submit(t, "c", []byte("data............................"), 30)
+	s := &Shuffler{Priv: f.shufPriv, Threshold: Threshold{}, Rand: newRNG()}
+	if _, _, err := s.Process(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if batch[i].SourceIP != "" || !batch[i].ArrivalTime.IsZero() || batch[i].SeqNo != 0 {
+			t.Fatalf("envelope %d metadata not stripped: %+v", i, batch[i])
+		}
+	}
+}
+
+func TestShufflerShufflesOrder(t *testing.T) {
+	f := newFixture(t)
+	var batch []core.Envelope
+	for i := 0; i < 200; i++ {
+		batch = append(batch, f.submit(t, "c", []byte(fmt.Sprintf("item-%03d", i)), 1)...)
+	}
+	s := &Shuffler{Priv: f.shufPriv, Threshold: Threshold{}, Rand: newRNG()}
+	inner, _, err := s.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := f.openAll(t, inner)
+	inOrder := 0
+	for i := range values {
+		if values[i] == fmt.Sprintf("item-%03d", i) {
+			inOrder++
+		}
+	}
+	if inOrder > 20 {
+		t.Errorf("%d of 200 items kept submission order; output not shuffled", inOrder)
+	}
+}
+
+func TestShufflerBatchTooSmall(t *testing.T) {
+	f := newFixture(t)
+	batch := f.submit(t, "c", []byte("x"), 3)
+	s := &Shuffler{Priv: f.shufPriv, Rand: newRNG(), MinBatch: 10}
+	if _, _, err := s.Process(batch); !errors.Is(err, ErrBatchTooSmall) {
+		t.Fatalf("err = %v, want ErrBatchTooSmall", err)
+	}
+}
+
+func TestShufflerUndecryptable(t *testing.T) {
+	f := newFixture(t)
+	batch := f.submit(t, "c", []byte("ok.............................."), 40)
+	batch = append(batch, core.Envelope{Blob: bytes.Repeat([]byte{0x42}, 100)})
+	s := &Shuffler{Priv: f.shufPriv, Threshold: Threshold{}, Rand: newRNG()}
+	_, stats, err := s.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Undecryptable != 1 {
+		t.Errorf("Undecryptable = %d, want 1", stats.Undecryptable)
+	}
+}
+
+func TestNaiveThreshold(t *testing.T) {
+	rng := newRNG()
+	th := Threshold{Naive: 10}
+	if _, ok := th.Apply(rng, 9); ok {
+		t.Error("crowd of 9 passed naive threshold 10")
+	}
+	if n, ok := th.Apply(rng, 10); !ok || n != 10 {
+		t.Error("crowd of exactly 10 should pass naive threshold untouched")
+	}
+}
+
+func TestNoThreshold(t *testing.T) {
+	rng := newRNG()
+	th := Threshold{}
+	if n, ok := th.Apply(rng, 1); !ok || n != 1 {
+		t.Error("disabled thresholding should forward everything")
+	}
+}
+
+// TestBlindedPipeline exercises the full §4.3 split-shuffler flow.
+func TestBlindedPipeline(t *testing.T) {
+	anlz, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2Priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &encoder.BlindedClient{
+		Shuffler2Blinding: blindKP.H,
+		Shuffler2Key:      s2Priv.Public(),
+		AnalyzerKey:       anlz.Public(),
+		Rand:              crand.Reader,
+	}
+	var batch []core.BlindedEnvelope
+	add := func(crowd, data string, n int) {
+		for i := 0; i < n; i++ {
+			env, err := client.Encode(crowd, []byte(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			env.SourceIP = "192.0.2.7"
+			batch = append(batch, env)
+		}
+	}
+	add("crowd-popular", "popular", 80)
+	add("crowd-rare", "rare", 2)
+
+	s1, err := NewShuffler1(newRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blinded, err := s1.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blinded) != 82 {
+		t.Fatalf("shuffler 1 forwarded %d, want 82", len(blinded))
+	}
+	// Shuffler 1 must not forward the original crowd ciphertexts.
+	origC1 := map[string]bool{}
+	for _, e := range batch {
+		origC1[string(e.CrowdC1)] = true
+	}
+	for _, e := range blinded {
+		if origC1[string(e.CrowdC1)] {
+			t.Fatal("shuffler 1 forwarded an unblinded crowd ciphertext")
+		}
+	}
+
+	s2 := &Shuffler2{Blinding: blindKP, Priv: s2Priv,
+		Threshold: Threshold{Noise: dp.PaperThresholdNoise}, Rand: newRNG()}
+	inner, stats, err := s2.Process(blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Crowds != 2 || stats.CrowdsForwarded != 1 {
+		t.Errorf("stats = %+v, want 2 crowds, 1 forwarded", stats)
+	}
+	for _, ct := range inner {
+		pt, err := anlz.Open(ct, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(pt) != "popular" {
+			t.Fatalf("rare value leaked: %q", pt)
+		}
+	}
+	if len(inner) < 55 || len(inner) > 80 {
+		t.Errorf("forwarded %d of 80, want ~70", len(inner))
+	}
+}
+
+// TestSGXShufflerEndToEnd exercises attestation, oblivious shuffling, and
+// in-enclave thresholding.
+func TestSGXShufflerEndToEnd(t *testing.T) {
+	ca, err := sgx.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, quote, err := NewSGXShuffler(ca, Threshold{Noise: dp.PaperThresholdNoise}, newRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client-side verification (§4.1.1).
+	if err := sgx.VerifyQuote(ca.PublicKey(), quote, SGXShufflerMeasurement); err != nil {
+		t.Fatalf("attestation failed: %v", err)
+	}
+	attested, err := hybrid.ParsePublicKey(quote.ReportData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlz, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &encoder.Client{ShufflerKey: attested, AnalyzerKey: anlz.Public(), Rand: crand.Reader}
+
+	pad := func(s string) []byte {
+		b := make([]byte, 64)
+		copy(b, s)
+		return b
+	}
+	var batch []core.Envelope
+	add := func(crowd, data string, n int) {
+		for i := 0; i < n; i++ {
+			env, err := client.Encode(core.Report{CrowdID: core.HashCrowdID(crowd), Data: pad(data)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch = append(batch, env)
+		}
+	}
+	add("app-1", "value-1", 150)
+	add("app-2", "value-2", 60)
+	add("app-3", "value-3", 4)
+
+	inner, stats, err := sh.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Crowds != 3 || stats.CrowdsForwarded != 2 {
+		t.Errorf("stats = %+v, want 3 crowds, 2 forwarded", stats)
+	}
+	seen := map[string]int{}
+	for _, ct := range inner {
+		pt, err := anlz.Open(ct, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[string(bytes.TrimRight(pt, "\x00"))]++
+	}
+	if seen["value-3"] != 0 {
+		t.Error("below-threshold crowd leaked through SGX thresholding")
+	}
+	if seen["value-1"] < 120 || seen["value-2"] < 35 {
+		t.Errorf("forwarded counts %v below expectation", seen)
+	}
+	if sh.ShuffleMetrics.Items != len(batch) {
+		t.Errorf("shuffle metrics items = %d, want %d", sh.ShuffleMetrics.Items, len(batch))
+	}
+	if sh.Enclave.Counters().PubKeyOps < int64(len(batch)) {
+		t.Error("outer-layer public-key decryptions not metered")
+	}
+}
+
+func TestSGXShufflerRejectsRaggedBatch(t *testing.T) {
+	ca, _ := sgx.NewCA()
+	sh, _, err := NewSGXShuffler(ca, Threshold{}, newRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlz, _ := hybrid.GenerateKey(crand.Reader)
+	client := &encoder.Client{ShufflerKey: sh.PublicKey(), AnalyzerKey: anlz.Public(), Rand: crand.Reader}
+	e1, _ := client.Encode(core.Report{CrowdID: core.HashCrowdID("c"), Data: make([]byte, 64)})
+	e2, _ := client.Encode(core.Report{CrowdID: core.HashCrowdID("c"), Data: make([]byte, 32)})
+	if _, _, err := sh.Process([]core.Envelope{e1, e2}); !errors.Is(err, ErrNonUniformBatch) {
+		t.Fatalf("err = %v, want ErrNonUniformBatch", err)
+	}
+}
+
+func TestSGXShufflerEmptyBatch(t *testing.T) {
+	ca, _ := sgx.NewCA()
+	sh, _, err := NewSGXShuffler(ca, Threshold{}, newRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sh.Process(nil); !errors.Is(err, ErrBatchTooSmall) {
+		t.Fatalf("err = %v, want ErrBatchTooSmall", err)
+	}
+}

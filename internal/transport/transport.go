@@ -1,0 +1,218 @@
+// Package transport runs the ESA stages as separate networked services —
+// the deployment shape of Figure 1, where encoders, shufflers, and analyzers
+// are distinct parties connected by RPC. It uses net/rpc with gob encoding
+// over TCP (the stdlib stand-in for the paper's gRPC).
+//
+// The shuffler service batches submissions (recording arrival metadata
+// exactly so it can be seen to strip it), processes a batch on Flush, and
+// pushes the surviving inner ciphertexts to the analyzer service.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"prochlo/internal/analyzer"
+	"prochlo/internal/core"
+	"prochlo/internal/shuffler"
+)
+
+// SubmitArgs is a client's report submission.
+type SubmitArgs struct {
+	Envelope core.Envelope
+}
+
+// FlushReply reports a processed batch's selectivity.
+type FlushReply struct {
+	Stats shuffler.Stats
+}
+
+// KeyReply carries a service's public key bytes.
+type KeyReply struct {
+	Key []byte
+}
+
+// ShufflerService exposes a shuffler over RPC.
+type ShufflerService struct {
+	mu       sync.Mutex
+	sh       *shuffler.Shuffler
+	pub      []byte
+	batch    []core.Envelope
+	analyzer *rpc.Client
+	seq      int
+}
+
+// NewShufflerService wraps a shuffler whose output is pushed to the
+// analyzer service at analyzerAddr.
+func NewShufflerService(sh *shuffler.Shuffler, pub []byte, analyzerAddr string) (*ShufflerService, error) {
+	cl, err := rpc.Dial("tcp", analyzerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial analyzer: %w", err)
+	}
+	return &ShufflerService{sh: sh, pub: pub, analyzer: cl}, nil
+}
+
+// PublicKey returns the shuffler's encryption key. (A production deployment
+// would return an SGX quote; see package shuffler's SGXShuffler.)
+func (s *ShufflerService) PublicKey(_ struct{}, reply *KeyReply) error {
+	reply.Key = s.pub
+	return nil
+}
+
+// Submit queues one envelope, stamping the metadata a network service
+// inevitably sees; Process will strip it.
+func (s *ShufflerService) Submit(args SubmitArgs, ack *bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	env := args.Envelope
+	env.ArrivalTime = time.Now()
+	env.SeqNo = s.seq
+	s.batch = append(s.batch, env)
+	*ack = true
+	return nil
+}
+
+// BatchSize reports the current batch occupancy.
+func (s *ShufflerService) BatchSize(_ struct{}, n *int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	*n = len(s.batch)
+	return nil
+}
+
+// Flush processes the batch and pushes the output to the analyzer.
+func (s *ShufflerService) Flush(_ struct{}, reply *FlushReply) error {
+	s.mu.Lock()
+	batch := s.batch
+	s.batch = nil
+	s.mu.Unlock()
+	inner, stats, err := s.sh.Process(batch)
+	if err != nil {
+		return err
+	}
+	reply.Stats = stats
+	var ack bool
+	return s.analyzer.Call("Analyzer.Ingest", IngestArgs{Items: inner}, &ack)
+}
+
+// IngestArgs carries shuffled inner ciphertexts to the analyzer.
+type IngestArgs struct {
+	Items [][]byte
+}
+
+// HistogramReply is the analyzer's histogram of its materialized database.
+type HistogramReply struct {
+	Counts        map[string]int
+	Undecryptable int
+}
+
+// AnalyzerService exposes an analyzer over RPC.
+type AnalyzerService struct {
+	mu            sync.Mutex
+	an            *analyzer.Analyzer
+	pub           []byte
+	db            [][]byte
+	undecryptable int
+}
+
+// NewAnalyzerService wraps an analyzer.
+func NewAnalyzerService(an *analyzer.Analyzer, pub []byte) *AnalyzerService {
+	return &AnalyzerService{an: an, pub: pub}
+}
+
+// PublicKey returns the analyzer's encryption key.
+func (a *AnalyzerService) PublicKey(_ struct{}, reply *KeyReply) error {
+	reply.Key = a.pub
+	return nil
+}
+
+// Ingest decrypts and materializes a batch of shuffled records.
+func (a *AnalyzerService) Ingest(args IngestArgs, ack *bool) error {
+	db, undec := a.an.Open(args.Items)
+	a.mu.Lock()
+	a.db = append(a.db, db...)
+	a.undecryptable += undec
+	a.mu.Unlock()
+	*ack = true
+	return nil
+}
+
+// Histogram returns the histogram of the materialized database.
+func (a *AnalyzerService) Histogram(_ struct{}, reply *HistogramReply) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	reply.Counts = analyzer.Histogram(a.db)
+	reply.Undecryptable = a.undecryptable
+	return nil
+}
+
+// Serve registers rcvr under name and serves RPC on addr (use "127.0.0.1:0"
+// for an ephemeral port). It returns the listener; callers close it to stop.
+func Serve(addr, name string, rcvr any) (net.Listener, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(name, rcvr); err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return l, nil
+}
+
+// Client is a convenience handle for submitting reports to a shuffler
+// service.
+type Client struct {
+	rpc *rpc.Client
+}
+
+// Dial connects to a shuffler service.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: c}, nil
+}
+
+// ShufflerKey fetches the shuffler's public key.
+func (c *Client) ShufflerKey() ([]byte, error) {
+	var reply KeyReply
+	if err := c.rpc.Call("Shuffler.PublicKey", struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	if len(reply.Key) == 0 {
+		return nil, errors.New("transport: empty shuffler key")
+	}
+	return reply.Key, nil
+}
+
+// Submit sends one envelope.
+func (c *Client) Submit(env core.Envelope) error {
+	var ack bool
+	return c.rpc.Call("Shuffler.Submit", SubmitArgs{Envelope: env}, &ack)
+}
+
+// Flush asks the shuffler to process its batch.
+func (c *Client) Flush() (shuffler.Stats, error) {
+	var reply FlushReply
+	err := c.rpc.Call("Shuffler.Flush", struct{}{}, &reply)
+	return reply.Stats, err
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rpc.Close() }

@@ -1,0 +1,149 @@
+package transport
+
+import (
+	crand "crypto/rand"
+	"math/rand/v2"
+	"net/rpc"
+	"testing"
+
+	"prochlo/internal/analyzer"
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/dp"
+	"prochlo/internal/encoder"
+	"prochlo/internal/shuffler"
+)
+
+// TestNetworkedPipeline runs the full three-party flow over localhost TCP:
+// client -> shuffler service -> analyzer service.
+func TestNetworkedPipeline(t *testing.T) {
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlzSvc := NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzL, err := Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anlzL.Close()
+
+	shufPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &shuffler.Shuffler{
+		Priv:      shufPriv,
+		Threshold: shuffler.Threshold{Noise: dp.ThresholdNoise{T: 20, D: 10, Sigma: 2}},
+		Rand:      rand.New(rand.NewPCG(1, 2)),
+	}
+	shufSvc, err := NewShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shufL, err := Serve("127.0.0.1:0", "Shuffler", shufSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shufL.Close()
+
+	// Client: fetch the shuffler key over the network, encode, submit.
+	cl, err := Dial(shufL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	keyBytes, err := cl.ShufflerKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shufKey, err := hybrid.ParsePublicKey(keyBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := &encoder.Client{ShufflerKey: shufKey, AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader}
+	submit := func(crowd, data string, n int) {
+		for i := 0; i < n; i++ {
+			env, err := enc.Encode(core.Report{CrowdID: core.HashCrowdID(crowd), Data: []byte(data)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Submit(env); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	submit("c:popular", "popular-value", 80)
+	submit("c:rare", "rare-value", 3)
+
+	var n int
+	if err := cl.rpc.Call("Shuffler.BatchSize", struct{}{}, &n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 83 {
+		t.Fatalf("batch size = %d, want 83", n)
+	}
+
+	stats, err := cl.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Crowds != 2 || stats.CrowdsForwarded != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Query the analyzer directly.
+	ac, err := rpc.Dial("tcp", anlzL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	var hist HistogramReply
+	if err := ac.Call("Analyzer.Histogram", struct{}{}, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Counts["rare-value"] != 0 {
+		t.Error("rare value leaked through networked thresholding")
+	}
+	if c := hist.Counts["popular-value"]; c < 50 || c > 80 {
+		t.Errorf("popular count = %d, want ~70", c)
+	}
+	if hist.Undecryptable != 0 {
+		t.Errorf("undecryptable = %d", hist.Undecryptable)
+	}
+}
+
+func TestFlushEmptyBatchFails(t *testing.T) {
+	anlzPriv, _ := hybrid.GenerateKey(crand.Reader)
+	anlzSvc := NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzL, err := Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anlzL.Close()
+	shufPriv, _ := hybrid.GenerateKey(crand.Reader)
+	sh := &shuffler.Shuffler{Priv: shufPriv, Rand: rand.New(rand.NewPCG(3, 4))}
+	svc, err := NewShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shufL, err := Serve("127.0.0.1:0", "Shuffler", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shufL.Close()
+	cl, err := Dial(shufL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Flush(); err == nil {
+		t.Error("flushing an empty batch should fail (batch minimum)")
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dialing a closed port succeeded")
+	}
+}

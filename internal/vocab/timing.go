@@ -1,0 +1,108 @@
+package vocab
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/elgamal"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/encoder"
+	"prochlo/internal/shuffler"
+)
+
+// TimingResult is one row of Table 3: wall-clock execution of the Vocab
+// pipeline for a number of clients, for the single-shuffler configurations
+// (Secret-Crowd, NoCrowd, Crowd — whose costs are identical: two hybrid
+// seals per client plus one shuffler decryption), and for the two-shuffler
+// blinded configuration.
+type TimingResult struct {
+	Clients int
+	// EncoderShuffler1 is the "Encoder+Shuffler 1 {Secret-C, NoC, C}"
+	// column: client encoding plus single-shuffler processing.
+	EncoderShuffler1 time.Duration
+	// BlindedEncoderShuffler1 is the "Blinded-C" encoder+Shuffler 1
+	// column: El Gamal crowd-ID encryption plus blinding.
+	BlindedEncoderShuffler1 time.Duration
+	// BlindedShuffler2 is the Shuffler 2 column: pseudonym decryption and
+	// layer peeling.
+	BlindedShuffler2 time.Duration
+}
+
+// MeasureTiming reproduces Table 3's measurement at the given client count.
+// Costs scale linearly in clients and are dominated by public-key
+// operations, the property the paper calls out.
+func MeasureTiming(nClients int) (TimingResult, error) {
+	res := TimingResult{Clients: nClients}
+	rng := rand.New(rand.NewPCG(99, 101))
+
+	shufPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		return res, err
+	}
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		return res, err
+	}
+	client := &encoder.Client{ShufflerKey: shufPriv.Public(), AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader}
+
+	// Single-shuffler path: encode every report, then shuffler-process.
+	start := time.Now()
+	batch := make([]core.Envelope, nClients)
+	for i := range batch {
+		w := fmt.Sprintf("word-%d", i%1000)
+		env, err := client.Encode(core.Report{CrowdID: core.HashCrowdID(w), Data: []byte(w)})
+		if err != nil {
+			return res, err
+		}
+		batch[i] = env
+	}
+	s := &shuffler.Shuffler{Priv: shufPriv, Threshold: shuffler.Threshold{}, Rand: rng, MinBatch: 1}
+	if _, _, err := s.Process(batch); err != nil {
+		return res, err
+	}
+	res.EncoderShuffler1 = time.Since(start)
+
+	// Blinded path.
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		return res, err
+	}
+	s2Priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		return res, err
+	}
+	bclient := &encoder.BlindedClient{
+		Shuffler2Blinding: blindKP.H, Shuffler2Key: s2Priv.Public(),
+		AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader,
+	}
+	start = time.Now()
+	bbatch := make([]core.BlindedEnvelope, nClients)
+	for i := range bbatch {
+		w := fmt.Sprintf("word-%d", i%1000)
+		env, err := bclient.Encode(w, []byte(w))
+		if err != nil {
+			return res, err
+		}
+		bbatch[i] = env
+	}
+	s1, err := shuffler.NewShuffler1(rng)
+	if err != nil {
+		return res, err
+	}
+	blinded, err := s1.Process(bbatch)
+	if err != nil {
+		return res, err
+	}
+	res.BlindedEncoderShuffler1 = time.Since(start)
+
+	start = time.Now()
+	s2 := &shuffler.Shuffler2{Blinding: blindKP, Priv: s2Priv, Threshold: shuffler.Threshold{}, Rand: rng}
+	if _, _, err := s2.Process(blinded); err != nil {
+		return res, err
+	}
+	res.BlindedShuffler2 = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,194 @@
+// Package vocab implements the §5.2 Vocab experiment: privately learning
+// word frequencies over an empirical long-tail (Zipf) distribution, and the
+// comparison of Figure 5 — how many unique words each collection method
+// recovers at sample sizes from 10K to 10M:
+//
+//   - GroundTruth: distinct words with no privacy;
+//   - NoCrowd: secret-share encoding with t=20 and a fixed crowd ID (no
+//     thresholding, no DP);
+//   - Crowd / SecretCrowd / BlindedCrowd: crowd thresholding with the noisy
+//     (2.25, 1e-6)-DP threshold — all three share the same utility, since
+//     they differ only in which parties could attack the crowd IDs;
+//   - Partition: RAPPOR with reports partitioned by a small word-hash
+//     (§2.2's mitigation), 4–256 partitions by sample size;
+//   - RAPPOR: plain local differential privacy with ε=2.
+//
+// Counting methods operate on the word-count histogram, which is exactly
+// what the shuffler's per-crowd thresholding and the analyzer's share
+// recovery depend on; package-level tests cross-validate the fast path
+// against the full cryptographic pipeline at small sizes.
+package vocab
+
+import (
+	"math/rand/v2"
+	"slices"
+
+	"prochlo/internal/dp"
+	"prochlo/internal/rappor"
+	"prochlo/internal/workload"
+)
+
+// Method is a Figure 5 collection method.
+type Method int
+
+const (
+	GroundTruth Method = iota
+	NoCrowd
+	Crowd
+	SecretCrowd
+	BlindedCrowd
+	Partition
+	RAPPOR
+)
+
+// String returns the Figure 5 label.
+func (m Method) String() string {
+	return [...]string{"GroundTruth", "NoCrowd", "Crowd", "Secret-Crowd",
+		"Blinded-Crowd", "Partition", "RAPPOR"}[m]
+}
+
+// Config parameterizes the experiment; zero value fields select the paper's
+// settings.
+type Config struct {
+	Corpus    workload.VocabConfig
+	Threshold dp.ThresholdNoise // noisy crowd threshold (paper: 20, 10, 2)
+	SecretT   int               // secret-share threshold (paper: 20)
+	Rappor    rappor.Params
+	// SignificanceZ is the detection threshold of the RAPPOR decoder in
+	// null standard deviations.
+	SignificanceZ float64
+}
+
+// DefaultConfig returns the §5 settings.
+func DefaultConfig() Config {
+	return Config{
+		Corpus:        workload.DefaultVocab,
+		Threshold:     dp.PaperThresholdNoise,
+		SecretT:       20,
+		Rappor:        rappor.DefaultParams(),
+		SignificanceZ: 4,
+	}
+}
+
+// PartitionsFor returns the partition count used by the Partition method:
+// "between 4 and 256 partitions for the sample sizes in the experiment".
+func PartitionsFor(sampleSize int) int {
+	switch {
+	case sampleSize <= 10_000:
+		return 4
+	case sampleSize <= 100_000:
+		return 16
+	case sampleSize <= 1_000_000:
+		return 64
+	default:
+		return 256
+	}
+}
+
+// Result is one cell of Figure 5.
+type Result struct {
+	Method     Method
+	SampleSize int
+	Unique     int // unique words recovered
+}
+
+// Run samples a corpus of the given size and measures how many unique words
+// the method recovers.
+func (c Config) Run(rng *rand.Rand, m Method, sampleSize int) Result {
+	sample := c.Corpus.SampleWords(rng, sampleSize)
+	counts := workload.CountWords(sample)
+	res := Result{Method: m, SampleSize: sampleSize}
+	switch m {
+	case GroundTruth:
+		res.Unique = len(counts)
+	case NoCrowd:
+		// Secret sharing alone: a word decrypts iff it has >= t shares.
+		for _, n := range counts {
+			if n >= c.SecretT {
+				res.Unique++
+			}
+		}
+	case Crowd, SecretCrowd, BlindedCrowd:
+		// Noisy crowd thresholding; for Secret-/Blinded-Crowd the secret
+		// share threshold t == T is implied by any surviving crowd.
+		// Iterate words in sorted order so a seeded run is reproducible
+		// (map iteration order would otherwise permute the noise stream).
+		words := make([]uint64, 0, len(counts))
+		for w := range counts {
+			words = append(words, w)
+		}
+		slices.Sort(words)
+		for _, w := range words {
+			if _, ok := c.Threshold.Survives(rng, counts[w]); ok {
+				res.Unique++
+			}
+		}
+	case Partition:
+		res.Unique = c.runPartitionedRappor(rng, sample)
+	case RAPPOR:
+		res.Unique = c.runRappor(rng, sample, nil)
+	}
+	return res
+}
+
+// runRappor collects the sample through RAPPOR and counts significantly
+// detected words. candidateFilter optionally restricts the candidate set
+// (used by partitioning).
+func (c Config) runRappor(rng *rand.Rand, sample []uint64, candidateFilter func(uint64) bool) int {
+	agg := rappor.NewAggregate(c.Rappor)
+	for i, w := range sample {
+		cohort := uint32(i % c.Rappor.Cohorts)
+		agg.Add(cohort, c.Rappor.Encode(rng, cohort, []byte(workload.Word(w))))
+	}
+	var candidates [][]byte
+	for w := uint64(0); w < uint64(c.Corpus.VocabSize); w++ {
+		if candidateFilter == nil || candidateFilter(w) {
+			candidates = append(candidates, []byte(workload.Word(w)))
+		}
+	}
+	return len(rappor.Decode(agg, candidates, c.SignificanceZ))
+}
+
+// runPartitionedRappor splits reports into partitions by a word hash and
+// runs RAPPOR independently in each (§2.2's partitioning mitigation): the
+// per-partition noise floor is lower, improving recovery somewhat — at the
+// cost of (2.25, 1e-6)-DP for the partition labels.
+func (c Config) runPartitionedRappor(rng *rand.Rand, sample []uint64) int {
+	parts := PartitionsFor(len(sample))
+	bySlot := make([][]uint64, parts)
+	for _, w := range sample {
+		p := int(partitionOf(w, parts))
+		bySlot[p] = append(bySlot[p], w)
+	}
+	total := 0
+	for p, sub := range bySlot {
+		if len(sub) == 0 {
+			continue
+		}
+		p := uint64(p)
+		total += c.runRappor(rng, sub, func(w uint64) bool {
+			return partitionOf(w, parts) == p
+		})
+	}
+	return total
+}
+
+// partitionOf assigns a word to one of n partitions by a cheap hash.
+func partitionOf(w uint64, n int) uint64 {
+	x := w * 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	return x % uint64(n)
+}
+
+// Figure5Sizes are the sample sizes of Figure 5's X axis.
+var Figure5Sizes = []int{10_000, 100_000, 1_000_000, 10_000_000}
+
+// PaperFigure5 carries the paper's reported unique-word counts for
+// model-vs-paper comparison in EXPERIMENTS.md.
+var PaperFigure5 = map[Method]map[int]int{
+	GroundTruth: {10_000: 4062, 100_000: 18665, 1_000_000: 57500, 10_000_000: 91260},
+	NoCrowd:     {10_000: 46, 100_000: 578, 1_000_000: 5921, 10_000_000: 28821},
+	Crowd:       {10_000: 32, 100_000: 371, 1_000_000: 3730, 10_000_000: 21972},
+	Partition:   {10_000: 17, 100_000: 222, 1_000_000: 828},
+	RAPPOR:      {10_000: 2, 100_000: 15, 1_000_000: 122, 10_000_000: 240},
+}

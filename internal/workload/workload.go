@@ -1,0 +1,308 @@
+// Package workload synthesizes the datasets of Prochlo's four evaluation
+// pipelines (§5). The paper's corpora are proprietary (Google discussion
+// boards, Chrome telemetry, YouTube logs, Netflix-shaped ratings); these
+// generators reproduce their statistical shape — the property each
+// experiment's result actually depends on — as recorded in DESIGN.md's
+// substitution table.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// NewRand returns a deterministic PRNG for experiment reproducibility.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+}
+
+// --- Vocab (§5.2): a power-law word corpus ---
+
+// VocabConfig shapes the synthetic discussion-board corpus: a Zipf
+// distribution over a fixed vocabulary, mirroring the paper's "three billion
+// words ... heavy head and a long tail".
+type VocabConfig struct {
+	VocabSize int     // distinct words in the underlying language
+	S         float64 // Zipf exponent (s > 1)
+	V         float64 // Zipf offset
+}
+
+// DefaultVocab matches the growth of distinct-word counts in Figure 5's
+// ground truth (4K distinct at a 10K sample through 91K at 10M).
+var DefaultVocab = VocabConfig{VocabSize: 120_000, S: 1.25, V: 12}
+
+// Word returns the canonical spelling of word index i.
+func Word(i uint64) string { return fmt.Sprintf("w%07d", i) }
+
+// SampleWords draws n word indices from the Zipf corpus.
+func (c VocabConfig) SampleWords(rng *rand.Rand, n int) []uint64 {
+	z := rand.NewZipf(rng, c.S, c.V, uint64(c.VocabSize-1))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = z.Uint64()
+	}
+	return out
+}
+
+// DistinctWords counts the ground-truth distinct words in a sample —
+// Figure 5's "no privacy" line.
+func DistinctWords(sample []uint64) int {
+	seen := make(map[uint64]struct{}, len(sample)/4)
+	for _, w := range sample {
+		seen[w] = struct{}{}
+	}
+	return len(seen)
+}
+
+// CountWords returns the word-frequency histogram of a sample.
+func CountWords(sample []uint64) map[uint64]int {
+	counts := make(map[uint64]int, len(sample)/4)
+	for _, w := range sample {
+		counts[w]++
+	}
+	return counts
+}
+
+// --- Perms (§5.3): Chrome permission-prompt telemetry ---
+
+// Permission features and user actions of the Perms dataset.
+const (
+	FeatureGeolocation = iota
+	FeatureNotification
+	FeatureAudio
+	NumFeatures
+)
+
+const (
+	ActionGranted = iota
+	ActionDenied
+	ActionDismissed
+	ActionIgnored
+	NumActions
+)
+
+// FeatureName returns the display name of a feature.
+func FeatureName(f int) string {
+	return [...]string{"Geolocation", "Notification", "Audio"}[f]
+}
+
+// ActionName returns the display name of a user action.
+func ActionName(a int) string {
+	return [...]string{"Granted", "Denied", "Dismissed", "Ignored"}[a]
+}
+
+// PermEvent is one ⟨page, feature, action bitmap⟩ tuple; bit a of Actions is
+// set if the user responded to the prompt with action a (users sometimes
+// give multiple responses to one prompt, hence a bitmap).
+type PermEvent struct {
+	Page    uint64
+	Feature uint8
+	Actions uint8
+}
+
+// PermsConfig shapes the synthetic permissions dataset.
+type PermsConfig struct {
+	Pages        int                  // distinct Web pages
+	S            float64              // Zipf exponent of page popularity
+	V            float64              // Zipf offset
+	FeatureShare [NumFeatures]float64 // relative prompt volume per feature
+}
+
+// DefaultPerms roughly matches Table 4's relative magnitudes: Notifications
+// prompt most, Audio least.
+var DefaultPerms = PermsConfig{
+	Pages: 400_000, S: 1.15, V: 8,
+	FeatureShare: [NumFeatures]float64{0.35, 0.55, 0.10},
+}
+
+// PageName returns the synthetic page origin for index i.
+func PageName(i uint64) string { return fmt.Sprintf("https://site%06d.example", i) }
+
+// Generate draws n permission events. Action probabilities vary by feature
+// (notification prompts are dismissed/ignored more often), and each event
+// may set several action bits.
+func (c PermsConfig) Generate(rng *rand.Rand, n int) []PermEvent {
+	z := rand.NewZipf(rng, c.S, c.V, uint64(c.Pages-1))
+	cum := make([]float64, NumFeatures)
+	total := 0.0
+	for i, s := range c.FeatureShare {
+		total += s
+		cum[i] = total
+	}
+	out := make([]PermEvent, n)
+	for i := range out {
+		f := 0
+		u := rng.Float64() * total
+		for f < NumFeatures-1 && u > cum[f] {
+			f++
+		}
+		var actions uint8
+		// Primary action.
+		pGrant := [NumFeatures]float64{0.45, 0.25, 0.40}[f]
+		pDeny := [NumFeatures]float64{0.25, 0.25, 0.30}[f]
+		pDismiss := [NumFeatures]float64{0.20, 0.30, 0.20}[f]
+		switch u := rng.Float64(); {
+		case u < pGrant:
+			actions |= 1 << ActionGranted
+		case u < pGrant+pDeny:
+			actions |= 1 << ActionDenied
+		case u < pGrant+pDeny+pDismiss:
+			actions |= 1 << ActionDismissed
+		default:
+			actions |= 1 << ActionIgnored
+		}
+		// Occasionally a second response to the same prompt.
+		if rng.Float64() < 0.15 {
+			actions |= 1 << uint8(rng.IntN(NumActions))
+		}
+		out[i] = PermEvent{Page: z.Uint64(), Feature: uint8(f), Actions: actions}
+	}
+	return out
+}
+
+// --- Suggest (§5.4): longitudinal view sequences ---
+
+// SuggestConfig shapes the synthetic view-sequence workload: an order-2
+// Markov process over a popularity-skewed catalog, capturing the property
+// the experiment depends on — recent history is the best predictor of the
+// next view.
+type SuggestConfig struct {
+	Catalog  int     // items in the catalog (paper: 500K; scaled by default)
+	SeqLen   int     // views per user
+	Locality float64 // probability the next view follows the Markov rule
+	S, V     float64 // Zipf shape of the popularity fallback
+}
+
+// DefaultSuggest is a laptop-scale stand-in for the paper's half-million
+// video catalog; the catalog/user ratio is chosen so tuple crowds saturate
+// the way the paper's tens-of-thousands-of-views-per-video corpus does.
+var DefaultSuggest = SuggestConfig{Catalog: 800, SeqLen: 60, Locality: 0.8, S: 1.2, V: 6}
+
+// nextPreferred is the deterministic ground-truth successor of the ordered
+// pair (a, b): a fixed pseudo-random function of the pair, skewed toward
+// popular (low-index) items so that view chains stay within the popular head
+// of the catalog — the property ("views of very popular videos") that makes
+// tuple crowds large enough to threshold.
+func (c SuggestConfig) nextPreferred(a, b uint32) uint32 {
+	x := uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)*0xc2b2ae3d27d4eb4f
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	u := float64(x>>11) / (1 << 53) // uniform in [0, 1)
+	return uint32(u * u * u * float64(c.Catalog))
+}
+
+// GenerateSequences draws view histories for n users.
+func (c SuggestConfig) GenerateSequences(rng *rand.Rand, n int) [][]uint32 {
+	z := rand.NewZipf(rng, c.S, c.V, uint64(c.Catalog-1))
+	out := make([][]uint32, n)
+	for u := range out {
+		seq := make([]uint32, c.SeqLen)
+		seq[0] = uint32(z.Uint64())
+		seq[1] = uint32(z.Uint64())
+		for i := 2; i < c.SeqLen; i++ {
+			if rng.Float64() < c.Locality {
+				seq[i] = c.nextPreferred(seq[i-2], seq[i-1])
+			} else {
+				seq[i] = uint32(z.Uint64())
+			}
+		}
+		out[u] = seq
+	}
+	return out
+}
+
+// --- Flix (§5.5): latent-factor movie ratings ---
+
+// FlixConfig shapes the synthetic ratings dataset, matching the Netflix
+// Prize corpus's structure: integer ratings 1..5, a few hundred to 18K
+// movies, long-tail movie popularity.
+type FlixConfig struct {
+	Movies  int
+	Users   int
+	Factors int     // latent dimensionality of the ground truth
+	Mean    float64 // global rating mean
+	Noise   float64 // observation noise std dev
+	S, V    float64 // Zipf shape of movie popularity
+	PerUser int     // mean ratings per user
+}
+
+// DefaultFlix is the 200-movie scale of Table 5's first row (users scaled).
+var DefaultFlix = FlixConfig{
+	Movies: 200, Users: 9000, Factors: 6,
+	Mean: 3.6, Noise: 0.9, S: 1.1, V: 4, PerUser: 20,
+}
+
+// Rating is one observed (user, movie, rating) triple.
+type Rating struct {
+	User  int32
+	Movie int32
+	Score int8 // 1..5
+}
+
+// FlixData is a generated ratings corpus with its held-out test split.
+type FlixData struct {
+	Train []Rating
+	Test  []Rating
+}
+
+// Generate draws the corpus: users and movies get latent factor vectors,
+// observed ratings are clamped integer dot products plus noise, movies are
+// sampled with Zipf popularity, and 10% of ratings are held out for RMSE
+// evaluation.
+func (c FlixConfig) Generate(rng *rand.Rand) FlixData {
+	uf := factorMatrix(rng, c.Users, c.Factors)
+	mf := factorMatrix(rng, c.Movies, c.Factors)
+	bias := make([]float64, c.Movies) // per-movie quality offset
+	for i := range bias {
+		bias[i] = rng.NormFloat64() * 0.4
+	}
+	zipf := rand.NewZipf(rng, c.S, c.V, uint64(c.Movies-1))
+	var data FlixData
+	for u := 0; u < c.Users; u++ {
+		k := 1 + rng.IntN(2*c.PerUser) // 1..2·PerUser ratings
+		seen := make(map[int32]bool, k)
+		for j := 0; j < k; j++ {
+			m := int32(zipf.Uint64())
+			if seen[m] {
+				continue
+			}
+			seen[m] = true
+			dot := 0.0
+			for f := 0; f < c.Factors; f++ {
+				dot += uf[u][f] * mf[m][f]
+			}
+			score := c.Mean + bias[m] + dot + rng.NormFloat64()*c.Noise
+			r := Rating{User: int32(u), Movie: m, Score: clampRating(score)}
+			if rng.Float64() < 0.1 {
+				data.Test = append(data.Test, r)
+			} else {
+				data.Train = append(data.Train, r)
+			}
+		}
+	}
+	return data
+}
+
+func factorMatrix(rng *rand.Rand, n, f int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		row := make([]float64, f)
+		for j := range row {
+			row[j] = rng.NormFloat64() * 0.45
+		}
+		m[i] = row
+	}
+	return m
+}
+
+func clampRating(x float64) int8 {
+	r := int8(x + 0.5)
+	if r < 1 {
+		return 1
+	}
+	if r > 5 {
+		return 5
+	}
+	return r
+}

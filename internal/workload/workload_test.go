@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVocabZipfShape(t *testing.T) {
+	rng := NewRand(1)
+	sample := DefaultVocab.SampleWords(rng, 200_000)
+	counts := CountWords(sample)
+	// Power law: the most frequent word dominates, and the tail is long.
+	max := 0
+	singletons := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c == 1 {
+			singletons++
+		}
+	}
+	if max < len(sample)/50 {
+		t.Errorf("head not heavy: top word has %d of %d", max, len(sample))
+	}
+	if singletons < len(counts)/10 {
+		t.Errorf("tail not long: %d singletons of %d distinct", singletons, len(counts))
+	}
+}
+
+// TestVocabDistinctGrowth checks the ground-truth line of Figure 5: distinct
+// words grow sublinearly, in the right ballpark at each sample size.
+func TestVocabDistinctGrowth(t *testing.T) {
+	rng := NewRand(2)
+	d10k := DistinctWords(DefaultVocab.SampleWords(rng, 10_000))
+	d100k := DistinctWords(DefaultVocab.SampleWords(rng, 100_000))
+	d1m := DistinctWords(DefaultVocab.SampleWords(rng, 1_000_000))
+	if !(d10k < d100k && d100k < d1m) {
+		t.Fatalf("distinct counts not increasing: %d, %d, %d", d10k, d100k, d1m)
+	}
+	// Figure 5 ground truth: 4062 @10K, 18665 @100K, 57500 @1M. Accept a
+	// generous band; the shape is what matters.
+	if d10k < 1500 || d10k > 8000 {
+		t.Errorf("distinct @10K = %d, want ~4000", d10k)
+	}
+	if d100k < 8000 || d100k > 35000 {
+		t.Errorf("distinct @100K = %d, want ~19000", d100k)
+	}
+	if d1m < 30000 || d1m > 90000 {
+		t.Errorf("distinct @1M = %d, want ~57000", d1m)
+	}
+}
+
+func TestVocabDeterministic(t *testing.T) {
+	a := DefaultVocab.SampleWords(NewRand(7), 1000)
+	b := DefaultVocab.SampleWords(NewRand(7), 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestWordNaming(t *testing.T) {
+	if Word(42) != "w0000042" {
+		t.Errorf("Word(42) = %q", Word(42))
+	}
+}
+
+func TestPermsGeneration(t *testing.T) {
+	rng := NewRand(3)
+	events := DefaultPerms.Generate(rng, 100_000)
+	if len(events) != 100_000 {
+		t.Fatalf("generated %d events", len(events))
+	}
+	var featureCounts [NumFeatures]int
+	var actionCounts [NumActions]int
+	for _, e := range events {
+		if int(e.Feature) >= NumFeatures {
+			t.Fatalf("bad feature %d", e.Feature)
+		}
+		if e.Actions == 0 || e.Actions >= 1<<NumActions {
+			t.Fatalf("bad action bitmap %b", e.Actions)
+		}
+		featureCounts[e.Feature]++
+		for a := 0; a < NumActions; a++ {
+			if e.Actions&(1<<a) != 0 {
+				actionCounts[a]++
+			}
+		}
+	}
+	// Notifications dominate, audio is rare (Table 4's shape).
+	if !(featureCounts[FeatureNotification] > featureCounts[FeatureGeolocation] &&
+		featureCounts[FeatureGeolocation] > featureCounts[FeatureAudio]) {
+		t.Errorf("feature mix wrong: %v", featureCounts)
+	}
+	for a, c := range actionCounts {
+		if c == 0 {
+			t.Errorf("action %s never occurs", ActionName(a))
+		}
+	}
+}
+
+func TestPermsNames(t *testing.T) {
+	if FeatureName(FeatureGeolocation) != "Geolocation" || ActionName(ActionIgnored) != "Ignored" {
+		t.Error("name tables broken")
+	}
+	if PageName(3) != "https://site000003.example" {
+		t.Errorf("PageName(3) = %q", PageName(3))
+	}
+}
+
+func TestSuggestSequences(t *testing.T) {
+	rng := NewRand(4)
+	seqs := DefaultSuggest.GenerateSequences(rng, 500)
+	if len(seqs) != 500 {
+		t.Fatal("wrong user count")
+	}
+	localityHits := 0
+	transitions := 0
+	for _, s := range seqs {
+		if len(s) != DefaultSuggest.SeqLen {
+			t.Fatalf("sequence length %d", len(s))
+		}
+		for i := 2; i < len(s); i++ {
+			if s[i] >= uint32(DefaultSuggest.Catalog) {
+				t.Fatalf("item %d out of catalog", s[i])
+			}
+			transitions++
+			if s[i] == DefaultSuggest.nextPreferred(s[i-2], s[i-1]) {
+				localityHits++
+			}
+		}
+	}
+	rate := float64(localityHits) / float64(transitions)
+	// The Markov rule should fire at ~Locality rate (plus chance hits).
+	if math.Abs(rate-DefaultSuggest.Locality) > 0.05 {
+		t.Errorf("locality rate = %.3f, want ~%.2f", rate, DefaultSuggest.Locality)
+	}
+}
+
+func TestFlixGeneration(t *testing.T) {
+	rng := NewRand(5)
+	data := DefaultFlix.Generate(rng)
+	if len(data.Train) == 0 || len(data.Test) == 0 {
+		t.Fatal("empty splits")
+	}
+	testFrac := float64(len(data.Test)) / float64(len(data.Train)+len(data.Test))
+	if testFrac < 0.05 || testFrac > 0.15 {
+		t.Errorf("test fraction = %.3f, want ~0.10", testFrac)
+	}
+	var sum float64
+	for _, r := range data.Train {
+		if r.Score < 1 || r.Score > 5 {
+			t.Fatalf("rating %d out of range", r.Score)
+		}
+		if int(r.Movie) >= DefaultFlix.Movies || int(r.User) >= DefaultFlix.Users {
+			t.Fatalf("rating references bad user/movie: %+v", r)
+		}
+		sum += float64(r.Score)
+	}
+	mean := sum / float64(len(data.Train))
+	if mean < 3.0 || mean > 4.2 {
+		t.Errorf("mean rating = %.2f, want ~3.6", mean)
+	}
+}
+
+// TestFlixLatentStructure verifies the generated ratings carry recoverable
+// item-item correlation (otherwise the Flix experiment would be vacuous):
+// two users who rated the same movie highly should agree more than random
+// pairs on other shared movies.
+func TestFlixLatentStructure(t *testing.T) {
+	rng := NewRand(6)
+	cfg := DefaultFlix
+	cfg.Users = 4000
+	data := cfg.Generate(rng)
+	// Compute a crude signal: variance of per-movie mean ratings should
+	// exceed what Bernoulli noise alone would give.
+	sums := make(map[int32]float64)
+	counts := make(map[int32]int)
+	for _, r := range data.Train {
+		sums[r.Movie] += float64(r.Score)
+		counts[r.Movie]++
+	}
+	var means []float64
+	for m, s := range sums {
+		if counts[m] >= 30 {
+			means = append(means, s/float64(counts[m]))
+		}
+	}
+	if len(means) < 20 {
+		t.Skip("too few well-rated movies")
+	}
+	var mu, varSum float64
+	for _, m := range means {
+		mu += m
+	}
+	mu /= float64(len(means))
+	for _, m := range means {
+		varSum += (m - mu) * (m - mu)
+	}
+	variance := varSum / float64(len(means))
+	if variance < 0.01 {
+		t.Errorf("per-movie mean variance = %.4f; no latent structure to recover", variance)
+	}
+}
+
+func TestClampRating(t *testing.T) {
+	if clampRating(-3) != 1 || clampRating(9) != 5 || clampRating(3.2) != 3 {
+		t.Error("clampRating broken")
+	}
+}

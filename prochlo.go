@@ -1,0 +1,357 @@
+// Package prochlo is a from-scratch Go implementation of the
+// Encode-Shuffle-Analyze (ESA) architecture and its PROCHLO hardening
+// (Bittau et al., SOSP 2017): privacy-preserving software monitoring in
+// which client reports are nested-encrypted, anonymized and thresholded by a
+// shuffler intermediary, and analyzed only in aggregate.
+//
+// The Pipeline type wires the three stages in-process for experimentation
+// and testing; the internal packages implement each stage (and the Stash
+// Shuffle, secret sharing, and blinded crowd IDs) and the cmd/ tools run
+// them as separate networked processes.
+//
+// Basic use:
+//
+//	p, err := prochlo.New(prochlo.WithNoisyThreshold(20, 10, 2))
+//	...
+//	for _, w := range words {
+//		p.Submit("crowd:"+w, []byte(w))
+//	}
+//	res, err := p.Flush()
+//	// res.Histogram now holds only values from large-enough crowds.
+package prochlo
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"prochlo/internal/analyzer"
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/elgamal"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/dp"
+	"prochlo/internal/encoder"
+	"prochlo/internal/sgx"
+	"prochlo/internal/shuffler"
+)
+
+// Mode selects the shuffler deployment.
+type Mode int
+
+const (
+	// ModePlain uses a single trusted-third-party shuffler (the §5 case
+	// studies' configuration).
+	ModePlain Mode = iota
+	// ModeSGX hosts the shuffler in a simulated SGX enclave: its key is
+	// attested and verified, and batches are shuffled with the oblivious
+	// Stash Shuffle (§4.1).
+	ModeSGX
+	// ModeBlinded splits the shuffler in two, thresholding on blinded
+	// crowd IDs so neither shuffler sees them in the clear (§4.3).
+	ModeBlinded
+)
+
+// Pipeline is an in-process ESA deployment: its Submit method plays the
+// role of a fleet of clients, and Flush runs the shuffler and analyzer over
+// the accumulated batch.
+type Pipeline struct {
+	mode      Mode
+	threshold shuffler.Threshold
+	secretT   int
+	minBatch  int
+	seed      uint64
+	rng       *rand.Rand
+
+	analyzerPriv *hybrid.PrivateKey
+	an           *analyzer.Analyzer
+
+	// ModePlain / ModeSGX.
+	shufflerPriv *hybrid.PrivateKey
+	client       *encoder.Client
+	pending      []core.Envelope
+	sgxShuffler  *shuffler.SGXShuffler
+	quote        sgx.Quote
+	ca           *sgx.CA
+
+	// ModeBlinded.
+	s1            *shuffler.Shuffler1
+	s2            *shuffler.Shuffler2
+	blindedClient *encoder.BlindedClient
+	blindedBatch  []core.BlindedEnvelope
+
+	seq int
+}
+
+// Option configures a Pipeline.
+type Option func(*Pipeline) error
+
+// WithNoisyThreshold enables the §3.5 randomized thresholding: the shuffler
+// drops d ~ round(N(d0, sigma²)) reports from each crowd and forwards crowds
+// whose remaining cardinality is at least t. The paper's experiments use
+// (20, 10, 2), which provides (2.25, 1e-6)-DP for the crowd-ID multiset.
+func WithNoisyThreshold(t int, d0, sigma float64) Option {
+	return func(p *Pipeline) error {
+		p.threshold = shuffler.Threshold{Noise: dp.ThresholdNoise{T: t, D: d0, Sigma: sigma}}
+		return nil
+	}
+}
+
+// WithNaiveThreshold enables plain cardinality thresholding (no noise); the
+// paper warns this inherits k-anonymity's composition pitfalls.
+func WithNaiveThreshold(t int) Option {
+	return func(p *Pipeline) error {
+		p.threshold = shuffler.Threshold{Naive: t}
+		return nil
+	}
+}
+
+// WithoutThreshold disables crowd thresholding (the Vocab "NoCrowd"
+// configuration: maximum utility, no crowd-ID differential privacy).
+func WithoutThreshold() Option {
+	return func(p *Pipeline) error {
+		p.threshold = shuffler.Threshold{}
+		return nil
+	}
+}
+
+// WithSecretShare makes Submit encode values with the §4.2 t-out-of-n
+// secret-share encoder, so the analyzer can decrypt only values reported by
+// at least t clients; Flush recovers them into Result.Recovered.
+func WithSecretShare(t int) Option {
+	return func(p *Pipeline) error {
+		if t < 1 {
+			return errors.New("prochlo: secret-share threshold must be >= 1")
+		}
+		p.secretT = t
+		return nil
+	}
+}
+
+// WithMode selects the shuffler deployment.
+func WithMode(m Mode) Option {
+	return func(p *Pipeline) error {
+		p.mode = m
+		return nil
+	}
+}
+
+// WithMinBatch sets the shuffler's minimum batch size.
+func WithMinBatch(n int) Option {
+	return func(p *Pipeline) error {
+		p.minBatch = n
+		return nil
+	}
+}
+
+// WithSeed makes all pipeline randomness (thresholding noise, shuffling)
+// deterministic for reproducible experiments. Cryptographic keys remain
+// properly random.
+func WithSeed(seed uint64) Option {
+	return func(p *Pipeline) error {
+		p.seed = seed
+		return nil
+	}
+}
+
+// New builds a pipeline: it generates stage keys and, in ModeSGX, performs
+// the §4.1.1 attestation handshake — the "client" refuses to encode if the
+// shuffler's quote does not verify.
+func New(opts ...Option) (*Pipeline, error) {
+	p := &Pipeline{
+		threshold: shuffler.Threshold{Noise: dp.PaperThresholdNoise},
+		minBatch:  shuffler.DefaultMinBatch,
+	}
+	for _, o := range opts {
+		if err := o(p); err != nil {
+			return nil, err
+		}
+	}
+	if p.seed != 0 {
+		p.rng = rand.New(rand.NewPCG(p.seed, p.seed^0xa5a5a5a5))
+	} else {
+		var b [16]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			return nil, err
+		}
+		p.rng = rand.New(rand.NewPCG(
+			binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:])))
+	}
+	var err error
+	p.analyzerPriv, err = hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	p.an = &analyzer.Analyzer{Priv: p.analyzerPriv}
+
+	switch p.mode {
+	case ModePlain:
+		p.shufflerPriv, err = hybrid.GenerateKey(crand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		p.client = &encoder.Client{
+			ShufflerKey: p.shufflerPriv.Public(),
+			AnalyzerKey: p.analyzerPriv.Public(),
+			Rand:        crand.Reader,
+		}
+	case ModeSGX:
+		p.ca, err = sgx.NewCA()
+		if err != nil {
+			return nil, err
+		}
+		p.sgxShuffler, p.quote, err = shuffler.NewSGXShuffler(p.ca, p.threshold, p.rng)
+		if err != nil {
+			return nil, err
+		}
+		p.sgxShuffler.Seed = p.seed
+		// Client-side verification before trusting the key (§4.1.1).
+		if err := sgx.VerifyQuote(p.ca.PublicKey(), p.quote, shuffler.SGXShufflerMeasurement); err != nil {
+			return nil, fmt.Errorf("prochlo: shuffler attestation failed: %w", err)
+		}
+		attested, err := hybrid.ParsePublicKey(p.quote.ReportData)
+		if err != nil {
+			return nil, fmt.Errorf("prochlo: attested key: %w", err)
+		}
+		p.client = &encoder.Client{
+			ShufflerKey: attested,
+			AnalyzerKey: p.analyzerPriv.Public(),
+			Rand:        crand.Reader,
+		}
+	case ModeBlinded:
+		p.s1, err = shuffler.NewShuffler1(p.rng)
+		if err != nil {
+			return nil, err
+		}
+		blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		s2Priv, err := hybrid.GenerateKey(crand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		p.s2 = &shuffler.Shuffler2{
+			Blinding: blindKP, Priv: s2Priv, Threshold: p.threshold, Rand: p.rng,
+		}
+		p.blindedClient = &encoder.BlindedClient{
+			Shuffler2Blinding: blindKP.H,
+			Shuffler2Key:      s2Priv.Public(),
+			AnalyzerKey:       p.analyzerPriv.Public(),
+			Rand:              crand.Reader,
+		}
+	default:
+		return nil, fmt.Errorf("prochlo: unknown mode %d", p.mode)
+	}
+	return p, nil
+}
+
+// Quote returns the SGX attestation quote of the shuffler key (ModeSGX).
+func (p *Pipeline) Quote() sgx.Quote { return p.quote }
+
+// PrivacyGuarantee returns the (eps, delta) differential-privacy guarantee
+// the shuffler's randomized thresholding provides for the crowd-ID multiset,
+// at the given delta. It returns an error when thresholding is disabled or
+// naive (no DP guarantee).
+func (p *Pipeline) PrivacyGuarantee(delta float64) (eps float64, err error) {
+	if p.threshold.Noise.Sigma <= 0 {
+		return 0, errors.New("prochlo: no randomized thresholding, no DP guarantee")
+	}
+	return p.threshold.Noise.Privacy(delta)
+}
+
+// Submit encodes one client's report into the pending batch.
+func (p *Pipeline) Submit(crowdLabel string, data []byte) error {
+	p.seq++
+	if p.secretT > 0 {
+		var err error
+		data, err = encoder.SecretShareData(crand.Reader, p.secretT, data)
+		if err != nil {
+			return err
+		}
+	}
+	switch p.mode {
+	case ModeBlinded:
+		env, err := p.blindedClient.Encode(crowdLabel, data)
+		if err != nil {
+			return err
+		}
+		env.SeqNo = p.seq
+		p.blindedBatch = append(p.blindedBatch, env)
+	default:
+		env, err := p.client.Encode(core.Report{CrowdID: core.HashCrowdID(crowdLabel), Data: data})
+		if err != nil {
+			return err
+		}
+		env.SeqNo = p.seq
+		p.pending = append(p.pending, env)
+	}
+	return nil
+}
+
+// Pending returns the number of reports awaiting a Flush.
+func (p *Pipeline) Pending() int {
+	if p.mode == ModeBlinded {
+		return len(p.blindedBatch)
+	}
+	return len(p.pending)
+}
+
+// Result is the analyzer-side outcome of one batch.
+type Result struct {
+	// Histogram counts identical data payloads in the materialized
+	// database (for secret-shared pipelines these are encodings, not
+	// plaintexts; see Recovered).
+	Histogram map[string]int
+	// Recovered maps secret-shared plaintext values to their report counts
+	// (only for WithSecretShare pipelines).
+	Recovered map[string]int
+	// ShufflerStats is the thresholding selectivity the shuffler observed.
+	ShufflerStats shuffler.Stats
+	// Undecryptable counts records the analyzer could not open.
+	Undecryptable int
+}
+
+// Flush runs the shuffler over the pending batch and the analyzer over its
+// output, returning the analysis result.
+func (p *Pipeline) Flush() (*Result, error) {
+	var inner [][]byte
+	var stats shuffler.Stats
+	var err error
+	switch p.mode {
+	case ModePlain:
+		s := &shuffler.Shuffler{Priv: p.shufflerPriv, Threshold: p.threshold,
+			Rand: p.rng, MinBatch: p.minBatch}
+		inner, stats, err = s.Process(p.pending)
+		p.pending = nil
+	case ModeSGX:
+		inner, stats, err = p.sgxShuffler.Process(p.pending)
+		p.pending = nil
+	case ModeBlinded:
+		var blinded []core.BlindedEnvelope
+		blinded, err = p.s1.Process(p.blindedBatch)
+		p.blindedBatch = nil
+		if err == nil {
+			inner, stats, err = p.s2.Process(blinded)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	db, undec := p.an.Open(inner)
+	res := &Result{
+		Histogram:     analyzer.Histogram(db),
+		ShufflerStats: stats,
+		Undecryptable: undec,
+	}
+	if p.secretT > 0 {
+		rec, malformed, _ := p.an.RecoverSecretShared(p.secretT, db)
+		res.Undecryptable += malformed
+		res.Recovered = make(map[string]int, len(rec))
+		for _, r := range rec {
+			res.Recovered[string(r.Value)] = r.Count
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,197 @@
+package prochlo
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestPlainPipelineEndToEnd: reports in big crowds reach the analyzer's
+// histogram; small crowds do not.
+func TestPlainPipelineEndToEnd(t *testing.T) {
+	p, err := New(WithSeed(1), WithNoisyThreshold(20, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := p.Submit("crowd:common", []byte("common")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := p.Submit("crowd:rare", []byte("rare")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Pending() != 105 {
+		t.Errorf("Pending = %d, want 105", p.Pending())
+	}
+	res, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram["rare"] != 0 {
+		t.Error("rare crowd leaked through thresholding")
+	}
+	if c := res.Histogram["common"]; c < 70 || c > 100 {
+		t.Errorf("common count = %d, want ~90 (noisy threshold drops ~10)", c)
+	}
+	if res.ShufflerStats.Crowds != 2 || res.ShufflerStats.CrowdsForwarded != 1 {
+		t.Errorf("stats = %+v", res.ShufflerStats)
+	}
+	if p.Pending() != 0 {
+		t.Error("Flush did not clear the batch")
+	}
+}
+
+func TestPrivacyGuaranteeMatchesPaper(t *testing.T) {
+	p, err := New(WithSeed(2), WithNoisyThreshold(20, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := p.PrivacyGuarantee(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-2.25) > 0.05 {
+		t.Errorf("eps at delta=1e-6 = %.3f, want ~2.25 (paper §5)", eps)
+	}
+	// Naive thresholding carries no DP guarantee.
+	p2, _ := New(WithSeed(3), WithNaiveThreshold(20))
+	if _, err := p2.PrivacyGuarantee(1e-6); err == nil {
+		t.Error("naive thresholding claimed a DP guarantee")
+	}
+}
+
+func TestSGXPipelineEndToEnd(t *testing.T) {
+	p, err := New(WithSeed(4), WithMode(ModeSGX), WithNoisyThreshold(20, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Quote().ReportData) == 0 {
+		t.Error("no attestation quote")
+	}
+	pad := func(s string) []byte {
+		b := make([]byte, 32)
+		copy(b, s)
+		return b
+	}
+	for i := 0; i < 120; i++ {
+		if err := p.Submit("app:popular", pad("popular")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Submit("app:rare", pad("rare")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram[string(pad("rare"))] != 0 {
+		t.Error("rare crowd leaked")
+	}
+	if c := res.Histogram[string(pad("popular"))]; c < 90 {
+		t.Errorf("popular count = %d, want ~110", c)
+	}
+}
+
+func TestBlindedPipelineEndToEnd(t *testing.T) {
+	p, err := New(WithSeed(5), WithMode(ModeBlinded), WithNoisyThreshold(20, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 90; i++ {
+		if err := p.Submit("zip:94043", []byte("bay-area")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := p.Submit("zip:99999", []byte("outlier")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram["outlier"] != 0 {
+		t.Error("outlier crowd leaked through blinded thresholding")
+	}
+	if c := res.Histogram["bay-area"]; c < 60 {
+		t.Errorf("bay-area count = %d, want ~80", c)
+	}
+}
+
+// TestSecretSharePipeline: the Vocab Secret-Crowd configuration. Values
+// with fewer than t reports must stay unrecoverable even when their crowd
+// survives thresholding.
+func TestSecretSharePipeline(t *testing.T) {
+	p, err := New(WithSeed(6), WithSecretShare(20), WithNaiveThreshold(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if err := p.Submit("w:frequent", []byte("frequent-word")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if err := p.Submit("w:rare", []byte("rare-word")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered["frequent-word"] != 60 {
+		t.Errorf("frequent-word count = %d, want 60", res.Recovered["frequent-word"])
+	}
+	if _, leaked := res.Recovered["rare-word"]; leaked {
+		t.Error("value with 8 < t=20 shares was recovered")
+	}
+}
+
+func TestNoCrowdConfiguration(t *testing.T) {
+	p, err := New(WithSeed(7), WithoutThreshold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := p.Submit("same-crowd", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Histogram) != 5 {
+		t.Errorf("histogram has %d entries, want all 5 (no thresholding)", len(res.Histogram))
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	if _, err := New(WithSecretShare(0)); err == nil {
+		t.Error("secret-share t=0 accepted")
+	}
+	if _, err := New(WithMode(Mode(99))); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestFlushSmallBatchFails(t *testing.T) {
+	p, err := New(WithSeed(8), WithMinBatch(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit("c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Flush(); err == nil {
+		t.Error("batch below MinBatch flushed")
+	}
+}
