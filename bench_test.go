@@ -6,13 +6,19 @@
 package prochlo_test
 
 import (
+	crand "crypto/rand"
 	"fmt"
+	"math/rand/v2"
 	"testing"
 
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/encoder"
 	"prochlo/internal/flix"
 	"prochlo/internal/oblivious"
 	"prochlo/internal/perms"
 	"prochlo/internal/sgx"
+	"prochlo/internal/shuffler"
 	"prochlo/internal/suggest"
 	"prochlo/internal/vocab"
 	"prochlo/internal/workload"
@@ -240,6 +246,61 @@ func BenchmarkAblationStashParams(b *testing.B) {
 			}
 			b.ReportMetric(attempts, "attempts")
 			b.ReportMetric(oblivious.StashSecurityBound(n, bB, c, s, w, 0), "model_logeps")
+		})
+	}
+}
+
+// BenchmarkShufflerProcess compares the shuffler's serial reference path
+// (Workers=1) against the worker pool (Workers=4 and GOMAXPROCS) on one
+// pre-encoded batch: the per-report ECDH+HKDF+AES-GCM peel that dominates
+// the paper's Table 2 distribution cost. The two paths produce identical
+// output by construction (see TestProcessParallelEquivalence), so this
+// benchmark isolates their throughput difference.
+func BenchmarkShufflerProcess(b *testing.B) {
+	const batch = 2000
+	shufPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := &encoder.Client{
+		ShufflerKey: shufPriv.Public(), AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader,
+	}
+	envs := make([]core.Envelope, batch)
+	for i := range envs {
+		env, err := client.Encode(core.Report{
+			CrowdID: core.HashCrowdID(fmt.Sprintf("crowd-%d", i%50)),
+			Data:    []byte("payload........................"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		envs[i] = env
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 4}, {"gomaxprocs", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := &shuffler.Shuffler{
+					Priv:    shufPriv,
+					Rand:    rand.New(rand.NewPCG(1, 2)),
+					Workers: bc.workers,
+				}
+				out, stats, err := s.Process(envs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Undecryptable != 0 || len(out) != batch {
+					b.Fatalf("stats = %+v, forwarded %d", stats, len(out))
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/report")
 		})
 	}
 }

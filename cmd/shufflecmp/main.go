@@ -17,6 +17,7 @@ import (
 
 func main() {
 	n := flag.Int("n", 20_000, "measured run size")
+	workers := flag.Int("workers", 0, "StashShuffle distribution workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	fmt.Println("§4.1.3 analytic overheads (318-byte records, 92 MB EPC, paper figures in parens)")
@@ -67,7 +68,9 @@ func main() {
 			name, el.Round(time.Millisecond), float64(c.BytesIn)/inputBytes, len(out))
 	}
 	runOne("StashShuffle", func(e *sgx.Enclave) oblivious.Shuffler {
-		return oblivious.NewStashShuffle(e, oblivious.Passthrough{}, *n)
+		s := oblivious.NewStashShuffle(e, oblivious.Passthrough{}, *n)
+		s.Workers = *workers
+		return s
 	})
 	runOne("BatcherSort", func(e *sgx.Enclave) oblivious.Shuffler {
 		return &oblivious.BatcherShuffle{Enclave: e, Codec: oblivious.Passthrough{}, BucketSize: 512}

@@ -21,6 +21,7 @@ func main() {
 	table1 := flag.Bool("table1", true, "print Table 1 (parameters, security, overhead)")
 	run := flag.Int("run", 200_000, "measured shuffle size for Table 2 (0 to skip)")
 	itemSize := flag.Int("item", 72, "payload bytes per record for the measured run")
+	workers := flag.Int("workers", 0, "distribution-phase workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *table1 {
@@ -46,13 +47,14 @@ func main() {
 		}
 		enclave := sgx.New(sgx.DefaultEPC, sgx.Measure("stashbench"))
 		s := oblivious.NewStashShuffle(enclave, oblivious.Passthrough{}, n)
+		s.Workers = *workers
 		out, err := s.Shuffle(in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "shuffle failed:", err)
 			os.Exit(1)
 		}
 		m := s.Metrics
-		fmt.Printf("N=%d B=%d C=%d W=%d S=%d\n", n, s.B, s.C, s.W, s.S)
+		fmt.Printf("N=%d B=%d C=%d W=%d S=%d workers=%d\n", n, s.B, s.C, s.W, s.S, *workers)
 		fmt.Printf("%-10s %-14s %-14s %-10s %-10s\n", "N", "Distribution", "Compression", "Total", "SGX Mem")
 		fmt.Printf("%-10d %-14v %-14v %-10v %.1f MB\n",
 			n, m.DistributionTime.Round(1e6), m.CompressionTime.Round(1e6),

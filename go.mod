@@ -1,0 +1,3 @@
+module prochlo
+
+go 1.22

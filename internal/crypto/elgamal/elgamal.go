@@ -189,9 +189,58 @@ func Blind(ct Ciphertext, alpha *big.Int) Ciphertext {
 	return Ciphertext{C1: scalarMult(ct.C1, ab), C2: scalarMult(ct.C2, ab)}
 }
 
+// Blinder is the precomputed fast path of Blind for a scalar that is fixed
+// across a batch epoch, as Shuffler 1's α is. The scalar's fixed-width byte
+// representation — which Blind re-derives from the big.Int on every call —
+// is materialized once; the point multiplications themselves already
+// dispatch to the curve's optimized constant-time P-256 code (whose base
+// point uses a precomputed table internally), which a portable affine
+// window table cannot beat. A Blinder is safe for concurrent use by the
+// shuffler's blinding workers.
+type Blinder struct {
+	alpha [32]byte // fixed-width big-endian scalar
+}
+
+// NewBlinder precomputes the blinding state for the scalar alpha.
+func NewBlinder(alpha *big.Int) *Blinder {
+	b := &Blinder{}
+	alpha.FillBytes(b.alpha[:])
+	return b
+}
+
+// Blind is equivalent to Blind(ct, alpha) for the precomputed alpha.
+func (b *Blinder) Blind(ct Ciphertext) Ciphertext {
+	return Ciphertext{C1: scalarMult(ct.C1, b.alpha[:]), C2: scalarMult(ct.C2, b.alpha[:])}
+}
+
 // Decrypt recovers the message point: C2 - x*C1.
 func (k *KeyPair) Decrypt(ct Ciphertext) Point {
 	return add(ct.C2, neg(scalarMult(ct.C1, k.X.Bytes())))
+}
+
+// Decrypter is the precomputed fast path of Decrypt/BlindedPseudonym for
+// Shuffler 2's fixed private scalar x: the fixed-width byte form of x is
+// materialized once instead of per envelope. Safe for concurrent use.
+type Decrypter struct {
+	x [32]byte
+}
+
+// Decrypter returns precomputed decryption state for the key pair.
+func (k *KeyPair) Decrypter() *Decrypter {
+	d := &Decrypter{}
+	k.X.FillBytes(d.x[:])
+	return d
+}
+
+// Decrypt is equivalent to KeyPair.Decrypt for the precomputed key.
+func (d *Decrypter) Decrypt(ct Ciphertext) Point {
+	return add(ct.C2, neg(scalarMult(ct.C1, d.x[:])))
+}
+
+// BlindedPseudonym is equivalent to KeyPair.BlindedPseudonym for the
+// precomputed key.
+func (d *Decrypter) BlindedPseudonym(ct Ciphertext) string {
+	return string(d.Decrypt(ct).Bytes())
 }
 
 // EncryptCrowdID is the encoder-side helper: hash the crowd ID to a point

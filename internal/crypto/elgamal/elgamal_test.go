@@ -174,3 +174,51 @@ func BenchmarkDecrypt(b *testing.B) {
 		kp.Decrypt(ct)
 	}
 }
+
+func TestBlinderMatchesBlind(t *testing.T) {
+	kp, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBlinder(alpha)
+	for i := 0; i < 8; i++ {
+		ct, err := EncryptCrowdID(rand.Reader, kp.H, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Blind(ct, alpha)
+		got := b.Blind(ct)
+		if !got.C1.Equal(want.C1) || !got.C2.Equal(want.C2) {
+			t.Fatalf("Blinder.Blind diverges from Blind at input %d", i)
+		}
+	}
+}
+
+func TestDecrypterMatchesKeyPair(t *testing.T) {
+	kp, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := kp.Decrypter()
+	alpha, err := RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		ct, err := EncryptCrowdID(rand.Reader, kp.H, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blinded := Blind(ct, alpha)
+		if got, want := d.BlindedPseudonym(blinded), kp.BlindedPseudonym(blinded); got != want {
+			t.Fatalf("Decrypter pseudonym diverges from KeyPair at input %d", i)
+		}
+		if !d.Decrypt(ct).Equal(kp.Decrypt(ct)) {
+			t.Fatalf("Decrypter.Decrypt diverges from KeyPair.Decrypt at input %d", i)
+		}
+	}
+}

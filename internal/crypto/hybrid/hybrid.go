@@ -7,6 +7,13 @@
 // A client encrypts its report first to the analyzer's public key (the inner
 // layer) and then, together with the crowd ID, to the shuffler's public key
 // (the outer layer); see package encoder for the nesting.
+//
+// Open is the shuffler's per-report hot path, so the key-derivation state
+// (HKDF/HMAC blocks, salt and key buffers) lives in a sync.Pool-recycled
+// scratch rather than being reallocated per call, and the recipient's public
+// key bytes are computed once per PrivateKey. OpenInto lets callers supply
+// the plaintext destination, and OpenBatch fans a batch out over a worker
+// pool; both are safe for concurrent use.
 package hybrid
 
 import (
@@ -17,7 +24,11 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
+	"sync"
+
+	"prochlo/internal/parallel"
 )
 
 const (
@@ -34,9 +45,13 @@ const (
 // ErrDecrypt is returned for any malformed or unauthentic ciphertext.
 var ErrDecrypt = errors.New("hybrid: decryption failed")
 
-// PrivateKey is a recipient's decryption key.
+// PrivateKey is a recipient's decryption key. It is safe for concurrent use.
 type PrivateKey struct {
 	key *ecdh.PrivateKey
+
+	pubOnce  sync.Once
+	pub      *PublicKey
+	pubBytes []byte
 }
 
 // PublicKey is a recipient's encryption key.
@@ -53,9 +68,25 @@ func GenerateKey(rng io.Reader) (*PrivateKey, error) {
 	return &PrivateKey{key: k}, nil
 }
 
+// initPublic caches the public half and its encoding; Open needs the bytes
+// for every key derivation.
+func (p *PrivateKey) initPublic() {
+	p.pubOnce.Do(func() {
+		p.pub = &PublicKey{key: p.key.PublicKey()}
+		p.pubBytes = p.pub.Bytes()
+	})
+}
+
 // Public returns the public half of the key.
 func (p *PrivateKey) Public() *PublicKey {
-	return &PublicKey{key: p.key.PublicKey()}
+	p.initPublic()
+	return p.pub
+}
+
+// publicBytes returns the cached uncompressed encoding of the public key.
+func (p *PrivateKey) publicBytes() []byte {
+	p.initPublic()
+	return p.pubBytes
 }
 
 // Bytes returns the uncompressed point encoding of the public key, suitable
@@ -71,8 +102,13 @@ func ParsePublicKey(b []byte) (*PublicKey, error) {
 	return &PublicKey{key: k}, nil
 }
 
+// hkdfInfo is the domain-separation label of the key derivation.
+var hkdfInfo = []byte("prochlo-hybrid-v1")
+
 // hkdf derives length bytes from the shared secret and context using the
-// extract-and-expand construction of RFC 5869 with SHA-256.
+// extract-and-expand construction of RFC 5869 with SHA-256. It is the
+// allocation-free scratch path's reference implementation; tests assert the
+// two agree.
 func hkdf(secret, salt, info []byte, length int) []byte {
 	ext := hmac.New(sha256.New, salt)
 	ext.Write(secret)
@@ -90,10 +126,77 @@ func hkdf(secret, salt, info []byte, length int) []byte {
 	return out[:length]
 }
 
-// sealKey derives the symmetric key for a (sender ephemeral, recipient) pair.
-func sealKey(shared, ephPub, rcptPub []byte) []byte {
-	salt := append(append([]byte{}, ephPub...), rcptPub...)
-	return hkdf(shared, salt, []byte("prochlo-hybrid-v1"), keyLen)
+// scratch is the reusable per-call state of one key derivation: the HMAC pad
+// blocks, one SHA-256 state, and the salt/PRK/OKM buffers. A scratch is the
+// working set HKDF-SHA256 needs for our fixed 16-byte output, kept off the
+// heap's per-call path via scratchPool.
+type scratch struct {
+	hash hash.Hash // one SHA-256 state, Reset between uses
+	ipad [64]byte
+	opad [64]byte
+	sum  [sha256.Size]byte // inner-digest staging
+	prk  [sha256.Size]byte
+	okm  [sha256.Size]byte
+	salt [2 * pubKeyLen]byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{hash: sha256.New()} }}
+
+// one is the single-byte HKDF-expand block counter (keyLen <= 32 needs only
+// block 1).
+var one = [1]byte{1}
+
+// hmacKey loads an HMAC key into the pad blocks.
+func (s *scratch) hmacKey(key []byte) {
+	var kb [64]byte
+	if len(key) > len(kb) {
+		d := sha256.Sum256(key)
+		copy(kb[:], d[:])
+	} else {
+		copy(kb[:], key)
+	}
+	for i := range kb {
+		s.ipad[i] = kb[i] ^ 0x36
+		s.opad[i] = kb[i] ^ 0x5c
+	}
+}
+
+// hmacSum computes HMAC(key loaded by hmacKey, data...) into out.
+func (s *scratch) hmacSum(out *[sha256.Size]byte, data ...[]byte) {
+	h := s.hash
+	h.Reset()
+	h.Write(s.ipad[:])
+	for _, d := range data {
+		h.Write(d)
+	}
+	h.Sum(s.sum[:0])
+	h.Reset()
+	h.Write(s.opad[:])
+	h.Write(s.sum[:])
+	h.Sum(out[:0])
+}
+
+// sealKey derives the AES key for a (sender ephemeral, recipient) pair:
+// HKDF-SHA256(secret=shared, salt=ephPub||rcptPub, info=hkdfInfo). The
+// returned slice aliases the scratch and is consumed before the scratch is
+// reused (AES's key schedule copies it).
+func (s *scratch) sealKey(shared, ephPub, rcptPub []byte) []byte {
+	n := copy(s.salt[:], ephPub)
+	n += copy(s.salt[n:], rcptPub)
+	s.hmacKey(s.salt[:n])
+	s.hmacSum(&s.prk, shared)
+	s.hmacKey(s.prk[:])
+	s.hmacSum(&s.okm, hkdfInfo, one[:])
+	return s.okm[:keyLen]
+}
+
+// newAEAD builds the AES-128-GCM instance for a derived key.
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
 }
 
 // Seal encrypts plaintext to the recipient pub, binding aad (which is
@@ -109,12 +212,9 @@ func Seal(rng io.Reader, pub *PublicKey, plaintext, aad []byte) ([]byte, error) 
 		return nil, fmt.Errorf("hybrid: %w", err)
 	}
 	ephPub := eph.PublicKey().Bytes()
-	key := sealKey(shared, ephPub, pub.Bytes())
-	block, err := aes.NewCipher(key)
-	if err != nil {
-		return nil, err
-	}
-	gcm, err := cipher.NewGCM(block)
+	sc := scratchPool.Get().(*scratch)
+	gcm, err := newAEAD(sc.sealKey(shared, ephPub, pub.Bytes()))
+	scratchPool.Put(sc)
 	if err != nil {
 		return nil, err
 	}
@@ -131,6 +231,15 @@ func Seal(rng io.Reader, pub *PublicKey, plaintext, aad []byte) ([]byte, error) 
 
 // Open decrypts a ciphertext produced by Seal for this private key.
 func (p *PrivateKey) Open(sealed, aad []byte) ([]byte, error) {
+	return p.OpenInto(nil, sealed, aad)
+}
+
+// OpenInto decrypts a ciphertext produced by Seal for this private key,
+// appending the plaintext to dst (which may be nil) and returning the
+// extended slice. Batch callers — the shuffler's decryption workers — reuse
+// dst across records to amortize the plaintext allocation. OpenInto is safe
+// for concurrent use.
+func (p *PrivateKey) OpenInto(dst, sealed, aad []byte) ([]byte, error) {
 	if len(sealed) < pubKeyLen+nonceLen+tagLen {
 		return nil, ErrDecrypt
 	}
@@ -142,32 +251,40 @@ func (p *PrivateKey) Open(sealed, aad []byte) ([]byte, error) {
 	if err != nil {
 		return nil, ErrDecrypt
 	}
-	key := sealKey(shared, sealed[:pubKeyLen], p.Public().Bytes())
-	block, err := aes.NewCipher(key)
-	if err != nil {
-		return nil, err
-	}
-	gcm, err := cipher.NewGCM(block)
+	sc := scratchPool.Get().(*scratch)
+	gcm, err := newAEAD(sc.sealKey(shared, sealed[:pubKeyLen], p.publicBytes()))
+	scratchPool.Put(sc)
 	if err != nil {
 		return nil, err
 	}
 	nonce := sealed[pubKeyLen : pubKeyLen+nonceLen]
-	pt, err := gcm.Open(nil, nonce, sealed[pubKeyLen+nonceLen:], aad)
+	pt, err := gcm.Open(dst, nonce, sealed[pubKeyLen+nonceLen:], aad)
 	if err != nil {
 		return nil, ErrDecrypt
 	}
 	return pt, nil
 }
 
+// OpenBatch decrypts a batch of ciphertexts on a pool of workers (0 selects
+// GOMAXPROCS), returning per-record plaintexts and errors positionally:
+// errs[i] != nil iff record i failed, in which case pts[i] is nil. It is the
+// bulk convenience entry point for callers that only need decryption; the
+// shuffler's Process paths instead call OpenInto from their own worker
+// pools, which lets them fuse decryption with crowd-ID splitting.
+func (p *PrivateKey) OpenBatch(sealed [][]byte, aad []byte, workers int) (pts [][]byte, errs []error) {
+	pts = make([][]byte, len(sealed))
+	errs = make([]error, len(sealed))
+	parallel.For(parallel.Workers(workers), len(sealed), func(i int) {
+		pts[i], errs[i] = p.OpenInto(nil, sealed[i], aad)
+	})
+	return pts, errs
+}
+
 // SymmetricSeal encrypts with a raw 16-byte key (no key agreement); it is
 // the primitive the oblivious shuffler uses for its ephemeral intermediate
 // re-encryption, where both endpoints are the same enclave.
 func SymmetricSeal(rng io.Reader, key *[16]byte, plaintext []byte) ([]byte, error) {
-	block, err := aes.NewCipher(key[:])
-	if err != nil {
-		return nil, err
-	}
-	gcm, err := cipher.NewGCM(block)
+	gcm, err := newAEAD(key[:])
 	if err != nil {
 		return nil, err
 	}
@@ -185,11 +302,7 @@ func SymmetricOpen(key *[16]byte, sealed []byte) ([]byte, error) {
 	if len(sealed) < nonceLen+tagLen {
 		return nil, ErrDecrypt
 	}
-	block, err := aes.NewCipher(key[:])
-	if err != nil {
-		return nil, err
-	}
-	gcm, err := cipher.NewGCM(block)
+	gcm, err := newAEAD(key[:])
 	if err != nil {
 		return nil, err
 	}

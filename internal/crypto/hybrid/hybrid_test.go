@@ -178,6 +178,79 @@ func TestSymmetricWrongKey(t *testing.T) {
 	}
 }
 
+func TestOpenIntoAppends(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	ct, err := Seal(rand.Reader, priv.Public(), []byte("payload"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("prefix:")
+	got, err := priv.OpenInto(append([]byte{}, prefix...), ct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "prefix:payload" {
+		t.Fatalf("OpenInto = %q, want %q", got, "prefix:payload")
+	}
+	// Reusing the same backing array must not reallocate.
+	buf := make([]byte, 0, 64)
+	first, err := priv.OpenInto(buf, ct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &buf[:1][0] {
+		t.Error("OpenInto reallocated despite sufficient capacity")
+	}
+}
+
+func TestOpenBatch(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	const n = 50
+	sealed := make([][]byte, n)
+	for i := range sealed {
+		ct, err := Seal(rand.Reader, priv.Public(), []byte{byte(i)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sealed[i] = ct
+	}
+	sealed[17] = []byte("garbage")        // too short
+	sealed[31][pubKeyLen+nonceLen+2] ^= 1 // tampered
+	for _, workers := range []int{1, 4, 0} {
+		pts, errs := priv.OpenBatch(sealed, nil, workers)
+		for i := 0; i < n; i++ {
+			if i == 17 || i == 31 {
+				if errs[i] == nil {
+					t.Errorf("workers=%d: corrupt record %d accepted", workers, i)
+				}
+				continue
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: record %d: %v", workers, i, errs[i])
+			}
+			if len(pts[i]) != 1 || pts[i][0] != byte(i) {
+				t.Errorf("workers=%d: record %d decrypted to %v", workers, i, pts[i])
+			}
+		}
+	}
+}
+
+// TestScratchKeyMatchesReferenceHKDF pins the pooled-scratch key derivation
+// to the straightforward RFC 5869 implementation it replaced.
+func TestScratchKeyMatchesReferenceHKDF(t *testing.T) {
+	shared := bytes.Repeat([]byte{0xab}, 32)
+	ephPub := bytes.Repeat([]byte{0x01}, pubKeyLen)
+	rcptPub := bytes.Repeat([]byte{0x02}, pubKeyLen)
+	salt := append(append([]byte{}, ephPub...), rcptPub...)
+	want := hkdf(shared, salt, hkdfInfo, keyLen)
+	sc := scratchPool.Get().(*scratch)
+	got := append([]byte{}, sc.sealKey(shared, ephPub, rcptPub)...)
+	scratchPool.Put(sc)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("scratch sealKey = %x, reference HKDF = %x", got, want)
+	}
+}
+
 func BenchmarkSeal64B(b *testing.B) {
 	priv, _ := GenerateKey(rand.Reader)
 	pub := priv.Public()
@@ -197,6 +270,21 @@ func BenchmarkOpen64B(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := priv.Open(ct, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenInto64B is the shuffler workers' calling convention: the
+// plaintext destination is reused across records.
+func BenchmarkOpenInto64B(b *testing.B) {
+	priv, _ := GenerateKey(rand.Reader)
+	ct, _ := Seal(rand.Reader, priv.Public(), make([]byte, 64), nil)
+	dst := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := priv.OpenInto(dst, ct, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,6 +12,11 @@
 // property is reflected by all intermediate records having identical size
 // and fresh encryption, with dummy and real items following identical code
 // paths.
+//
+// Concurrency: StashShuffle has a Workers knob (0 selects GOMAXPROCS, 1 the
+// serial reference path) that parallelizes the distribution phase's per-item
+// crypto across input buckets while keeping Seed != 0 runs byte-identical at
+// every worker count; see the StashShuffle.Workers documentation.
 package oblivious
 
 import (
@@ -130,9 +135,18 @@ func newSealer() (*sealer, error) {
 const sealedOverhead = 12 + 16
 
 func (s *sealer) seal(pt []byte) []byte {
-	var nonce [12]byte
-	binary.BigEndian.PutUint64(nonce[4:], s.ctr)
+	n := s.ctr
 	s.ctr++
+	return s.sealAt(pt, n)
+}
+
+// sealAt encrypts with an explicit nonce counter. Callers own nonce
+// uniqueness (the Stash Shuffle's distribution workers use the intermediate
+// slot index, which is unique per attempt); unlike seal it has no mutable
+// state, so it is safe for concurrent use by a worker pool.
+func (s *sealer) sealAt(pt []byte, nonceCtr uint64) []byte {
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], nonceCtr)
 	out := make([]byte, 0, len(nonce)+len(pt)+16)
 	out = append(out, nonce[:]...)
 	return s.gcm.Seal(out, nonce[:], pt, nil)

@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"prochlo/internal/parallel"
 	"prochlo/internal/sgx"
 )
 
@@ -39,6 +40,15 @@ type StashShuffle struct {
 	C int // per-(input,output)-bucket chunk capacity
 	W int // compression sliding-window size, in buckets
 	S int // total stash capacity, in items
+
+	// Workers sets the distribution phase's worker count: 0 selects
+	// GOMAXPROCS, 1 forces the serial reference path. The per-item crypto
+	// of distribution — peeling the input records (public-key work in the
+	// SGX shuffler) and re-encrypting the intermediate records — runs on
+	// the pool; bucket-assignment randomness is pre-drawn in input order
+	// and the chunk/stash bookkeeping stays serial, so for a fixed nonzero
+	// Seed the output permutation is identical at every worker count.
+	Workers int
 
 	// QueueSlack is extra compression-queue capacity beyond the steady
 	// state of W·D items, absorbing the binomial elasticity of real-item
@@ -163,6 +173,7 @@ func (s *StashShuffle) attempt(in [][]byte, attempt uint64) ([][]byte, error) {
 	interSize := 1 + pSize + sealedOverhead
 	midStride := b*s.C + k
 	rng := newRand(mixSeed(s.Seed, attempt))
+	workers := parallel.Workers(s.Workers)
 
 	seal, err := newSealer()
 	if err != nil {
@@ -170,6 +181,17 @@ func (s *StashShuffle) attempt(in [][]byte, attempt uint64) ([][]byte, error) {
 	}
 
 	// --- Distribution phase (Algorithms 1–2) ---
+	//
+	// The phase's cost is per-item crypto: codec.Open on every input record
+	// (a public-key operation in the SGX shuffler) and one AES-GCM seal per
+	// intermediate record. Both are data-independent, so they run on the
+	// worker pool; the chunk/stash bookkeeping between them is a few slice
+	// appends per item and stays serial. Per input bucket: target output
+	// buckets are pre-drawn from the phase RNG in input order (the exact
+	// stream the serial loop consumes), the bucket's records are opened
+	// concurrently into positional slots, placement runs serially, and the
+	// bucket's b·C intermediate records are sealed concurrently, each under
+	// a nonce derived from its unique intermediate slot index.
 	start := time.Now()
 	// Private memory: one decoded input bucket, the B staged chunks of up
 	// to C items, and the stash.
@@ -185,6 +207,9 @@ func (s *StashShuffle) attempt(in [][]byte, attempt uint64) ([][]byte, error) {
 	for j := range chunks {
 		chunks[j] = make([][]byte, 0, s.C)
 	}
+	targets := make([]int, d)    // pre-drawn output buckets, per input bucket
+	pts := make([][]byte, d)     // opened records, per input bucket
+	openErrs := make([]error, d) // per-position open failures
 
 	fail := func(err error) ([][]byte, error) {
 		s.Enclave.Free(distMem)
@@ -203,20 +228,28 @@ func (s *StashShuffle) attempt(in [][]byte, attempt uint64) ([][]byte, error) {
 				stashCount--
 			}
 		}
-		// Read, decode, and distribute this input bucket (lines 7–15).
+		// Read and decode this input bucket (lines 7–15): draw the targets
+		// in input order, open the records on the pool, then place.
 		lo, hi := bucketBounds(ib, d, n)
-		for i := lo; i < hi; i++ {
-			s.Enclave.ReadUntrusted(len(in[i]))
-			pt, err := codec.Open(in[i])
-			if err != nil {
-				return fail(fmt.Errorf("oblivious: input record %d: %w", i, err))
+		cnt := hi - lo
+		for t := 0; t < cnt; t++ {
+			targets[t] = rng.IntN(b)
+		}
+		parallel.For(workers, cnt, func(t int) {
+			pts[t], openErrs[t] = s.Codec.Open(in[lo+t])
+		})
+		for t := 0; t < cnt; t++ {
+			s.Enclave.ReadUntrusted(len(in[lo+t]))
+			s.Enclave.CountOpen()
+			if openErrs[t] != nil {
+				return fail(fmt.Errorf("oblivious: input record %d: %w", lo+t, openErrs[t]))
 			}
-			j := rng.IntN(b)
+			j := targets[t]
 			switch {
 			case len(chunks[j]) < s.C:
-				chunks[j] = append(chunks[j], pt)
+				chunks[j] = append(chunks[j], pts[t])
 			case stashCount < s.S:
-				stash[j] = append(stash[j], pt)
+				stash[j] = append(stash[j], pts[t])
 				stashCount++
 				if stashCount > s.Metrics.StashPeak {
 					s.Metrics.StashPeak = stashCount
@@ -226,28 +259,28 @@ func (s *StashShuffle) attempt(in [][]byte, attempt uint64) ([][]byte, error) {
 			}
 		}
 		// Pad with dummies, encrypt, and write out (lines 16–20).
-		for j := 0; j < b; j++ {
-			base := j*midStride + ib*s.C
-			for i := 0; i < s.C; i++ {
-				rec := seal.seal(packItem(chunks[j], i, pSize))
-				mid[base+i] = rec
-				s.Enclave.WriteUntrusted(len(rec))
-			}
-		}
+		parallel.For(workers, b*s.C, func(x int) {
+			j := x / s.C
+			i := x % s.C
+			slot := j*midStride + ib*s.C + i
+			mid[slot] = seal.sealAt(packItem(chunks[j], i, pSize), uint64(slot))
+		})
+		s.Enclave.WriteUntrusted(b * s.C * interSize)
 	}
 	// Drain the stash into K extra slots per output bucket (Algorithm 1,
-	// line 5).
+	// line 5; the residue check is line 6).
 	for j := 0; j < b; j++ {
-		base := j*midStride + b*s.C
-		for i := 0; i < k; i++ {
-			rec := seal.seal(packItem(stash[j], i, pSize))
-			mid[base+i] = rec
-			s.Enclave.WriteUntrusted(len(rec))
-		}
 		if len(stash[j]) > k {
-			return fail(ErrStashResidue) // Algorithm 1, line 6
+			return fail(ErrStashResidue)
 		}
 	}
+	parallel.For(workers, b*k, func(x int) {
+		j := x / k
+		i := x % k
+		slot := j*midStride + b*s.C + i
+		mid[slot] = seal.sealAt(packItem(stash[j], i, pSize), uint64(slot))
+	})
+	s.Enclave.WriteUntrusted(b * k * interSize)
 	s.Enclave.Free(distMem)
 	s.Metrics.DistributionTime = time.Since(start)
 	s.Metrics.IntermediateItems = len(mid)

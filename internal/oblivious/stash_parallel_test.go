@@ -1,0 +1,103 @@
+package oblivious
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStashShuffleParallelDeterminism pins the Workers knob's contract: with
+// a fixed nonzero Seed, the output permutation and the distribution metrics
+// are byte-identical at every worker count, because bucket-assignment
+// randomness is pre-drawn in input order and only order-free crypto runs on
+// the pool. Run with -race this doubles as the concurrency exercise of the
+// parallel distribution phase.
+func TestStashShuffleParallelDeterminism(t *testing.T) {
+	n := 5_000
+	if testing.Short() {
+		n = 1_000
+	}
+	in := makeItems(n, 48)
+	run := func(workers int) ([][]byte, StashMetrics) {
+		s := NewStashShuffle(testEnclave(), Passthrough{}, n)
+		s.Seed = 42
+		s.Workers = workers
+		out, err := s.Shuffle(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, s.Metrics
+	}
+	serialOut, serialM := run(1)
+	for _, workers := range []int{2, 4, 0} {
+		out, m := run(workers)
+		for i := range serialOut {
+			if !bytes.Equal(serialOut[i], out[i]) {
+				t.Fatalf("workers=%d: output diverges from serial at position %d", workers, i)
+			}
+		}
+		if m.StashPeak != serialM.StashPeak || m.QueuePeak != serialM.QueuePeak ||
+			m.IntermediateItems != serialM.IntermediateItems || m.Attempts != serialM.Attempts {
+			t.Errorf("workers=%d: metrics diverge: serial %+v, parallel %+v", workers, serialM, m)
+		}
+	}
+}
+
+// TestStashShuffleParallelStashExercised mirrors TestStashAbsorbsOverflow on
+// the worker-pool path: a deliberately tight chunk capacity must spill into
+// the stash and still produce a permutation identical to the serial run.
+func TestStashShuffleParallelStashExercised(t *testing.T) {
+	n := 4_000
+	in := makeItems(n, 16)
+	run := func(workers int) ([][]byte, int) {
+		s := &StashShuffle{Enclave: testEnclave(), Codec: Passthrough{},
+			B: 10, C: 42, W: 3, S: 2000, Seed: 11, Workers: workers}
+		out, err := s.Shuffle(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, s.Metrics.StashPeak
+	}
+	serialOut, serialPeak := run(1)
+	parOut, parPeak := run(4)
+	if serialPeak == 0 {
+		t.Fatal("stash never used; parameters too generous for this test to be meaningful")
+	}
+	if parPeak != serialPeak {
+		t.Errorf("StashPeak diverges: serial %d, parallel %d", serialPeak, parPeak)
+	}
+	for i := range serialOut {
+		if !bytes.Equal(serialOut[i], parOut[i]) {
+			t.Fatalf("output diverges from serial at position %d", i)
+		}
+	}
+	assertPermutation(t, in, parOut)
+}
+
+// TestStashShuffleParallelBoundaryTraffic checks that the batched metering
+// of the parallel distribution phase reports exactly the per-record totals
+// of the cost model, as the serial path always has.
+func TestStashShuffleParallelBoundaryTraffic(t *testing.T) {
+	n := 1_000
+	itemSize := 48
+	in := makeItems(n, itemSize)
+	e := testEnclave()
+	s := NewStashShuffle(e, Passthrough{}, n)
+	s.Seed = 5
+	s.Workers = 4
+	if _, err := s.Shuffle(in); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Counters()
+	interSize := 1 + itemSize + sealedOverhead
+	wantIn := int64(n*itemSize) + int64(s.Metrics.IntermediateItems*interSize)
+	if c.BytesIn != wantIn {
+		t.Errorf("BytesIn = %d, want %d", c.BytesIn, wantIn)
+	}
+	wantOut := int64(s.Metrics.IntermediateItems*interSize) + int64(n*itemSize)
+	if c.BytesOut != wantOut {
+		t.Errorf("BytesOut = %d, want %d", c.BytesOut, wantOut)
+	}
+	if got := e.Used(); got != 0 {
+		t.Errorf("enclave memory leak: %d bytes still allocated", got)
+	}
+}

@@ -1,0 +1,69 @@
+// Package parallel provides the small worker-pool primitives shared by the
+// shuffler pipeline's hot paths (envelope decryption, blinding, and the Stash
+// Shuffle distribution phase). The primitives are deliberately minimal: a
+// bounded index loop with dynamic chunked work-stealing, suitable for batches
+// of independent, uniformly expensive items (public-key operations dominate,
+// so scheduling overhead is negligible).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunk is the number of consecutive indices a worker claims per fetch.
+// Per-item work in this codebase is microseconds of public-key crypto, so a
+// small chunk keeps the tail balanced without measurable contention.
+const chunk = 16
+
+// Workers resolves a worker-count knob: values <= 0 select GOMAXPROCS, as
+// the Shuffler/StashShuffle Workers fields document.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n), distributing indices over the given
+// number of workers. With workers <= 1 (or tiny n) it degenerates to an
+// in-order loop on the calling goroutine, which is the serial reference path:
+// fn must therefore not depend on execution order across indices. For returns
+// only when every call has completed.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				hi := int(next.Add(chunk))
+				lo := hi - chunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

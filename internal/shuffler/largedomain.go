@@ -87,6 +87,7 @@ func (s *SGXShuffler) ProcessLargeDomain(batch []core.Envelope) ([][]byte, Stats
 	// Re-shuffle survivors so adjacency does not reveal crowd grouping.
 	final := oblivious.NewStashShuffle(s.Enclave, oblivious.Passthrough{}, len(out))
 	final.Seed = s.Seed
+	final.Workers = s.Workers
 	shuffled, err := final.Shuffle(out)
 	if err != nil {
 		return nil, stats, fmt.Errorf("shuffler: final shuffle: %w", err)

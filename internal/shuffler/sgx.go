@@ -24,6 +24,7 @@ type SGXShuffler struct {
 	Threshold Threshold
 	Rand      *rand.Rand
 	Seed      uint64 // deterministic stash shuffling for tests
+	Workers   int    // Stash Shuffle distribution workers; 0 = GOMAXPROCS, 1 = serial
 
 	priv *hybrid.PrivateKey
 
@@ -104,6 +105,7 @@ func (s *SGXShuffler) Process(batch []core.Envelope) ([][]byte, Stats, error) {
 	codec := outerPeelCodec{priv: s.priv, enclave: s.Enclave}
 	st := oblivious.NewStashShuffle(s.Enclave, codec, len(blobs))
 	st.Seed = s.Seed
+	st.Workers = s.Workers
 	shuffled, err := st.Shuffle(blobs)
 	if err != nil {
 		return nil, stats, fmt.Errorf("shuffler: oblivious shuffle: %w", err)
@@ -118,17 +120,23 @@ func (s *SGXShuffler) Process(batch []core.Envelope) ([][]byte, Stats, error) {
 	}
 	defer s.Enclave.Free(counterMem)
 	counts := make(map[core.CrowdID]int, len(shuffled)/4)
+	var order []core.CrowdID // first-appearance order, for deterministic RNG use
 	for _, rec := range shuffled {
 		s.Enclave.ReadUntrusted(len(rec))
 		var id core.CrowdID
 		copy(id[:], rec[:core.CrowdIDSize])
+		if counts[id] == 0 {
+			order = append(order, id)
+		}
 		counts[id]++
 	}
 	stats.Crowds = len(counts)
-	// Per-crowd forwarding budget after noisy thresholding.
+	// Per-crowd forwarding budget after noisy thresholding, decided in
+	// first-appearance order so a seeded run consumes the threshold RNG
+	// deterministically (map iteration order would not).
 	budget := make(map[core.CrowdID]int, len(counts))
-	for id, c := range counts {
-		keep, ok := s.Threshold.Apply(s.Rand, c)
+	for _, id := range order {
+		keep, ok := s.Threshold.Apply(s.Rand, counts[id])
 		if !ok {
 			continue
 		}

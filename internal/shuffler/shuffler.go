@@ -10,6 +10,13 @@
 //     enclave and attests its public key per §4.1.1;
 //   - Shuffler1/Shuffler2: the split shuffler of §4.3, thresholding on
 //     blinded crowd IDs so neither party sees them in the clear.
+//
+// Concurrency: each variant has a Workers knob (0 selects GOMAXPROCS,
+// 1 forces the serial reference path). Per-report public-key work —
+// envelope decryption, crowd-ID blinding, pseudonym recovery — runs on a
+// worker pool; grouping, thresholding, and shuffling stay deterministic, so
+// for a fixed batch and RNG seed the output is byte-identical at every
+// worker count.
 package shuffler
 
 import (
@@ -23,6 +30,7 @@ import (
 	"prochlo/internal/crypto/elgamal"
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/dp"
+	"prochlo/internal/parallel"
 )
 
 // Stats summarizes one processed batch; the shuffler's host learns only the
@@ -60,7 +68,7 @@ func (t Threshold) Apply(rng *rand.Rand, count int) (int, bool) {
 	return count, true
 }
 
-// MinBatch is the default minimum batch size a shuffler will process;
+// DefaultMinBatch is the default minimum batch size a shuffler will process;
 // batching over an epoch is the first defense against traffic analysis.
 const DefaultMinBatch = 2
 
@@ -70,6 +78,7 @@ type Shuffler struct {
 	Threshold Threshold
 	Rand      *rand.Rand
 	MinBatch  int // minimum envelopes per batch; 0 selects DefaultMinBatch
+	Workers   int // decryption/grouping workers; 0 = GOMAXPROCS, 1 = serial
 }
 
 // ErrBatchTooSmall is returned when a batch is below the minimum size;
@@ -77,9 +86,17 @@ type Shuffler struct {
 // while ... or until the batch is large enough").
 var ErrBatchTooSmall = errors.New("shuffler: batch below minimum size")
 
+// openedEnvelope is the per-position result of the decryption workers.
+type openedEnvelope struct {
+	crowd core.CrowdID
+	inner []byte
+	ok    bool
+}
+
 // Process strips metadata, peels the outer layer, groups by crowd ID,
 // applies thresholding, and returns the surviving inner ciphertexts in
-// shuffled order.
+// shuffled order. Decryption and grouping run on the worker pool; see the
+// package comment for the determinism contract.
 func (s *Shuffler) Process(batch []core.Envelope) ([][]byte, Stats, error) {
 	min := s.MinBatch
 	if min == 0 {
@@ -89,48 +106,29 @@ func (s *Shuffler) Process(batch []core.Envelope) ([][]byte, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("%w: %d < %d", ErrBatchTooSmall, len(batch), min)
 	}
 	stats := Stats{Received: len(batch)}
-	type opened struct {
-		crowd core.CrowdID
-		inner []byte
-	}
-	items := make([]opened, 0, len(batch))
-	for i := range batch {
+	workers := parallel.Workers(s.Workers)
+	items := make([]openedEnvelope, len(batch))
+	parallel.For(workers, len(batch), func(i int) {
 		batch[i].StripMetadata()
-		payload, err := s.Priv.Open(batch[i].Blob, nil)
+		payload, err := s.Priv.OpenInto(nil, batch[i].Blob, nil)
 		if err != nil || len(payload) < core.CrowdIDSize {
+			return
+		}
+		copy(items[i].crowd[:], payload[:core.CrowdIDSize])
+		items[i].inner = payload[core.CrowdIDSize:]
+		items[i].ok = true
+	})
+	for i := range items {
+		if !items[i].ok {
 			stats.Undecryptable++
-			continue
-		}
-		var o opened
-		copy(o.crowd[:], payload[:core.CrowdIDSize])
-		o.inner = payload[core.CrowdIDSize:]
-		items = append(items, o)
-	}
-	// Group by crowd ID and threshold.
-	groups := make(map[core.CrowdID][]int)
-	for i, it := range items {
-		groups[it.crowd] = append(groups[it.crowd], i)
-	}
-	stats.Crowds = len(groups)
-	var out [][]byte
-	for _, idxs := range groups {
-		keep, ok := s.Threshold.Apply(s.Rand, len(idxs))
-		if !ok {
-			continue
-		}
-		stats.CrowdsForwarded++
-		// Drop a random subset down to the post-noise count.
-		s.Rand.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
-		if keep > len(idxs) {
-			keep = len(idxs)
-		}
-		for _, i := range idxs[:keep] {
-			out = append(out, items[i].inner)
 		}
 	}
-	// Shuffle the batch so output order carries no grouping signal.
-	s.Rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-	stats.Forwarded = len(out)
+	groups := groupBy(workers, len(items),
+		func(i int) bool { return items[i].ok },
+		func(i int) core.CrowdID { return items[i].crowd },
+		func(k core.CrowdID) uint32 { return uint32(k[0]) })
+	out := applyThreshold(groups, s.Threshold, s.Rand,
+		func(i int) []byte { return items[i].inner }, &stats)
 	return out, stats, nil
 }
 
@@ -140,8 +138,9 @@ func (s *Shuffler) Process(batch []core.Envelope) ([][]byte, Stats, error) {
 // metadata, and shuffles. It cannot decrypt crowd IDs (no Shuffler 2 private
 // key) nor data (no analyzer key).
 type Shuffler1 struct {
-	Alpha *big.Int // blinding exponent, fixed per batch epoch
-	Rand  *rand.Rand
+	Alpha   *big.Int // blinding exponent, fixed per batch epoch
+	Rand    *rand.Rand
+	Workers int // blinding workers; 0 = GOMAXPROCS, 1 = serial
 }
 
 // NewShuffler1 draws a fresh blinding exponent.
@@ -153,25 +152,40 @@ func NewShuffler1(rng *rand.Rand) (*Shuffler1, error) {
 	return &Shuffler1{Alpha: alpha, Rand: rng}, nil
 }
 
-// Process blinds and shuffles a batch, forwarding it for Shuffler 2.
+// Process blinds and shuffles a batch, forwarding it for Shuffler 2. The
+// per-envelope point operations run on the worker pool.
 func (s *Shuffler1) Process(batch []core.BlindedEnvelope) ([]core.BlindedEnvelope, error) {
-	out := make([]core.BlindedEnvelope, 0, len(batch))
-	for i := range batch {
+	blinder := elgamal.NewBlinder(s.Alpha)
+	type blindedResult struct {
+		env core.BlindedEnvelope
+		ok  bool
+	}
+	results := make([]blindedResult, len(batch))
+	parallel.For(parallel.Workers(s.Workers), len(batch), func(i int) {
 		batch[i].StripMetadata()
 		c1, err := elgamal.ParsePoint(batch[i].CrowdC1)
 		if err != nil {
-			continue
+			return
 		}
 		c2, err := elgamal.ParsePoint(batch[i].CrowdC2)
 		if err != nil {
-			continue
+			return
 		}
-		blinded := elgamal.Blind(elgamal.Ciphertext{C1: c1, C2: c2}, s.Alpha)
-		out = append(out, core.BlindedEnvelope{
-			CrowdC1: blinded.C1.Bytes(),
-			CrowdC2: blinded.C2.Bytes(),
-			Blob:    batch[i].Blob,
-		})
+		blinded := blinder.Blind(elgamal.Ciphertext{C1: c1, C2: c2})
+		results[i] = blindedResult{
+			env: core.BlindedEnvelope{
+				CrowdC1: blinded.C1.Bytes(),
+				CrowdC2: blinded.C2.Bytes(),
+				Blob:    batch[i].Blob,
+			},
+			ok: true,
+		}
+	})
+	out := make([]core.BlindedEnvelope, 0, len(batch))
+	for i := range results {
+		if results[i].ok {
+			out = append(out, results[i].env)
+		}
 	}
 	s.Rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out, nil
@@ -186,49 +200,53 @@ type Shuffler2 struct {
 	Priv      *hybrid.PrivateKey
 	Threshold Threshold
 	Rand      *rand.Rand
+	Workers   int // decryption workers; 0 = GOMAXPROCS, 1 = serial
+}
+
+// openedBlinded is the per-position result of Shuffler 2's workers.
+type openedBlinded struct {
+	pseudo string
+	inner  []byte
+	ok     bool
 }
 
 // Process thresholds on pseudonyms and returns surviving inner ciphertexts,
-// shuffled.
+// shuffled. Pseudonym recovery (two point decompressions, an El Gamal
+// decryption) and outer-layer peeling run on the worker pool.
 func (s *Shuffler2) Process(batch []core.BlindedEnvelope) ([][]byte, Stats, error) {
 	stats := Stats{Received: len(batch)}
-	type opened struct {
-		pseudo string
-		inner  []byte
-	}
-	items := make([]opened, 0, len(batch))
-	for i := range batch {
+	workers := parallel.Workers(s.Workers)
+	dec := s.Blinding.Decrypter()
+	items := make([]openedBlinded, len(batch))
+	parallel.For(workers, len(batch), func(i int) {
 		c1, err1 := elgamal.ParsePoint(batch[i].CrowdC1)
 		c2, err2 := elgamal.ParsePoint(batch[i].CrowdC2)
-		inner, err3 := s.Priv.Open(batch[i].Blob, nil)
+		inner, err3 := s.Priv.OpenInto(nil, batch[i].Blob, nil)
 		if err1 != nil || err2 != nil || err3 != nil {
+			return
+		}
+		items[i].pseudo = dec.BlindedPseudonym(elgamal.Ciphertext{C1: c1, C2: c2})
+		items[i].inner = inner
+		items[i].ok = true
+	})
+	for i := range items {
+		if !items[i].ok {
 			stats.Undecryptable++
-			continue
-		}
-		pseudo := s.Blinding.BlindedPseudonym(elgamal.Ciphertext{C1: c1, C2: c2})
-		items = append(items, opened{pseudo: pseudo, inner: inner})
-	}
-	groups := make(map[string][]int)
-	for i, it := range items {
-		groups[it.pseudo] = append(groups[it.pseudo], i)
-	}
-	stats.Crowds = len(groups)
-	var out [][]byte
-	for _, idxs := range groups {
-		keep, ok := s.Threshold.Apply(s.Rand, len(idxs))
-		if !ok {
-			continue
-		}
-		stats.CrowdsForwarded++
-		s.Rand.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
-		if keep > len(idxs) {
-			keep = len(idxs)
-		}
-		for _, i := range idxs[:keep] {
-			out = append(out, items[i].inner)
 		}
 	}
-	s.Rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-	stats.Forwarded = len(out)
+	groups := groupBy(workers, len(items),
+		func(i int) bool { return items[i].ok },
+		func(i int) string { return items[i].pseudo },
+		func(k string) uint32 {
+			// Byte 0 of a compressed point is the 0x02/0x03 tag; byte 1 is
+			// the x-coordinate's leading byte, which is uniform enough to
+			// shard on.
+			if len(k) > 1 {
+				return uint32(k[1])
+			}
+			return 0
+		})
+	out := applyThreshold(groups, s.Threshold, s.Rand,
+		func(i int) []byte { return items[i].inner }, &stats)
 	return out, stats, nil
 }

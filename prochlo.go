@@ -62,6 +62,7 @@ type Pipeline struct {
 	secretT   int
 	minBatch  int
 	seed      uint64
+	workers   int
 	rng       *rand.Rand
 
 	analyzerPriv *hybrid.PrivateKey
@@ -155,6 +156,19 @@ func WithSeed(seed uint64) Option {
 	}
 }
 
+// WithWorkers sets the shuffler stage's worker count: n <= 0 selects
+// GOMAXPROCS, 1 forces the serial reference path. Workers parallelize the
+// per-report public-key hot path (outer-layer decryption, crowd-ID blinding
+// and pseudonym recovery, the Stash Shuffle distribution phase) without
+// changing results: a seeded pipeline produces identical output at every
+// worker count.
+func WithWorkers(n int) Option {
+	return func(p *Pipeline) error {
+		p.workers = n
+		return nil
+	}
+}
+
 // New builds a pipeline: it generates stage keys and, in ModeSGX, performs
 // the §4.1.1 attestation handshake — the "client" refuses to encode if the
 // shuffler's quote does not verify.
@@ -206,6 +220,7 @@ func New(opts ...Option) (*Pipeline, error) {
 			return nil, err
 		}
 		p.sgxShuffler.Seed = p.seed
+		p.sgxShuffler.Workers = p.workers
 		// Client-side verification before trusting the key (§4.1.1).
 		if err := sgx.VerifyQuote(p.ca.PublicKey(), p.quote, shuffler.SGXShufflerMeasurement); err != nil {
 			return nil, fmt.Errorf("prochlo: shuffler attestation failed: %w", err)
@@ -224,6 +239,7 @@ func New(opts ...Option) (*Pipeline, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.s1.Workers = p.workers
 		blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
 		if err != nil {
 			return nil, err
@@ -234,6 +250,7 @@ func New(opts ...Option) (*Pipeline, error) {
 		}
 		p.s2 = &shuffler.Shuffler2{
 			Blinding: blindKP, Priv: s2Priv, Threshold: p.threshold, Rand: p.rng,
+			Workers: p.workers,
 		}
 		p.blindedClient = &encoder.BlindedClient{
 			Shuffler2Blinding: blindKP.H,
@@ -322,7 +339,7 @@ func (p *Pipeline) Flush() (*Result, error) {
 	switch p.mode {
 	case ModePlain:
 		s := &shuffler.Shuffler{Priv: p.shufflerPriv, Threshold: p.threshold,
-			Rand: p.rng, MinBatch: p.minBatch}
+			Rand: p.rng, MinBatch: p.minBatch, Workers: p.workers}
 		inner, stats, err = s.Process(p.pending)
 		p.pending = nil
 	case ModeSGX:

@@ -195,3 +195,40 @@ func TestFlushSmallBatchFails(t *testing.T) {
 		t.Error("batch below MinBatch flushed")
 	}
 }
+
+// TestWithWorkersAllModes exercises the pipeline-wide concurrency knob on
+// every shuffler deployment: explicit worker pools must flush successfully
+// and preserve the thresholding semantics of the serial path.
+func TestWithWorkersAllModes(t *testing.T) {
+	for _, mode := range []Mode{ModePlain, ModeSGX, ModeBlinded} {
+		p, err := New(WithSeed(6), WithMode(mode), WithWorkers(4), WithNoisyThreshold(20, 10, 2))
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		pad := func(s string) []byte { // ModeSGX requires uniform report sizes
+			b := make([]byte, 32)
+			copy(b, s)
+			return b
+		}
+		for i := 0; i < 80; i++ {
+			if err := p.Submit("crowd:big", pad("common")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if err := p.Submit("crowd:small", pad("rare")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := p.Flush()
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if res.ShufflerStats.Crowds != 2 || res.ShufflerStats.CrowdsForwarded != 1 {
+			t.Errorf("mode %d: stats = %+v", mode, res.ShufflerStats)
+		}
+		if res.Histogram[string(pad("rare"))] != 0 {
+			t.Errorf("mode %d: rare crowd leaked", mode)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# capture_bench.sh — run the shuffler-pipeline benchmarks and write a JSON
+# baseline to BENCH_shuffler.json so future PRs can track the performance
+# trajectory of the hot path (serial vs parallel Process, end-to-end
+# pipeline, hybrid.Open allocation counts).
+#
+# Usage: scripts/capture_bench.sh [benchtime]    (default: 3x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-3x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkShufflerProcess|BenchmarkEndToEndPipeline' \
+  -benchtime "$benchtime" -benchmem . | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkOpen64B|BenchmarkOpenInto64B' \
+  -benchmem ./internal/crypto/hybrid | tee -a "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v ncpu="$(nproc)" '
+BEGIN {
+  printf "{\n  \"captured\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [\n", date, ncpu
+  sep = ""
+}
+/^Benchmark/ {
+  printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
+  for (i = 3; i < NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
+  printf "}"
+  sep = ",\n"
+}
+END { print "\n  ]\n}" }
+' "$raw" > BENCH_shuffler.json
+
+echo "wrote BENCH_shuffler.json"
