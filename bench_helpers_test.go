@@ -1,9 +1,81 @@
 package prochlo_test
 
-import "prochlo"
+import (
+	crand "crypto/rand"
+	"fmt"
+	"testing"
+
+	"prochlo"
+	"prochlo/internal/analyzer"
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/encoder"
+)
 
 // newBenchPipeline builds the standard pipeline used by the end-to-end
-// benchmark: the paper's noisy-threshold setting, seeded for stability.
+// benchmark: the paper's noisy-threshold setting, seeded for stability,
+// with the default worker pool (GOMAXPROCS per stage).
 func newBenchPipeline() (*prochlo.Pipeline, error) {
 	return prochlo.New(prochlo.WithSeed(1), prochlo.WithNoisyThreshold(20, 10, 2))
+}
+
+// newBenchPipelineSerial is the same pipeline pinned to the serial
+// reference path in every stage.
+func newBenchPipelineSerial() (*prochlo.Pipeline, error) {
+	return prochlo.New(prochlo.WithSeed(1), prochlo.WithNoisyThreshold(20, 10, 2),
+		prochlo.WithWorkers(1))
+}
+
+// newBenchEncoder builds a client with fresh stage keys and a pre-built
+// report batch across 20 crowds, for the encode-stage benchmarks.
+func newBenchEncoder(b *testing.B, batch int) (*encoder.Client, []core.Report) {
+	b.Helper()
+	shufPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := &encoder.Client{
+		ShufflerKey: shufPriv.Public(), AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader,
+	}
+	reports := make([]core.Report, batch)
+	for i := range reports {
+		reports[i] = core.Report{
+			CrowdID: core.HashCrowdID(fmt.Sprintf("crowd-%d", i%20)),
+			Data:    []byte("payload........................"),
+		}
+	}
+	return client, reports
+}
+
+// benchAnalyzerOpen measures Analyzer.Open on one pre-sealed 1000-record
+// batch at the given worker count.
+func benchAnalyzerOpen(b *testing.B, workers int) {
+	b.Helper()
+	const batch = 1000
+	priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([][]byte, batch)
+	for i := range items {
+		ct, err := hybrid.Seal(crand.Reader, priv.Public(), []byte("payload........................"), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items[i] = ct
+	}
+	an := &analyzer.Analyzer{Priv: priv, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, undec := an.Open(items)
+		if undec != 0 || len(db) != batch {
+			b.Fatalf("undecryptable %d, opened %d", undec, len(db))
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/report")
 }

@@ -11,6 +11,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"prochlo/internal/analyzer"
 	"prochlo/internal/core"
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/encoder"
@@ -305,19 +306,59 @@ func BenchmarkShufflerProcess(b *testing.B) {
 	}
 }
 
+// benchReports builds the standard end-to-end workload: batch reports
+// across 20 crowds.
+func benchReports(batch int) (labels []string, data [][]byte) {
+	labels = make([]string, batch)
+	data = make([][]byte, batch)
+	for j := 0; j < batch; j++ {
+		labels[j] = fmt.Sprintf("crowd-%d", j%20)
+		data[j] = []byte("payload")
+	}
+	return labels, data
+}
+
 // BenchmarkEndToEndPipeline measures the full in-process ESA pipeline
-// (encode, shuffle, threshold, analyze) per report.
+// (encode, shuffle, threshold, analyze) per report through the batch entry
+// point: SubmitBatch + Flush with the default worker pool (GOMAXPROCS per
+// stage). This is the pipeline's intended bulk path; the serial reference
+// is BenchmarkEndToEndPipelineSerial.
 func BenchmarkEndToEndPipeline(b *testing.B) {
 	// Measured per batch of 500 reports across 20 crowds.
 	const batch = 500
+	labels, data := benchReports(batch)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p, err := newBenchPipeline()
 		if err != nil {
 			b.Fatal(err)
 		}
+		if err := p.SubmitBatch(labels, data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/report")
+}
+
+// BenchmarkEndToEndPipelineSerial is the single-report reference path: one
+// Submit per report and Workers=1 in every stage, the configuration the
+// seed repository measured.
+func BenchmarkEndToEndPipelineSerial(b *testing.B) {
+	const batch = 500
+	labels, data := benchReports(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := newBenchPipelineSerial()
+		if err != nil {
+			b.Fatal(err)
+		}
 		for j := 0; j < batch; j++ {
-			if err := p.Submit(fmt.Sprintf("crowd-%d", j%20), []byte("payload")); err != nil {
+			if err := p.Submit(labels[j], data[j]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -326,4 +367,81 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/report")
+}
+
+// BenchmarkEncodeSerial measures the client encode stage's single-report
+// reference path: two hybrid seals per report, one report at a time.
+func BenchmarkEncodeSerial(b *testing.B) {
+	const batch = 200
+	client, reports := newBenchEncoder(b, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range reports {
+			if _, err := client.Encode(reports[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/report")
+}
+
+// BenchmarkEncodeBatch measures EncodeBatch at the same worker counts the
+// shuffler benchmark uses; the serial/parallel outputs are byte-identical
+// under a fixed seed (TestEncodeBatchParallelEquivalence), so this isolates
+// throughput and allocation differences.
+func BenchmarkEncodeBatch(b *testing.B) {
+	const batch = 200
+	client, reports := newBenchEncoder(b, batch)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 4}, {"gomaxprocs", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				envs, err := client.EncodeBatch(reports, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(envs) != batch {
+					b.Fatalf("encoded %d envelopes", len(envs))
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/report")
+		})
+	}
+}
+
+// BenchmarkAnalyzerOpenSerial measures the analyzer's inner-layer
+// decryption with Workers=1, the pre-batch reference path.
+func BenchmarkAnalyzerOpenSerial(b *testing.B) {
+	benchAnalyzerOpen(b, 1)
+}
+
+// BenchmarkAnalyzerOpenParallel measures the analyzer's worker-pool Open
+// (GOMAXPROCS workers, shared plaintext arena).
+func BenchmarkAnalyzerOpenParallel(b *testing.B) {
+	benchAnalyzerOpen(b, 0)
+}
+
+// BenchmarkHistogram measures database aggregation on a duplicate-heavy
+// batch (the common shape: many reports, few distinct values), where the
+// interned implementation allocates per distinct value instead of per
+// record.
+func BenchmarkHistogram(b *testing.B) {
+	const records = 100_000
+	db := make([][]byte, records)
+	for i := range db {
+		db[i] = []byte(fmt.Sprintf("value-%d", i%64))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := analyzer.Histogram(db)
+		if len(h) != 64 {
+			b.Fatalf("distinct values = %d", len(h))
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*records), "ns/record")
 }

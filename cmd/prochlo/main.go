@@ -39,17 +39,18 @@ func main() {
 	analyzerKeyHex := flag.String("analyzer-key", "", "analyzer public key, hex (client role)")
 	reports := flag.Int("reports", 2000, "reports to submit (client/demo roles)")
 	thresholdT := flag.Int("threshold", 20, "crowd threshold T")
+	workers := flag.Int("workers", 0, "worker pool size per stage (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	switch *role {
 	case "analyzer":
-		runAnalyzer(*listen)
+		runAnalyzer(*listen, *workers)
 	case "shuffler":
-		runShuffler(*listen, *analyzerAddr, *thresholdT)
+		runShuffler(*listen, *analyzerAddr, *thresholdT, *workers)
 	case "client":
-		runClient(*shufflerAddr, *analyzerKeyHex, *reports)
+		runClient(*shufflerAddr, *analyzerKeyHex, *reports, *workers)
 	case "demo":
-		runDemo(*reports, *thresholdT)
+		runDemo(*reports, *thresholdT, *workers)
 	default:
 		fmt.Fprintln(os.Stderr, "unknown role", *role)
 		os.Exit(1)
@@ -61,12 +62,12 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runAnalyzer(listen string) {
+func runAnalyzer(listen string, workers int) {
 	priv, err := hybrid.GenerateKey(crand.Reader)
 	if err != nil {
 		fatal(err)
 	}
-	svc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: priv}, priv.Public().Bytes())
+	svc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: priv, Workers: workers}, priv.Public().Bytes())
 	l, err := transport.Serve(listen, "Analyzer", svc)
 	if err != nil {
 		fatal(err)
@@ -76,7 +77,7 @@ func runAnalyzer(listen string) {
 	wait()
 }
 
-func runShuffler(listen, analyzerAddr string, t int) {
+func runShuffler(listen, analyzerAddr string, t, workers int) {
 	priv, err := hybrid.GenerateKey(crand.Reader)
 	if err != nil {
 		fatal(err)
@@ -85,6 +86,7 @@ func runShuffler(listen, analyzerAddr string, t int) {
 		Priv:      priv,
 		Threshold: shuffler.Threshold{Noise: dp.ThresholdNoise{T: t, D: 10, Sigma: 2}},
 		Rand:      newRand(),
+		Workers:   workers,
 	}
 	svc, err := transport.NewShufflerService(sh, priv.Public().Bytes(), analyzerAddr)
 	if err != nil {
@@ -98,7 +100,7 @@ func runShuffler(listen, analyzerAddr string, t int) {
 	wait()
 }
 
-func runClient(shufflerAddr, analyzerKeyHex string, reports int) {
+func runClient(shufflerAddr, analyzerKeyHex string, reports, workers int) {
 	keyBytes, err := hex.DecodeString(analyzerKeyHex)
 	if err != nil {
 		fatal(fmt.Errorf("bad -analyzer-key: %w", err))
@@ -121,13 +123,11 @@ func runClient(shufflerAddr, analyzerKeyHex string, reports int) {
 		fatal(err)
 	}
 	enc := &encoder.Client{ShufflerKey: shufKey, AnalyzerKey: anlzKey, Rand: crand.Reader}
-	words := workload.DefaultVocab.SampleWords(workload.NewRand(1), reports)
-	for _, w := range words {
-		word := workload.Word(w)
-		env, err := enc.Encode(core.Report{CrowdID: core.HashCrowdID(word), Data: []byte(word)})
-		if err != nil {
-			fatal(err)
-		}
+	envs, err := encodeWords(enc, reports, workers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, env := range envs {
 		if err := cl.Submit(env); err != nil {
 			fatal(err)
 		}
@@ -139,13 +139,13 @@ func runClient(shufflerAddr, analyzerKeyHex string, reports int) {
 	fmt.Printf("submitted %d reports; shuffler stats: %+v\n", reports, stats)
 }
 
-func runDemo(reports, t int) {
+func runDemo(reports, t, workers int) {
 	// Analyzer.
 	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
 	if err != nil {
 		fatal(err)
 	}
-	anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv, Workers: workers}, anlzPriv.Public().Bytes())
 	anlzL, err := transport.Serve("127.0.0.1:0", "Analyzer", anlzSvc)
 	if err != nil {
 		fatal(err)
@@ -161,6 +161,7 @@ func runDemo(reports, t int) {
 		Priv:      shufPriv,
 		Threshold: shuffler.Threshold{Noise: dp.ThresholdNoise{T: t, D: 10, Sigma: 2}},
 		Rand:      newRand(),
+		Workers:   workers,
 	}
 	shufSvc, err := transport.NewShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String())
 	if err != nil {
@@ -188,13 +189,11 @@ func runDemo(reports, t int) {
 		fatal(err)
 	}
 	enc := &encoder.Client{ShufflerKey: shufKey, AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader}
-	words := workload.DefaultVocab.SampleWords(workload.NewRand(1), reports)
-	for _, w := range words {
-		word := workload.Word(w)
-		env, err := enc.Encode(core.Report{CrowdID: core.HashCrowdID(word), Data: []byte(word)})
-		if err != nil {
-			fatal(err)
-		}
+	envs, err := encodeWords(enc, reports, workers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, env := range envs {
 		if err := cl.Submit(env); err != nil {
 			fatal(err)
 		}
@@ -232,6 +231,19 @@ func runDemo(reports, t int) {
 	for _, e := range top {
 		fmt.Printf("  %-12s %d\n", e.k, e.v)
 	}
+}
+
+// encodeWords samples the demo word workload and encodes it on the worker
+// pool via the batch encoder — the client fleet's reports are independent,
+// so encoding scales with cores.
+func encodeWords(enc *encoder.Client, reports, workers int) ([]core.Envelope, error) {
+	words := workload.DefaultVocab.SampleWords(workload.NewRand(1), reports)
+	batch := make([]core.Report, len(words))
+	for i, w := range words {
+		word := workload.Word(w)
+		batch[i] = core.Report{CrowdID: core.HashCrowdID(word), Data: []byte(word)}
+	}
+	return enc.EncodeBatch(batch, workers)
 }
 
 func newRand() *rand.Rand {

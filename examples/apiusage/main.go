@@ -44,15 +44,20 @@ func main() {
 		copy(b, s)
 		return b
 	}
+	var labels []string
+	var data [][]byte
 	for _, f := range fleet {
 		for d := 0; d < f.devices; d++ {
 			for _, api := range f.apis {
 				// One fragment per (app, API): no report links APIs.
-				if err := p.Submit("app:"+f.app, pad(f.app+"\x00"+api)); err != nil {
-					log.Fatal(err)
-				}
+				labels = append(labels, "app:"+f.app)
+				data = append(data, pad(f.app+"\x00"+api))
 			}
 		}
+	}
+	// One parallel batch for the whole fleet (see prochlo.SubmitBatch).
+	if err := p.SubmitBatch(labels, data); err != nil {
+		log.Fatal(err)
 	}
 
 	res, err := p.Flush()

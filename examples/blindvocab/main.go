@@ -22,18 +22,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	submit := func(word string, n int) {
+	// The crowd label is the word itself; on the wire it travels only as an
+	// El Gamal encryption of its curve-hash. The fleet submits as one batch
+	// so the El Gamal + double-seal encoding runs on every core.
+	var labels []string
+	var data [][]byte
+	report := func(word string, n int) {
 		for i := 0; i < n; i++ {
-			// The crowd label is the word itself; on the wire it travels
-			// only as an El Gamal encryption of its curve-hash.
-			if err := p.Submit("word:"+word, []byte(word)); err != nil {
-				log.Fatal(err)
-			}
+			labels = append(labels, "word:"+word)
+			data = append(data, []byte(word))
 		}
 	}
-	submit("the", 150)
-	submit("prochlo", 60)
-	submit("4d7a9c-unique-love-letter", 7) // hard-to-guess, rare: stays secret
+	report("the", 150)
+	report("prochlo", 60)
+	report("4d7a9c-unique-love-letter", 7) // hard-to-guess, rare: stays secret
+	if err := p.SubmitBatch(labels, data); err != nil {
+		log.Fatal(err)
+	}
 
 	res, err := p.Flush()
 	if err != nil {

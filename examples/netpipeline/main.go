@@ -6,6 +6,7 @@ package main
 
 import (
 	crand "crypto/rand"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -21,12 +22,15 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "worker pool size per stage (0 = GOMAXPROCS, 1 = serial)")
+	flag.Parse()
+
 	// Party 1: the analyzer.
 	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
 	if err != nil {
 		log.Fatal(err)
 	}
-	anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv, Workers: *workers}, anlzPriv.Public().Bytes())
 	anlzL, err := transport.Serve("127.0.0.1:0", "Analyzer", anlzSvc)
 	if err != nil {
 		log.Fatal(err)
@@ -42,6 +46,7 @@ func main() {
 		Priv:      shufPriv,
 		Threshold: shuffler.Threshold{Noise: dp.PaperThresholdNoise},
 		Rand:      rand.New(rand.NewPCG(17, 19)),
+		Workers:   *workers,
 	}
 	shufSvc, err := transport.NewShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String())
 	if err != nil {
@@ -69,11 +74,17 @@ func main() {
 		log.Fatal(err)
 	}
 	enc := &encoder.Client{ShufflerKey: shufKey, AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader}
-	for i := 0; i < 80; i++ {
-		env, err := enc.Encode(core.Report{CrowdID: core.HashCrowdID("cfg:dark-mode"), Data: []byte("dark-mode")})
-		if err != nil {
-			log.Fatal(err)
-		}
+	// The fleet's reports are encoded in one parallel batch — the encode
+	// stage is public-key bound and scales with cores.
+	reports := make([]core.Report, 80)
+	for i := range reports {
+		reports[i] = core.Report{CrowdID: core.HashCrowdID("cfg:dark-mode"), Data: []byte("dark-mode")}
+	}
+	envs, err := enc.EncodeBatch(reports, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, env := range envs {
 		if err := cl.Submit(env); err != nil {
 			log.Fatal(err)
 		}

@@ -26,17 +26,25 @@ func main() {
 	fmt.Printf("crowd-ID multiset guarantee: (%.2f, 1e-6)-differential privacy\n\n", eps)
 
 	// 120 clients report "settings-v2", 40 report "settings-v1", and one
-	// lone client reports something unique.
-	submit := func(value string, n int) {
+	// lone client reports something unique. The whole fleet is submitted as
+	// one batch: SubmitBatch encodes on a worker pool (every core by
+	// default — see prochlo.WithWorkers), which is the fast path for
+	// population-scale collection; the single-report p.Submit is equivalent
+	// report for report.
+	var labels []string
+	var data [][]byte
+	report := func(value string, n int) {
 		for i := 0; i < n; i++ {
-			if err := p.Submit("setting:"+value, []byte(value)); err != nil {
-				log.Fatal(err)
-			}
+			labels = append(labels, "setting:"+value)
+			data = append(data, []byte(value))
 		}
 	}
-	submit("settings-v2", 120)
-	submit("settings-v1", 40)
-	submit("my-secret-custom-build", 1)
+	report("settings-v2", 120)
+	report("settings-v1", 40)
+	report("my-secret-custom-build", 1)
+	if err := p.SubmitBatch(labels, data); err != nil {
+		log.Fatal(err)
+	}
 
 	res, err := p.Flush()
 	if err != nil {

@@ -2,6 +2,12 @@
 // the inner layer of shuffled reports, materializes a database, aggregates
 // it, recovers secret-shared values, and optionally applies
 // differentially-private release to its outputs.
+//
+// Open is the analyzer's per-batch hot path: record decryption fans out
+// over a worker pool (the Workers knob; 0 selects GOMAXPROCS, 1 the serial
+// reference path) with all plaintexts carved out of one batch-wide arena,
+// and the output order and undecryptable count are deterministic — a batch
+// opens identically at every worker count.
 package analyzer
 
 import (
@@ -11,6 +17,7 @@ import (
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/crypto/secretshare"
 	"prochlo/internal/dp"
+	"prochlo/internal/parallel"
 )
 
 // Analyzer holds the analysis decryption key — the key whose possession
@@ -18,31 +25,79 @@ import (
 // analysis, determined by the corresponding data decryption key").
 type Analyzer struct {
 	Priv *hybrid.PrivateKey
+	// Workers is the decryption pool size: 0 selects GOMAXPROCS, 1 forces
+	// the serial reference path. Output is identical at every setting.
+	Workers int
 }
 
 // Open decrypts a batch of inner ciphertexts into the materialized
-// database. Undecryptable records are counted, not fatal: a corrupt or
-// malicious record must not poison the batch.
+// database, preserving batch order. Undecryptable records are counted, not
+// fatal: a corrupt or malicious record must not poison the batch.
 func (a *Analyzer) Open(items [][]byte) (db [][]byte, undecryptable int) {
-	db = make([][]byte, 0, len(items))
-	for _, ct := range items {
-		pt, err := a.Priv.Open(ct, nil)
-		if err != nil {
-			undecryptable++
-			continue
+	pts, undecryptable := a.OpenBatch(items)
+	db = pts[:0]
+	for _, pt := range pts {
+		if pt != nil {
+			db = append(db, pt)
 		}
-		db = append(db, pt)
 	}
 	return db, undecryptable
 }
 
-// Histogram counts identical records in a materialized database.
-func Histogram(db [][]byte) map[string]int {
-	h := make(map[string]int, len(db)/4)
-	for _, rec := range db {
-		h[string(rec)]++
+// OpenBatch decrypts a batch positionally on the worker pool: pts[i] is
+// record i's plaintext, or nil if it was undecryptable. All plaintexts
+// share one backing arena sized from the ciphertext lengths, so the
+// per-record allocation cost is the crypto internals only.
+func (a *Analyzer) OpenBatch(items [][]byte) (pts [][]byte, undecryptable int) {
+	n := len(items)
+	pts = make([][]byte, n)
+	if n == 0 {
+		return pts, 0
 	}
-	return h
+	// Plaintext sizes are known exactly: GCM is length-preserving minus the
+	// envelope overhead. Too-short records get a zero-width slot.
+	arena := parallel.NewArena(n, func(i int) int { return len(items[i]) - hybrid.Overhead })
+	ok := make([]bool, n)
+	parallel.For(parallel.Workers(a.Workers), n, func(i int) {
+		pt, err := a.Priv.OpenInto(arena.Slot(i), items[i], nil)
+		if err != nil {
+			return
+		}
+		pts[i], ok[i] = pt, true
+	})
+	for i := range ok {
+		if !ok[i] {
+			pts[i] = nil // discard any partial write's slot
+			undecryptable++
+		}
+	}
+	return pts, undecryptable
+}
+
+// Histogram counts identical records in a materialized database. Record
+// bytes are interned: the map key string is allocated once per distinct
+// record value, not once per record, so counting a billion-report batch
+// with a small value domain allocates O(distinct values).
+func Histogram(db [][]byte) map[string]int {
+	// idx maps record value -> position in counts while counting; the
+	// lookup compiles to an allocation-free map access, and the string key
+	// is materialized only on first insertion.
+	idx := make(map[string]int, len(db)/4)
+	counts := make([]int, 0, len(db)/4)
+	for _, rec := range db {
+		if i, ok := idx[string(rec)]; ok {
+			counts[i]++
+			continue
+		}
+		idx[string(rec)] = len(counts)
+		counts = append(counts, 1)
+	}
+	// Repurpose idx as the result map: overwrite each interned key's index
+	// with its count in place, allocating no second map.
+	for k, i := range idx {
+		idx[k] = counts[i]
+	}
+	return idx
 }
 
 // HistogramDP releases a histogram with eps-differentially-private counts

@@ -1,0 +1,57 @@
+package analyzer
+
+import (
+	"bytes"
+	crand "crypto/rand"
+	"testing"
+
+	"prochlo/internal/crypto/hybrid"
+)
+
+// FuzzAnalyzerOpen feeds the analyzer batches mixing one valid record with
+// arbitrary attacker-controlled envelopes, split at arbitrary points. Open
+// must never panic, must count (not drop) every malformed record, must
+// still recover the valid record, and must behave identically on the serial
+// and parallel paths.
+func FuzzAnalyzerOpen(f *testing.F) {
+	priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := hybrid.Seal(crand.Reader, priv.Public(), []byte("known-good"), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte("short"), uint16(2))
+	f.Add(bytes.Repeat([]byte{0x04}, 200), uint16(93))
+	f.Add(append([]byte{}, valid...), uint16(60)) // truncation shapes of a real envelope
+	f.Fuzz(func(t *testing.T, raw []byte, split uint16) {
+		// Derive up to three hostile records from the input: the raw bytes,
+		// a prefix, and a suffix.
+		cut := int(split)
+		if cut > len(raw) {
+			cut = len(raw)
+		}
+		items := [][]byte{raw, raw[:cut], raw[cut:], valid}
+		for _, workers := range []int{1, 2} {
+			a := &Analyzer{Priv: priv, Workers: workers}
+			db, undec := a.Open(items)
+			if len(db)+undec != len(items) {
+				t.Fatalf("workers=%d: %d opened + %d undecryptable != %d records",
+					workers, len(db), undec, len(items))
+			}
+			// The valid record always survives; hostile records may only
+			// survive if they happen to be the valid envelope's bytes.
+			found := false
+			for _, rec := range db {
+				if string(rec) == "known-good" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("workers=%d: valid record lost among malformed ones", workers)
+			}
+		}
+	})
+}

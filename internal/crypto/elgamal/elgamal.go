@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 )
 
 var curve = elliptic.P256()
@@ -247,6 +248,68 @@ func (d *Decrypter) BlindedPseudonym(ct Ciphertext) string {
 // and encrypt it to Shuffler 2's key.
 func EncryptCrowdID(rng io.Reader, h Point, crowdID []byte) (Ciphertext, error) {
 	return Encrypt(rng, h, HashToPoint(crowdID))
+}
+
+// encrypterCacheMax bounds the Encrypter's hash-point cache; past it, new
+// crowd IDs are hashed without caching. Real deployments see a bounded set
+// of crowd labels per client (applications, settings, words typed this
+// epoch), so the cap exists only to keep a hostile label stream from
+// growing the map without bound.
+const encrypterCacheMax = 4096
+
+// Encrypter is the precomputed client-side fast path of EncryptCrowdID for
+// a fixed recipient key, the counterpart of Shuffler 1's Blinder and
+// Shuffler 2's Decrypter: the try-and-increment hash-to-curve of each crowd
+// ID — two SHA-256 blocks plus a modular square root per attempt, repeated
+// for every report even though clients report the same few crowds all epoch
+// — is computed once per distinct label and cached, and the ephemeral
+// scalar's fixed-width byte form is staged without big.Int round trips. An
+// Encrypter is safe for concurrent use by the encoder's batch workers.
+type Encrypter struct {
+	h Point
+
+	mu    sync.RWMutex
+	cache map[string]Point
+}
+
+// NewEncrypter precomputes encryption state for Shuffler 2's public key h.
+func NewEncrypter(h Point) *Encrypter {
+	return &Encrypter{h: h, cache: make(map[string]Point)}
+}
+
+// hashPoint returns HashToPoint(crowdID), memoized. Cached points are
+// shared across ciphertexts; they are never mutated (point arithmetic is
+// functional), so handing out the same Point is safe.
+func (e *Encrypter) hashPoint(crowdID []byte) Point {
+	e.mu.RLock()
+	p, ok := e.cache[string(crowdID)]
+	e.mu.RUnlock()
+	if ok {
+		return p
+	}
+	p = HashToPoint(crowdID)
+	e.mu.Lock()
+	if len(e.cache) < encrypterCacheMax {
+		e.cache[string(crowdID)] = p
+	}
+	e.mu.Unlock()
+	return p
+}
+
+// EncryptCrowdID is equivalent to EncryptCrowdID(rng, h, crowdID) for the
+// precomputed key: same ciphertext for the same rng stream.
+func (e *Encrypter) EncryptCrowdID(rng io.Reader, crowdID []byte) (Ciphertext, error) {
+	m := e.hashPoint(crowdID)
+	r, err := RandomScalar(rng)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	var rb [32]byte
+	r.FillBytes(rb[:])
+	return Ciphertext{
+		C1: baseMult(rb[:]),
+		C2: add(scalarMult(e.h, rb[:]), m),
+	}, nil
 }
 
 // BlindedPseudonym is what Shuffler 2 computes for counting: the compressed

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/elliptic"
 	"crypto/rand"
+	mrand "math/rand/v2"
 	"testing"
 )
 
@@ -219,6 +220,35 @@ func TestDecrypterMatchesKeyPair(t *testing.T) {
 		}
 		if !d.Decrypt(ct).Equal(kp.Decrypt(ct)) {
 			t.Fatalf("Decrypter.Decrypt diverges from KeyPair.Decrypt at input %d", i)
+		}
+	}
+}
+
+// TestEncrypterMatchesEncryptCrowdID pins the cached encoder fast path to
+// the reference EncryptCrowdID: same rng stream, same ciphertext — on both
+// a cold and a warm hash-point cache.
+func TestEncrypterMatchesEncryptCrowdID(t *testing.T) {
+	kp, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEncrypter(kp.H)
+	for round := 0; round < 2; round++ { // round 1 hits the cache
+		for i := 0; i < 4; i++ {
+			var seed [32]byte
+			seed[0], seed[1] = byte(round), byte(i)
+			id := []byte{0xc0, byte(i)}
+			want, err := EncryptCrowdID(mrand.NewChaCha8(seed), kp.H, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.EncryptCrowdID(mrand.NewChaCha8(seed), id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.C1.Equal(want.C1) || !got.C2.Equal(want.C2) {
+				t.Fatalf("round %d input %d: Encrypter diverges from EncryptCrowdID", round, i)
+			}
 		}
 	}
 }

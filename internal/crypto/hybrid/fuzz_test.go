@@ -1,0 +1,72 @@
+package hybrid
+
+import (
+	"bytes"
+	"crypto/rand"
+	mrand "math/rand/v2"
+	"testing"
+)
+
+// fuzzKey is generated once; fuzzing exercises plaintext/aad/corruption
+// space, not key space.
+var fuzzKey = func() *PrivateKey {
+	k, err := GenerateKey(rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}()
+
+// FuzzHybridSealOpenRoundTrip checks, for arbitrary plaintext and AAD, that
+// (1) Seal and SealInto produce identical bytes on the same rng stream,
+// (2) Open and OpenInto both recover the plaintext, and (3) corrupting any
+// single byte of the ciphertext makes decryption fail without panicking.
+func FuzzHybridSealOpenRoundTrip(f *testing.F) {
+	f.Add([]byte("report payload"), []byte("crowd"), uint32(0))
+	f.Add([]byte{}, []byte{}, uint32(7))
+	f.Add(bytes.Repeat([]byte{0xa5}, 300), []byte(nil), uint32(99))
+	f.Fuzz(func(t *testing.T, pt, aad []byte, corrupt uint32) {
+		var seed [32]byte
+		copy(seed[:], pt)
+		for i, b := range aad {
+			seed[i%32] ^= b
+		}
+		ct, err := Seal(mrand.NewChaCha8(seed), fuzzKey.Public(), pt, aad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct2, err := SealInto(mrand.NewChaCha8(seed), fuzzKey.Public(), nil, pt, aad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ct, ct2) {
+			t.Fatal("Seal and SealInto disagree on the same rng stream")
+		}
+		got, err := fuzzKey.Open(ct, aad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("Open = %x, want %x", got, pt)
+		}
+		got2, err := fuzzKey.OpenInto(make([]byte, 0, len(pt)), ct, aad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got2, pt) {
+			t.Fatalf("OpenInto = %x, want %x", got2, pt)
+		}
+		// Any single-byte corruption must be rejected, never panic.
+		mod := append([]byte{}, ct...)
+		mod[int(corrupt)%len(mod)] ^= byte(corrupt>>8) | 1
+		if _, err := fuzzKey.Open(mod, aad); err == nil {
+			t.Fatalf("corrupted byte %d accepted", int(corrupt)%len(mod))
+		}
+		// Truncations must be rejected too.
+		if len(ct) > 0 {
+			if _, err := fuzzKey.Open(ct[:int(corrupt)%len(ct)], aad); err == nil {
+				t.Fatal("truncated ciphertext accepted")
+			}
+		}
+	})
+}

@@ -8,12 +8,14 @@
 // layer) and then, together with the crowd ID, to the shuffler's public key
 // (the outer layer); see package encoder for the nesting.
 //
-// Open is the shuffler's per-report hot path, so the key-derivation state
-// (HKDF/HMAC blocks, salt and key buffers) lives in a sync.Pool-recycled
-// scratch rather than being reallocated per call, and the recipient's public
-// key bytes are computed once per PrivateKey. OpenInto lets callers supply
-// the plaintext destination, and OpenBatch fans a batch out over a worker
-// pool; both are safe for concurrent use.
+// Open is the shuffler's per-report hot path and Seal is the client
+// encoder's, so the key-derivation state (HKDF/HMAC blocks, salt and key
+// buffers) lives in a sync.Pool-recycled scratch rather than being
+// reallocated per call, and the recipient's public key bytes are computed
+// once per PrivateKey. OpenInto/SealInto let callers supply the destination
+// buffer — batch callers compose nested layers and whole batches in a single
+// backing allocation — and OpenBatch/SealBatch fan a batch out over a worker
+// pool. All of them are safe for concurrent use.
 package hybrid
 
 import (
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"hash"
 	"io"
+	"math/rand/v2"
 	"sync"
 
 	"prochlo/internal/parallel"
@@ -54,9 +57,12 @@ type PrivateKey struct {
 	pubBytes []byte
 }
 
-// PublicKey is a recipient's encryption key.
+// PublicKey is a recipient's encryption key. It is safe for concurrent use.
 type PublicKey struct {
 	key *ecdh.PublicKey
+
+	encOnce sync.Once
+	enc     []byte
 }
 
 // GenerateKey creates a fresh P-256 key pair.
@@ -91,7 +97,15 @@ func (p *PrivateKey) publicBytes() []byte {
 
 // Bytes returns the uncompressed point encoding of the public key, suitable
 // for embedding in client software or publishing in an attestation quote.
+// The returned slice is fresh; callers may modify it.
 func (p *PublicKey) Bytes() []byte { return p.key.Bytes() }
+
+// bytes returns the cached encoding for the seal hot path, where
+// crypto/ecdh's per-call clone would cost one allocation per layer.
+func (p *PublicKey) bytes() []byte {
+	p.encOnce.Do(func() { p.enc = p.key.Bytes() })
+	return p.enc
+}
 
 // ParsePublicKey decodes a public key produced by (*PublicKey).Bytes.
 func ParsePublicKey(b []byte) (*PublicKey, error) {
@@ -199,13 +213,33 @@ func newAEAD(key []byte) (cipher.AEAD, error) {
 	return cipher.NewGCM(block)
 }
 
+// ephemeralKey derives a sender's ephemeral P-256 key from rng by rejection
+// sampling, reading exactly 32 bytes per attempt (a retry occurs with
+// probability ~2^-32, when the candidate scalar is zero or >= the group
+// order, so the scalar is uniform). ecdh.GenerateKey is not used because it
+// consumes a deliberately nondeterministic amount of rng
+// (randutil.MaybeReadByte); the batch seal paths need consumption to be a
+// pure function of the stream so output is independent of worker scheduling.
+func ephemeralKey(rng io.Reader) (*ecdh.PrivateKey, error) {
+	var buf [32]byte
+	for {
+		if _, err := io.ReadFull(rng, buf[:]); err != nil {
+			return nil, fmt.Errorf("hybrid: %w", err)
+		}
+		k, err := ecdh.P256().NewPrivateKey(buf[:])
+		if err == nil {
+			return k, nil
+		}
+	}
+}
+
 // Seal encrypts plaintext to the recipient pub, binding aad (which is
 // authenticated but not encrypted). The output layout is
 // ephemeralPubKey || nonce || ciphertext+tag.
 func Seal(rng io.Reader, pub *PublicKey, plaintext, aad []byte) ([]byte, error) {
-	eph, err := ecdh.P256().GenerateKey(rng)
+	eph, err := ephemeralKey(rng)
 	if err != nil {
-		return nil, fmt.Errorf("hybrid: %w", err)
+		return nil, err
 	}
 	shared, err := eph.ECDH(pub.key)
 	if err != nil {
@@ -213,19 +247,126 @@ func Seal(rng io.Reader, pub *PublicKey, plaintext, aad []byte) ([]byte, error) 
 	}
 	ephPub := eph.PublicKey().Bytes()
 	sc := scratchPool.Get().(*scratch)
-	gcm, err := newAEAD(sc.sealKey(shared, ephPub, pub.Bytes()))
+	gcm, err := newAEAD(sc.sealKey(shared, ephPub, pub.bytes()))
 	scratchPool.Put(sc)
 	if err != nil {
 		return nil, err
 	}
 	nonce := make([]byte, nonceLen)
 	if _, err := io.ReadFull(rng, nonce); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("hybrid: %w", err)
 	}
 	out := make([]byte, 0, pubKeyLen+nonceLen+len(plaintext)+tagLen)
 	out = append(out, ephPub...)
 	out = append(out, nonce...)
 	out = gcm.Seal(out, nonce, plaintext, aad)
+	return out, nil
+}
+
+// SealInto encrypts plaintext to the recipient pub exactly like Seal, but
+// appends the sealed envelope to dst (which may be nil) and returns the
+// extended slice. The header and nonce are written directly into dst, so a
+// caller that pre-sizes dst — len(plaintext)+Overhead per layer — pays no
+// per-seal buffer allocations; the client encoder's EncodeBatch composes a
+// two-layer envelope and a whole batch in one backing array this way.
+// SealInto draws from rng in the same order as Seal (ephemeral key, then
+// nonce), so given the same rng stream the two produce identical bytes.
+// It is safe for concurrent use.
+func SealInto(rng io.Reader, pub *PublicKey, dst, plaintext, aad []byte) ([]byte, error) {
+	need := pubKeyLen + nonceLen + len(plaintext) + tagLen
+	base := len(dst)
+	if cap(dst)-base < need {
+		grown := make([]byte, base, base+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	eph, err := ephemeralKey(rng)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := eph.ECDH(pub.key)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	ephPub := eph.PublicKey().Bytes()
+	hdr := dst[base : base+pubKeyLen+nonceLen]
+	copy(hdr, ephPub)
+	nonce := hdr[pubKeyLen:]
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	sc := scratchPool.Get().(*scratch)
+	gcm, err := newAEAD(sc.sealKey(shared, ephPub, pub.bytes()))
+	scratchPool.Put(sc)
+	if err != nil {
+		return nil, err
+	}
+	return gcm.Seal(dst[:base+pubKeyLen+nonceLen], nonce, plaintext, aad), nil
+}
+
+// SeedLen is the per-record seed width of the batch randomness convention
+// shared by every batch seal path (SealBatch here, the encoder's
+// EncodeBatch): one seed per record is drawn serially from the caller's
+// rng, and each record's randomness — ephemeral keys, nonces, El Gamal
+// scalars — is expanded from its seed with ChaCha8, so record i's
+// ciphertext is a pure function of its seed, independent of worker
+// scheduling.
+const SeedLen = 32
+
+// Seeds holds one SealBatch-convention seed per record of a batch.
+type Seeds []byte
+
+// DrawSeeds reads one seed per record serially from rng.
+func DrawSeeds(rng io.Reader, n int) (Seeds, error) {
+	s := make([]byte, n*SeedLen)
+	if _, err := io.ReadFull(rng, s); err != nil {
+		return nil, fmt.Errorf("hybrid: drawing batch seeds: %w", err)
+	}
+	return s, nil
+}
+
+// rngPool recycles the per-record randomness expanders; a ChaCha8 is
+// re-seeded on every checkout.
+var rngPool = sync.Pool{New: func() any {
+	var zero [SeedLen]byte
+	return rand.NewChaCha8(zero)
+}}
+
+// RNG returns a pooled ChaCha8 keyed to record i's seed; return it with
+// PutRNG once the record is sealed.
+func (s Seeds) RNG(i int) *rand.ChaCha8 {
+	r := rngPool.Get().(*rand.ChaCha8)
+	r.Seed([SeedLen]byte(s[i*SeedLen : (i+1)*SeedLen]))
+	return r
+}
+
+// PutRNG recycles a Seeds.RNG checkout.
+func PutRNG(r *rand.ChaCha8) { rngPool.Put(r) }
+
+// SealBatch encrypts a batch of plaintexts to pub on a pool of workers
+// (0 selects GOMAXPROCS), mirroring OpenBatch. All ciphertexts share one
+// backing buffer, and randomness follows the Seeds convention, so for a
+// deterministic rng the output is byte-identical at every worker count.
+func SealBatch(rng io.Reader, pub *PublicKey, plaintexts [][]byte, aad []byte, workers int) ([][]byte, error) {
+	n := len(plaintexts)
+	if n == 0 {
+		return nil, nil
+	}
+	seeds, err := DrawSeeds(rng, n)
+	if err != nil {
+		return nil, err
+	}
+	arena := parallel.NewArena(n, func(i int) int { return len(plaintexts[i]) + Overhead })
+	out := make([][]byte, n)
+	errs := make([]error, n)
+	parallel.For(parallel.Workers(workers), n, func(i int) {
+		r := seeds.RNG(i)
+		out[i], errs[i] = SealInto(r, pub, arena.Slot(i), plaintexts[i], aad)
+		PutRNG(r)
+	})
+	if i, err := parallel.FirstError(errs); err != nil {
+		return nil, fmt.Errorf("hybrid: record %d: %w", i, err)
+	}
 	return out, nil
 }
 
@@ -290,7 +431,7 @@ func SymmetricSeal(rng io.Reader, key *[16]byte, plaintext []byte) ([]byte, erro
 	}
 	nonce := make([]byte, nonceLen)
 	if _, err := io.ReadFull(rng, nonce); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("hybrid: %w", err)
 	}
 	out := make([]byte, 0, nonceLen+len(plaintext)+tagLen)
 	out = append(out, nonce...)

@@ -3,6 +3,7 @@ package hybrid
 import (
 	"bytes"
 	"crypto/rand"
+	mrand "math/rand/v2"
 	"testing"
 	"testing/quick"
 )
@@ -251,6 +252,102 @@ func TestScratchKeyMatchesReferenceHKDF(t *testing.T) {
 	}
 }
 
+// TestSealIntoMatchesSeal pins SealInto to Seal: fed the same deterministic
+// rng stream, the two must produce identical ciphertexts — SealInto is the
+// batch fast path, not a different construction.
+func TestSealIntoMatchesSeal(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	pub := priv.Public()
+	var seed [32]byte
+	copy(seed[:], "seal-into-equivalence-seed......")
+	pt := []byte("the report payload")
+	aad := []byte("aad")
+	want, err := Seal(mrand.NewChaCha8(seed), pub, pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SealInto(mrand.NewChaCha8(seed), pub, nil, pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("SealInto output differs from Seal on the same rng stream")
+	}
+	if _, err := priv.Open(got, aad); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealIntoAppends(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	pub := priv.Public()
+	prefix := []byte("crowd-id")
+	pt := []byte("payload")
+	out, err := SealInto(rand.Reader, pub, append([]byte{}, prefix...), pt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:len(prefix)], prefix) {
+		t.Fatal("SealInto corrupted the dst prefix")
+	}
+	got, err := priv.Open(out[len(prefix):], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip = %q, want %q", got, pt)
+	}
+	// With sufficient capacity, SealInto must not reallocate.
+	buf := make([]byte, 0, len(pt)+Overhead)
+	sealed, err := SealInto(rand.Reader, pub, buf, pt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &sealed[0] != &buf[:1][0] {
+		t.Error("SealInto reallocated despite sufficient capacity")
+	}
+}
+
+// TestSealBatchDeterministic checks the batch contract: with a seeded rng,
+// SealBatch output is byte-identical at every worker count, and every
+// ciphertext round-trips.
+func TestSealBatchDeterministic(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	pub := priv.Public()
+	const n = 40
+	pts := make([][]byte, n)
+	for i := range pts {
+		pts[i] = bytes.Repeat([]byte{byte(i)}, i%29)
+	}
+	var seed [32]byte
+	seed[0] = 7
+	run := func(workers int) [][]byte {
+		out, err := SealBatch(mrand.NewChaCha8(seed), pub, pts, []byte("batch-aad"), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, 0} {
+		got := run(workers)
+		for i := range ref {
+			if !bytes.Equal(ref[i], got[i]) {
+				t.Fatalf("workers=%d: record %d diverges from serial reference", workers, i)
+			}
+		}
+	}
+	for i, ct := range ref {
+		got, err := priv.Open(ct, []byte("batch-aad"))
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, pts[i]) {
+			t.Fatalf("record %d round trip mismatch", i)
+		}
+	}
+}
+
 func BenchmarkSeal64B(b *testing.B) {
 	priv, _ := GenerateKey(rand.Reader)
 	pub := priv.Public()
@@ -270,6 +367,22 @@ func BenchmarkOpen64B(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := priv.Open(ct, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSealInto64B is the encoder workers' calling convention: the
+// envelope destination is carved out of a pre-sized batch buffer.
+func BenchmarkSealInto64B(b *testing.B) {
+	priv, _ := GenerateKey(rand.Reader)
+	pub := priv.Public()
+	pt := make([]byte, 64)
+	dst := make([]byte, 0, 64+Overhead)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SealInto(rand.Reader, pub, dst, pt, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

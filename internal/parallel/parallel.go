@@ -26,6 +26,51 @@ func Workers(n int) int {
 	return n
 }
 
+// Arena carves disjoint per-record slots out of one backing allocation; it
+// is the batch stages' shared buffer discipline: output sizes are computed
+// up front (sealed-envelope and GCM-plaintext lengths are known exactly
+// from the input lengths), one buffer is allocated, and each worker appends
+// into its own fixed-capacity slot, so the per-record buffer cost is zero
+// and slots never alias across workers. Negative sizes clamp to zero-width
+// slots (the shape malformed records produce).
+type Arena struct {
+	offs []int
+	buf  []byte
+}
+
+// NewArena sizes an arena for n records, slot i holding size(i) bytes.
+func NewArena(n int, size func(i int) int) *Arena {
+	offs := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		s := size(i)
+		if s < 0 {
+			s = 0
+		}
+		offs[i+1] = offs[i] + s
+	}
+	return &Arena{offs: offs, buf: make([]byte, 0, offs[n])}
+}
+
+// Slot returns record i's zero-length, capacity-bounded slot; appends to it
+// fill the slot in place and cannot spill into a neighbor.
+func (a *Arena) Slot(i int) []byte {
+	return a.buf[a.offs[i]:a.offs[i]:a.offs[i+1]]
+}
+
+// FirstError returns the lowest-index non-nil error of a positional error
+// slice, with its index, so a batch failure is reported deterministically
+// regardless of worker scheduling. It returns (-1, nil) when every entry is
+// nil. This is the one error-selection policy of all batch fan-outs;
+// callers wrap the error with their own record terminology.
+func FirstError(errs []error) (int, error) {
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
 // For runs fn(i) for every i in [0, n), distributing indices over the given
 // number of workers. With workers <= 1 (or tiny n) it degenerates to an
 // in-order loop on the calling goroutine, which is the serial reference path:

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -39,5 +40,18 @@ func TestForSerialIsInOrder(t *testing.T) {
 		if i != v {
 			t.Fatalf("serial For visited %v, want in-order", seen)
 		}
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if i, err := FirstError(nil); i != -1 || err != nil {
+		t.Errorf("FirstError(nil) = %d, %v", i, err)
+	}
+	if i, err := FirstError([]error{nil, nil}); i != -1 || err != nil {
+		t.Errorf("all-nil: %d, %v", i, err)
+	}
+	e1, e2 := errors.New("one"), errors.New("two")
+	if i, err := FirstError([]error{nil, e1, e2}); i != 1 || err != e1 {
+		t.Errorf("got %d, %v; want 1, %v", i, err, e1)
 	}
 }

@@ -105,5 +105,20 @@ func applyThreshold(groups []group, th Threshold, rng *rand.Rand, inner func(int
 	// Shuffle the batch so output order carries no grouping signal.
 	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	stats.Forwarded = len(out)
+	// Detach the survivors from the decryption buffers: the collected slices
+	// alias the Process arena (the whole batch's peeled plaintext), so a
+	// caller retaining even one forwarded ciphertext — a transport queue,
+	// say — would pin the entire arena. After heavy thresholding the
+	// survivors are a small fraction of the batch; one exact-size buffer
+	// holds just their bytes, and the arena is collectable at return.
+	total := 0
+	for _, b := range out {
+		total += len(b)
+	}
+	buf := make([]byte, 0, total)
+	for i, b := range out {
+		buf = append(buf, b...)
+		out[i] = buf[len(buf)-len(b) : len(buf) : len(buf)]
+	}
 	return out
 }

@@ -108,9 +108,15 @@ func (s *Shuffler) Process(batch []core.Envelope) ([][]byte, Stats, error) {
 	stats := Stats{Received: len(batch)}
 	workers := parallel.Workers(s.Workers)
 	items := make([]openedEnvelope, len(batch))
+	// All peeled payloads share one arena sized from the blob lengths (GCM
+	// is length-preserving minus the envelope overhead), so decryption
+	// allocates nothing per record beyond the crypto internals.
+	arena := parallel.NewArena(len(batch), func(i int) int {
+		return len(batch[i].Blob) - hybrid.Overhead
+	})
 	parallel.For(workers, len(batch), func(i int) {
 		batch[i].StripMetadata()
-		payload, err := s.Priv.OpenInto(nil, batch[i].Blob, nil)
+		payload, err := s.Priv.OpenInto(arena.Slot(i), batch[i].Blob, nil)
 		if err != nil || len(payload) < core.CrowdIDSize {
 			return
 		}
@@ -218,10 +224,14 @@ func (s *Shuffler2) Process(batch []core.BlindedEnvelope) ([][]byte, Stats, erro
 	workers := parallel.Workers(s.Workers)
 	dec := s.Blinding.Decrypter()
 	items := make([]openedBlinded, len(batch))
+	// Shared plaintext arena, as in Shuffler.Process.
+	arena := parallel.NewArena(len(batch), func(i int) int {
+		return len(batch[i].Blob) - hybrid.Overhead
+	})
 	parallel.For(workers, len(batch), func(i int) {
 		c1, err1 := elgamal.ParsePoint(batch[i].CrowdC1)
 		c2, err2 := elgamal.ParsePoint(batch[i].CrowdC2)
-		inner, err3 := s.Priv.OpenInto(nil, batch[i].Blob, nil)
+		inner, err3 := s.Priv.OpenInto(arena.Slot(i), batch[i].Blob, nil)
 		if err1 != nil || err2 != nil || err3 != nil {
 			return
 		}

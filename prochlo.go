@@ -18,6 +18,13 @@
 //	}
 //	res, err := p.Flush()
 //	// res.Histogram now holds only values from large-enough crowds.
+//
+// Submit is the single-report reference path. At scale, hand whole batches
+// to SubmitBatch instead: it encodes on a worker pool (WithWorkers; the
+// default uses every core), as do the shuffler and analyzer stages, so the
+// pipeline is parallel end to end. Batch and serial submission produce
+// identically distributed output, and a seeded pipeline's results are
+// byte-identical at every worker count.
 package prochlo
 
 import (
@@ -33,6 +40,7 @@ import (
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/dp"
 	"prochlo/internal/encoder"
+	"prochlo/internal/parallel"
 	"prochlo/internal/sgx"
 	"prochlo/internal/shuffler"
 )
@@ -156,12 +164,13 @@ func WithSeed(seed uint64) Option {
 	}
 }
 
-// WithWorkers sets the shuffler stage's worker count: n <= 0 selects
+// WithWorkers sets the pipeline-wide worker count: n <= 0 selects
 // GOMAXPROCS, 1 forces the serial reference path. Workers parallelize the
-// per-report public-key hot path (outer-layer decryption, crowd-ID blinding
-// and pseudonym recovery, the Stash Shuffle distribution phase) without
-// changing results: a seeded pipeline produces identical output at every
-// worker count.
+// per-report public-key hot path of every stage — batch encoding
+// (SubmitBatch), outer-layer decryption, crowd-ID blinding and pseudonym
+// recovery, the Stash Shuffle distribution phase, and the analyzer's
+// inner-layer decryption — without changing results: a seeded pipeline
+// produces identical output at every worker count.
 func WithWorkers(n int) Option {
 	return func(p *Pipeline) error {
 		p.workers = n
@@ -197,7 +206,7 @@ func New(opts ...Option) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.an = &analyzer.Analyzer{Priv: p.analyzerPriv}
+	p.an = &analyzer.Analyzer{Priv: p.analyzerPriv, Workers: p.workers}
 
 	switch p.mode {
 	case ModePlain:
@@ -303,6 +312,61 @@ func (p *Pipeline) Submit(crowdLabel string, data []byte) error {
 		}
 		env.SeqNo = p.seq
 		p.pending = append(p.pending, env)
+	}
+	return nil
+}
+
+// SubmitBatch encodes a batch of client reports — labels[i] is report i's
+// crowd label, data[i] its payload — into the pending batch. It is
+// equivalent to calling Submit per report but runs the per-report
+// public-key encoding on the pipeline's worker pool (see WithWorkers), so
+// it is the entry point for population-scale submission: a fleet simulator
+// or ingestion front end hands over whole batches and the encode stage
+// scales with cores instead of serializing two ECDH key agreements per
+// report.
+func (p *Pipeline) SubmitBatch(labels []string, data [][]byte) error {
+	if len(labels) != len(data) {
+		return fmt.Errorf("prochlo: %d labels for %d data payloads", len(labels), len(data))
+	}
+	if len(labels) == 0 {
+		return nil
+	}
+	if p.secretT > 0 {
+		shared := make([][]byte, len(data))
+		errs := make([]error, len(data))
+		parallel.For(parallel.Workers(p.workers), len(data), func(i int) {
+			shared[i], errs[i] = encoder.SecretShareData(crand.Reader, p.secretT, data[i])
+		})
+		if i, err := parallel.FirstError(errs); err != nil {
+			return fmt.Errorf("prochlo: report %d: %w", i, err)
+		}
+		data = shared
+	}
+	switch p.mode {
+	case ModeBlinded:
+		envs, err := p.blindedClient.EncodeBatch(labels, data, p.workers)
+		if err != nil {
+			return err
+		}
+		for i := range envs {
+			p.seq++
+			envs[i].SeqNo = p.seq
+		}
+		p.blindedBatch = append(p.blindedBatch, envs...)
+	default:
+		reports := make([]core.Report, len(labels))
+		for i := range reports {
+			reports[i] = core.Report{CrowdID: core.HashCrowdID(labels[i]), Data: data[i]}
+		}
+		envs, err := p.client.EncodeBatch(reports, p.workers)
+		if err != nil {
+			return err
+		}
+		for i := range envs {
+			p.seq++
+			envs[i].SeqNo = p.seq
+		}
+		p.pending = append(p.pending, envs...)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package prochlo
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 )
 
@@ -230,5 +231,133 @@ func TestWithWorkersAllModes(t *testing.T) {
 		if res.Histogram[string(pad("rare"))] != 0 {
 			t.Errorf("mode %d: rare crowd leaked", mode)
 		}
+	}
+}
+
+// TestSubmitBatchMatchesSubmit is the end-to-end batch contract: for every
+// mode, a seeded pipeline fed via SubmitBatch produces exactly the result a
+// twin pipeline fed the same reports one Submit at a time produces — at
+// worker counts {1, 2, GOMAXPROCS}. (The ciphertext bytes differ, since the
+// batch path draws randomness through per-report seeds, but thresholding,
+// shuffling, and analysis are driven by the seeded pipeline RNG, so the
+// analyzer-side result is identical.)
+func TestSubmitBatchMatchesSubmit(t *testing.T) {
+	pad := func(s string) []byte {
+		b := make([]byte, 32)
+		copy(b, s)
+		return b
+	}
+	var labels []string
+	var data [][]byte
+	for i := 0; i < 70; i++ {
+		labels = append(labels, "crowd:common")
+		data = append(data, pad("common"))
+	}
+	for i := 0; i < 26; i++ {
+		labels = append(labels, fmt.Sprintf("crowd:mid-%d", i%2))
+		data = append(data, pad(fmt.Sprintf("mid-%d", i%2)))
+	}
+	labels = append(labels, "crowd:lonely")
+	data = append(data, pad("lonely"))
+
+	for _, mode := range []Mode{ModePlain, ModeSGX, ModeBlinded} {
+		build := func(workers int) *Pipeline {
+			p, err := New(WithSeed(77), WithMode(mode), WithWorkers(workers),
+				WithNoisyThreshold(20, 10, 2))
+			if err != nil {
+				t.Fatalf("mode %d: %v", mode, err)
+			}
+			return p
+		}
+		serial := build(1)
+		for i := range labels {
+			if err := serial.Submit(labels[i], data[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := serial.Flush()
+		if err != nil {
+			t.Fatalf("mode %d serial: %v", mode, err)
+		}
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			p := build(workers)
+			if err := p.SubmitBatch(labels, data); err != nil {
+				t.Fatalf("mode %d workers %d: %v", mode, workers, err)
+			}
+			if p.Pending() != len(labels) {
+				t.Fatalf("mode %d: pending = %d, want %d", mode, p.Pending(), len(labels))
+			}
+			got, err := p.Flush()
+			if err != nil {
+				t.Fatalf("mode %d workers %d: %v", mode, workers, err)
+			}
+			if got.ShufflerStats != want.ShufflerStats {
+				t.Errorf("mode %d workers %d: stats = %+v, want %+v",
+					mode, workers, got.ShufflerStats, want.ShufflerStats)
+			}
+			if got.Undecryptable != want.Undecryptable {
+				t.Errorf("mode %d workers %d: undecryptable = %d, want %d",
+					mode, workers, got.Undecryptable, want.Undecryptable)
+			}
+			if len(got.Histogram) != len(want.Histogram) {
+				t.Fatalf("mode %d workers %d: histogram = %v, want %v",
+					mode, workers, got.Histogram, want.Histogram)
+			}
+			for k, v := range want.Histogram {
+				if got.Histogram[k] != v {
+					t.Fatalf("mode %d workers %d: histogram[%q] = %d, want %d",
+						mode, workers, k, got.Histogram[k], v)
+				}
+			}
+		}
+	}
+}
+
+// TestSubmitBatchSecretShare covers the batch path's secret-share encoding:
+// values reported by >= t clients are recovered, the rest stay sealed.
+func TestSubmitBatchSecretShare(t *testing.T) {
+	p, err := New(WithSeed(31), WithSecretShare(10), WithNaiveThreshold(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	var data [][]byte
+	add := func(v string, n int) {
+		for i := 0; i < n; i++ {
+			labels = append(labels, "w:"+v)
+			data = append(data, []byte(v))
+		}
+	}
+	add("popular", 25)
+	add("niche", 4)
+	if err := p.SubmitBatch(labels, data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered["popular"] != 25 {
+		t.Errorf("recovered[popular] = %d, want 25", res.Recovered["popular"])
+	}
+	if _, ok := res.Recovered["niche"]; ok {
+		t.Error("value below the share threshold was recovered")
+	}
+}
+
+// TestSubmitBatchValidation pins the error cases.
+func TestSubmitBatchValidation(t *testing.T) {
+	p, err := New(WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitBatch([]string{"a"}, nil); err == nil {
+		t.Error("mismatched labels/data accepted")
+	}
+	if err := p.SubmitBatch(nil, nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	if p.Pending() != 0 {
+		t.Errorf("pending = %d after empty batch", p.Pending())
 	}
 }

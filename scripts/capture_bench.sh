@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# capture_bench.sh — run the shuffler-pipeline benchmarks and write a JSON
-# baseline to BENCH_shuffler.json so future PRs can track the performance
-# trajectory of the hot path (serial vs parallel Process, end-to-end
-# pipeline, hybrid.Open allocation counts).
+# capture_bench.sh — run the pipeline benchmarks and write a JSON baseline
+# to BENCH_pipeline.json so future PRs can track the performance trajectory
+# of every hot path: client encode (serial vs batch), shuffler Process
+# (serial vs parallel), analyzer Open (serial vs parallel), Histogram, the
+# end-to-end pipeline, and the hybrid Seal/Open allocation counts.
+# BENCH_shuffler.json is the PR 1 baseline and is kept for trajectory.
 #
 # Usage: scripts/capture_bench.sh [benchtime]    (default: 3x)
 set -euo pipefail
@@ -12,9 +14,10 @@ benchtime="${1:-3x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkShufflerProcess|BenchmarkEndToEndPipeline' \
+go test -run '^$' \
+  -bench 'BenchmarkShufflerProcess|BenchmarkEndToEndPipeline|BenchmarkEncodeSerial|BenchmarkEncodeBatch|BenchmarkAnalyzerOpen|BenchmarkHistogram' \
   -benchtime "$benchtime" -benchmem . | tee -a "$raw"
-go test -run '^$' -bench 'BenchmarkOpen64B|BenchmarkOpenInto64B' \
+go test -run '^$' -bench 'BenchmarkSeal64B|BenchmarkSealInto64B|BenchmarkOpen64B|BenchmarkOpenInto64B' \
   -benchmem ./internal/crypto/hybrid | tee -a "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v ncpu="$(nproc)" '
@@ -29,6 +32,6 @@ BEGIN {
   sep = ",\n"
 }
 END { print "\n  ]\n}" }
-' "$raw" > BENCH_shuffler.json
+' "$raw" > BENCH_pipeline.json
 
-echo "wrote BENCH_shuffler.json"
+echo "wrote BENCH_pipeline.json"
