@@ -98,6 +98,11 @@ func runShuffler(listen, analyzerAddr string, t, workers int) {
 	}
 	fmt.Println("shuffler listening on", l.Addr(), "forwarding to", analyzerAddr)
 	wait()
+	// Graceful shutdown: drain any pending epoch to the analyzer.
+	l.Close()
+	if err := svc.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "prochlo: drain:", err)
+	}
 }
 
 func runClient(shufflerAddr, analyzerKeyHex string, reports, workers int) {
@@ -127,16 +132,30 @@ func runClient(shufflerAddr, analyzerKeyHex string, reports, workers int) {
 	if err != nil {
 		fatal(err)
 	}
-	for _, env := range envs {
-		if err := cl.Submit(env); err != nil {
-			fatal(err)
-		}
-	}
-	stats, err := cl.Flush()
+	// A long-lived daemon's failure counter is cumulative; remember the
+	// high-water mark so only failures during THIS run are fatal.
+	before, err := cl.Stats()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("submitted %d reports; shuffler stats: %+v\n", reports, stats)
+	// Whole batches per RPC round trip instead of one trip per report; the
+	// shuffler's epoch backpressure is handled by splitting and backoff.
+	if n, err := cl.SubmitAll(envs, transport.DefaultSubmitRetries, transport.DefaultSubmitDelay); err != nil {
+		fatal(fmt.Errorf("after %d of %d reports accepted: %w", n, len(envs), err))
+	}
+	// Drain rather than Flush: against a streaming daemon some epochs have
+	// already auto-flushed, and Drain pushes the remainder and reports the
+	// cumulative selectivity.
+	stats, err := cl.Drain()
+	if err != nil {
+		fatal(err)
+	}
+	if stats.EpochsFailed > before.EpochsFailed {
+		fatal(fmt.Errorf("%d epochs failed to reach the analyzer during this run (last error: %s)",
+			stats.EpochsFailed-before.EpochsFailed, stats.LastError))
+	}
+	fmt.Printf("submitted %d reports; %d epochs flushed; shuffler stats: %+v\n",
+		reports, stats.EpochsFlushed, stats.Cumulative)
 }
 
 func runDemo(reports, t, workers int) {
@@ -167,6 +186,7 @@ func runDemo(reports, t, workers int) {
 	if err != nil {
 		fatal(err)
 	}
+	defer shufSvc.Close()
 	shufL, err := transport.Serve("127.0.0.1:0", "Shuffler", shufSvc)
 	if err != nil {
 		fatal(err)
@@ -193,10 +213,9 @@ func runDemo(reports, t, workers int) {
 	if err != nil {
 		fatal(err)
 	}
-	for _, env := range envs {
-		if err := cl.Submit(env); err != nil {
-			fatal(err)
-		}
+	// One batch RPC for the whole fleet instead of one round trip per report.
+	if n, err := cl.SubmitAll(envs, transport.DefaultSubmitRetries, transport.DefaultSubmitDelay); err != nil {
+		fatal(fmt.Errorf("after %d of %d reports accepted: %w", n, len(envs), err))
 	}
 	stats, err := cl.Flush()
 	if err != nil {

@@ -1,0 +1,184 @@
+// Command prochlod runs one ESA party as a long-lived daemon — the
+// deployment shape of Figure 1, where the shuffler and analyzer are distinct
+// services absorbing continuous report traffic. Either party is selected by
+// flags:
+//
+//	prochlod -role analyzer -listen 127.0.0.1:7101
+//	prochlod -role shuffler -listen 127.0.0.1:7100 -analyzer 127.0.0.1:7101 \
+//	         -flush-at 2000 -epoch 10s -max-pending 4000 -inflight 2
+//
+// The shuffler daemon streams: submissions land in sharded sub-batches, an
+// epoch is cut and processed whenever occupancy reaches -flush-at or the
+// -epoch timer fires, and processed epochs are pushed to the analyzer
+// asynchronously through a bounded in-flight queue. When the queue is full
+// and occupancy reaches -max-pending, submissions fail with a retryable
+// "epoch full" error — backpressure instead of unbounded growth. SIGINT or
+// SIGTERM shuts down gracefully: the listener closes, the final epoch is
+// drained to the analyzer, and only then does the process exit.
+//
+// Clients connect with prochlo.DialRemote (or transport.Dial) and submit
+// whole batches per round trip; see examples/netpipeline for a loopback
+// two-party walkthrough.
+package main
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"prochlo/internal/analyzer"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/dp"
+	"prochlo/internal/shuffler"
+	"prochlo/internal/transport"
+)
+
+func main() {
+	role := flag.String("role", "", "party to run: shuffler | analyzer")
+	listen := flag.String("listen", "127.0.0.1:0", "service listen address")
+	analyzerAddr := flag.String("analyzer", "127.0.0.1:7101", "analyzer address (shuffler role)")
+	workers := flag.Int("workers", 0, "worker pool size per stage (0 = GOMAXPROCS, 1 = serial)")
+
+	thresholdT := flag.Int("threshold", 20, "crowd threshold T (0 disables thresholding)")
+	noiseD := flag.Float64("noise-d", 10, "randomized-threshold drop mean D (§3.5)")
+	noiseSigma := flag.Float64("noise-sigma", 2, "randomized-threshold sigma (0 = naive threshold)")
+	minBatch := flag.Int("min-batch", shuffler.DefaultMinBatch, "minimum envelopes per processed epoch")
+	seed := flag.Uint64("seed", 0, "deterministic batch RNG seed (0 = cryptographically random)")
+
+	flushAt := flag.Int("flush-at", 0, "auto-flush when occupancy reaches this many envelopes (0 = manual Flush only)")
+	epochInterval := flag.Duration("epoch", 0, "auto-flush epoch interval (0 = no timer)")
+	maxPending := flag.Int("max-pending", 0, "occupancy cap before submissions get a retryable epoch-full error (0 = 2*flush-at)")
+	inFlight := flag.Int("inflight", 2, "bounded queue of cut-but-unflushed epochs")
+	shards := flag.Int("shards", 0, "ingestion sub-batch shards (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	switch *role {
+	case "analyzer":
+		runAnalyzer(*listen, *workers)
+	case "shuffler":
+		runShuffler(shufflerOpts{
+			listen:       *listen,
+			analyzerAddr: *analyzerAddr,
+			workers:      *workers,
+			thresholdT:   *thresholdT,
+			noiseD:       *noiseD,
+			noiseSigma:   *noiseSigma,
+			minBatch:     *minBatch,
+			seed:         *seed,
+			cfg: transport.EpochConfig{
+				FlushAt:    *flushAt,
+				Interval:   *epochInterval,
+				MaxPending: *maxPending,
+				InFlight:   *inFlight,
+				Shards:     *shards,
+			},
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "prochlod: -role must be shuffler or analyzer")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prochlod:", err)
+	os.Exit(1)
+}
+
+func runAnalyzer(listen string, workers int) {
+	priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		fatal(err)
+	}
+	svc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: priv, Workers: workers}, priv.Public().Bytes())
+	l, err := transport.Serve(listen, "Analyzer", svc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("prochlod analyzer listening on", l.Addr())
+	fmt.Println("analyzer public key:", hex.EncodeToString(priv.Public().Bytes()))
+	waitForSignal()
+	l.Close()
+	fmt.Println("prochlod analyzer: shut down")
+}
+
+type shufflerOpts struct {
+	listen, analyzerAddr          string
+	workers, thresholdT, minBatch int
+	noiseD, noiseSigma            float64
+	seed                          uint64
+	cfg                           transport.EpochConfig
+}
+
+func runShuffler(o shufflerOpts) {
+	priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		fatal(err)
+	}
+	var th shuffler.Threshold
+	switch {
+	case o.thresholdT > 0 && o.noiseSigma > 0:
+		th = shuffler.Threshold{Noise: dp.ThresholdNoise{T: o.thresholdT, D: o.noiseD, Sigma: o.noiseSigma}}
+	case o.thresholdT > 0:
+		th = shuffler.Threshold{Naive: o.thresholdT}
+	}
+	sh := &shuffler.Shuffler{
+		Priv:      priv,
+		Threshold: th,
+		Rand:      newRand(o.seed),
+		MinBatch:  o.minBatch,
+		Workers:   o.workers,
+	}
+	svc, err := transport.NewStreamingShufflerService(sh, priv.Public().Bytes(), o.analyzerAddr, o.cfg)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := transport.Serve(o.listen, "Shuffler", svc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("prochlod shuffler listening on", l.Addr(), "forwarding to", o.analyzerAddr)
+	// Print the service's effective configuration (defaults and clamps
+	// applied), not the raw flags.
+	if cfg := svc.Config(); cfg.FlushAt > 0 || cfg.Interval > 0 {
+		fmt.Printf("epochs: flush-at %d, interval %v, max-pending %d, in-flight %d\n",
+			cfg.FlushAt, cfg.Interval, cfg.MaxPending, cfg.InFlight)
+	} else {
+		fmt.Println("epochs: manual Flush only")
+	}
+	waitForSignal()
+	// Graceful shutdown: stop accepting, drain the final epoch to the
+	// analyzer, then exit.
+	l.Close()
+	if err := svc.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "prochlod shuffler: drain:", err)
+	}
+	fmt.Println("prochlod shuffler: drained and shut down")
+}
+
+// newRand seeds the batch RNG: deterministic when the operator passes
+// -seed (reproducible experiments), cryptographically random otherwise.
+// The seeded construction matches prochlo.WithSeed so a seeded daemon
+// reproduces the in-process pipeline's thresholding draws exactly.
+func newRand(seed uint64) *rand.Rand {
+	if seed != 0 {
+		return rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5))
+	}
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		fatal(err)
+	}
+	return rand.New(rand.NewPCG(
+		binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:])))
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

@@ -1,7 +1,11 @@
-// Networked pipeline: the three ESA parties as separate TCP services on
-// loopback (the deployment shape of Figure 1), exchanging gob-encoded RPC.
-// A fleet of clients fetches the shuffler key over the network, submits
-// nested-encrypted reports, and the analyzer's histogram is queried last.
+// Networked pipeline: the three ESA parties of Figure 1 as long-lived
+// services exchanging gob-encoded RPC over loopback TCP — the same wiring
+// cmd/prochlod runs across machines. The shuffler daemon streams: a fleet
+// of clients ships whole batches of nested-encrypted reports per round trip
+// (Shuffler.SubmitBatch), epochs auto-flush to the analyzer whenever
+// occupancy reaches -flush-at, and the analyzer's histogram accumulates
+// across epochs. One report is also sent over the single-envelope Submit
+// RPC to show the compatibility path.
 package main
 
 import (
@@ -10,22 +14,22 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
-	"net/rpc"
 
+	"prochlo"
 	"prochlo/internal/analyzer"
-	"prochlo/internal/core"
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/dp"
-	"prochlo/internal/encoder"
 	"prochlo/internal/shuffler"
 	"prochlo/internal/transport"
 )
 
 func main() {
 	workers := flag.Int("workers", 0, "worker pool size per stage (0 = GOMAXPROCS, 1 = serial)")
+	reports := flag.Int("reports", 240, "reports to submit")
+	flushAt := flag.Int("flush-at", 100, "epoch auto-flush threshold")
 	flag.Parse()
 
-	// Party 1: the analyzer.
+	// Party 1: the analyzer daemon.
 	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
 	if err != nil {
 		log.Fatal(err)
@@ -37,7 +41,8 @@ func main() {
 	}
 	defer anlzL.Close()
 
-	// Party 2: the shuffler, pushing to the analyzer.
+	// Party 2: the streaming shuffler daemon, auto-flushing epochs to the
+	// analyzer through a bounded in-flight queue.
 	shufPriv, err := hybrid.GenerateKey(crand.Reader)
 	if err != nil {
 		log.Fatal(err)
@@ -48,10 +53,12 @@ func main() {
 		Rand:      rand.New(rand.NewPCG(17, 19)),
 		Workers:   *workers,
 	}
-	shufSvc, err := transport.NewShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String())
+	shufSvc, err := transport.NewStreamingShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String(),
+		transport.EpochConfig{FlushAt: *flushAt})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer shufSvc.Close()
 	shufL, err := transport.Serve("127.0.0.1:0", "Shuffler", shufSvc)
 	if err != nil {
 		log.Fatal(err)
@@ -59,50 +66,41 @@ func main() {
 	defer shufL.Close()
 	fmt.Println("analyzer:", anlzL.Addr(), " shuffler:", shufL.Addr())
 
-	// Party 3: the client fleet.
-	cl, err := transport.Dial(shufL.Addr().String())
+	// Party 3: the client fleet — a RemotePipeline fetches both stage keys
+	// over RPC, encodes in parallel, and ships whole batches per round trip.
+	rp, err := prochlo.DialRemote(shufL.Addr().String(), anlzL.Addr().String(),
+		prochlo.WithRemoteWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cl.Close()
-	keyBytes, err := cl.ShufflerKey()
-	if err != nil {
-		log.Fatal(err)
-	}
-	shufKey, err := hybrid.ParsePublicKey(keyBytes)
-	if err != nil {
-		log.Fatal(err)
-	}
-	enc := &encoder.Client{ShufflerKey: shufKey, AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader}
-	// The fleet's reports are encoded in one parallel batch — the encode
-	// stage is public-key bound and scales with cores.
-	reports := make([]core.Report, 80)
-	for i := range reports {
-		reports[i] = core.Report{CrowdID: core.HashCrowdID("cfg:dark-mode"), Data: []byte("dark-mode")}
-	}
-	envs, err := enc.EncodeBatch(reports, *workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, env := range envs {
-		if err := cl.Submit(env); err != nil {
-			log.Fatal(err)
-		}
-	}
-	stats, err := cl.Flush()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("shuffler processed: %+v\n", stats)
+	defer rp.Close()
 
-	ac, err := rpc.Dial("tcp", anlzL.Addr().String())
+	labels := make([]string, *reports)
+	data := make([][]byte, *reports)
+	for i := range labels {
+		labels[i] = "cfg:dark-mode"
+		data[i] = []byte("dark-mode")
+	}
+	if err := rp.SubmitBatch(labels, data); err != nil {
+		log.Fatal(err)
+	}
+	// The compatibility path: one report, one RPC round trip.
+	if err := rp.Submit("cfg:dark-mode", []byte("dark-mode")); err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := rp.Stats()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ac.Close()
-	var hist transport.HistogramReply
-	if err := ac.Call("Analyzer.Histogram", struct{}{}, &hist); err != nil {
+	fmt.Printf("mid-stream: %d pending, %d epochs auto-flushed, %d queued\n",
+		stats.Pending, stats.EpochsFlushed, stats.QueuedEpochs)
+
+	// Drain the final epoch and read the cumulative histogram.
+	res, err := rp.Flush()
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("analyzer histogram:", hist.Counts)
+	fmt.Printf("shuffler cumulative: %+v\n", res.ShufflerStats)
+	fmt.Println("analyzer histogram:", res.Histogram)
 }

@@ -1,0 +1,478 @@
+package transport
+
+import (
+	crand "crypto/rand"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"prochlo/internal/analyzer"
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/encoder"
+	"prochlo/internal/shuffler"
+)
+
+// streamingRig is a loopback two-party deployment for streaming tests: an
+// analyzer service, a streaming shuffler service (no thresholding, minimum
+// batch 1, so every accepted report must reach the analyzer), and an
+// encoder wired to both keys.
+type streamingRig struct {
+	svc  *ShufflerService
+	enc  *encoder.Client
+	shuf string // shuffler address
+	anlz string // analyzer address
+}
+
+func newStreamingRig(t *testing.T, cfg EpochConfig) *streamingRig {
+	t.Helper()
+	return newStreamingRigMin(t, cfg, 1)
+}
+
+func newStreamingRigMin(t *testing.T, cfg EpochConfig, minBatch int) *streamingRig {
+	t.Helper()
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlzSvc := NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzL, err := Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { anlzL.Close() })
+
+	shufPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &shuffler.Shuffler{
+		Priv:     shufPriv,
+		Rand:     rand.New(rand.NewPCG(5, 7)),
+		MinBatch: minBatch,
+	}
+	svc, err := NewStreamingShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	shufL, err := Serve("127.0.0.1:0", "Shuffler", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shufL.Close() })
+
+	return &streamingRig{
+		svc:  svc,
+		enc:  &encoder.Client{ShufflerKey: shufPriv.Public(), AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader},
+		shuf: shufL.Addr().String(),
+		anlz: anlzL.Addr().String(),
+	}
+}
+
+// envelope encodes one report for the rig.
+func (r *streamingRig) envelope(t *testing.T, crowd, value string) core.Envelope {
+	t.Helper()
+	env, err := r.enc.Encode(core.Report{CrowdID: core.HashCrowdID(crowd), Data: []byte(value)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestSubmitBatchRPC ships a whole batch in one round trip and checks it
+// lands intact next to single-Submit traffic (the compatibility path).
+func TestSubmitBatchRPC(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{})
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	batch := make([]core.Envelope, 10)
+	for i := range batch {
+		batch[i] = rig.envelope(t, "c:batch", "batch-value")
+	}
+	if err := cl.SubmitBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Submit(rig.envelope(t, "c:single", "single-value")); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pending != 11 || stats.Accepted != 11 {
+		t.Fatalf("stats after submit = %+v, want 11 pending/accepted", stats)
+	}
+
+	if _, err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	ac, err := DialAnalyzer(rig.anlz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	counts, undec, err := ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if undec != 0 || counts["batch-value"] != 10 || counts["single-value"] != 1 {
+		t.Fatalf("histogram = %v (undec %d), want 10 batch-value + 1 single-value", counts, undec)
+	}
+}
+
+// TestAutoFlushAtThreshold checks occupancy-driven epoch cutting: three
+// times FlushAt reports must produce multiple epochs without any manual
+// Flush, and the analyzer must see every report.
+func TestAutoFlushAtThreshold(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{FlushAt: 20, MaxPending: 200})
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	env := rig.envelope(t, "c:auto", "auto-value")
+	for i := 0; i < 3; i++ {
+		batch := make([]core.Envelope, 20)
+		for j := range batch {
+			batch[j] = env
+		}
+		if err := cl.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := cl.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EpochsFlushed < 2 {
+		t.Errorf("epochs flushed = %d, want >= 2 (auto-flush at 20 with 60 submitted)", stats.EpochsFlushed)
+	}
+	if stats.Pending != 0 || stats.QueuedEpochs != 0 {
+		t.Errorf("drain left pending=%d queued=%d", stats.Pending, stats.QueuedEpochs)
+	}
+	if stats.Cumulative.Received != 60 || stats.Cumulative.Forwarded != 60 {
+		t.Errorf("cumulative = %+v, want 60 received and forwarded", stats.Cumulative)
+	}
+	ac, err := DialAnalyzer(rig.anlz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	counts, _, err := ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["auto-value"] != 60 {
+		t.Errorf("histogram count = %d, want 60", counts["auto-value"])
+	}
+}
+
+// TestEpochTimerFlush checks timer-driven epoch cutting: a below-threshold
+// batch must still reach the analyzer once the epoch interval elapses.
+func TestEpochTimerFlush(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{FlushAt: 1000, Interval: 30 * time.Millisecond})
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	env := rig.envelope(t, "c:timer", "timer-value")
+	if err := cl.SubmitBatch([]core.Envelope{env, env, env}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, err := cl.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.EpochsFlushed >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("epoch timer never flushed: %+v", stats)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ac, err := DialAnalyzer(rig.anlz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	counts, _, err := ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["timer-value"] != 3 {
+		t.Errorf("histogram count = %d, want 3", counts["timer-value"])
+	}
+}
+
+// TestBackpressureEpochFull checks that submissions beyond MaxPending are
+// rejected atomically with the retryable epoch-full error, recognizable
+// after the RPC round trip, and accepted again once the epoch drains.
+func TestBackpressureEpochFull(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{MaxPending: 10})
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	env := rig.envelope(t, "c:full", "full-value")
+	full := make([]core.Envelope, 10)
+	for i := range full {
+		full[i] = env
+	}
+	if err := cl.SubmitBatch(full); err != nil {
+		t.Fatal(err)
+	}
+	err = cl.Submit(env)
+	if !IsEpochFull(err) {
+		t.Fatalf("submit over MaxPending: err = %v, want epoch-full", err)
+	}
+	err = cl.SubmitBatch([]core.Envelope{env, env})
+	if !IsEpochFull(err) {
+		t.Fatalf("batch over MaxPending: err = %v, want epoch-full", err)
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pending != 10 || stats.Rejected != 3 {
+		t.Fatalf("stats = %+v, want pending 10, rejected 3 (rejected batches ingest nothing)", stats)
+	}
+
+	if _, err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Submit(env); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+// TestFlushVsDrainSemantics: manual Flush on an empty epoch fails (the
+// anonymity floor), while Drain succeeds as a barrier.
+func TestFlushVsDrainSemantics(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{})
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Flush(); !IsBatchTooSmall(err) {
+		t.Errorf("empty Flush err = %v, want batch-too-small", err)
+	}
+	if _, err := cl.Drain(); err != nil {
+		t.Errorf("empty Drain err = %v, want nil (barrier)", err)
+	}
+}
+
+// TestBelowFloorEpochPreserved: neither Flush nor Drain may destroy a
+// pending epoch smaller than the shuffler's minimum batch — the reports
+// must keep accumulating until they can legitimately be forwarded, and the
+// refusals must not pollute the failure stats.
+func TestBelowFloorEpochPreserved(t *testing.T) {
+	rig := newStreamingRigMin(t, EpochConfig{}, 5)
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	env := rig.envelope(t, "c:floor", "floor-value")
+	if err := cl.SubmitBatch([]core.Envelope{env, env, env}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Flush(); !IsBatchTooSmall(err) {
+		t.Fatalf("below-floor Flush err = %v, want batch-too-small", err)
+	}
+	stats, err := cl.Drain()
+	if err != nil {
+		t.Fatalf("below-floor Drain err = %v, want nil (barrier)", err)
+	}
+	if stats.Pending != 3 {
+		t.Fatalf("pending after refused flushes = %d, want 3 (reports preserved)", stats.Pending)
+	}
+	if stats.EpochsFailed != 0 {
+		t.Fatalf("epochs failed = %d (%s), refusals must not pollute stats", stats.EpochsFailed, stats.LastError)
+	}
+
+	// Two more reports cross the floor; the epoch now flushes whole.
+	if err := cl.SubmitBatch([]core.Envelope{env, env}); err != nil {
+		t.Fatal(err)
+	}
+	flushStats, err := cl.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushStats.Received != 5 {
+		t.Errorf("flushed epoch received = %d, want all 5 preserved reports", flushStats.Received)
+	}
+	ac, err := DialAnalyzer(rig.anlz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	counts, _, err := ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["floor-value"] != 5 {
+		t.Errorf("histogram = %v, want 5 floor-value", counts)
+	}
+}
+
+// TestCloseDrainsFinalEpoch: graceful shutdown must push the pending epoch
+// to the analyzer before releasing the connection, and reject later
+// submissions.
+func TestCloseDrainsFinalEpoch(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{FlushAt: 1000})
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	env := rig.envelope(t, "c:close", "close-value")
+	if err := cl.SubmitBatch([]core.Envelope{env, env, env, env}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Submit(env); err == nil {
+		t.Error("submit after Close succeeded, want error")
+	}
+	ac, err := DialAnalyzer(rig.anlz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	counts, _, err := ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["close-value"] != 4 {
+		t.Errorf("histogram after Close = %v, want 4 close-value", counts)
+	}
+}
+
+// TestConcurrentSubmitDuringAutoFlush is the -race streaming soak: many
+// goroutine clients ship batches while epochs auto-flush underneath them,
+// with backpressure retries. Every accepted report must reach the analyzer
+// exactly once — nothing dropped, nothing double-counted across epoch
+// boundaries — and rejected batches must leave no trace.
+func TestConcurrentSubmitDuringAutoFlush(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{
+		FlushAt:    40,
+		MaxPending: 60,
+		InFlight:   2,
+		Shards:     4,
+	})
+
+	const (
+		goroutines = 8
+		batches    = 10
+		perBatch   = 7
+		total      = goroutines * batches * perBatch
+	)
+	env := rig.envelope(t, "c:soak", "soak-value")
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := Dial(rig.shuf)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer cl.Close()
+			for b := 0; b < batches; b++ {
+				batch := make([]core.Envelope, perBatch)
+				for i := range batch {
+					batch[i] = env
+				}
+				// Retry backpressure until accepted: the batch is atomic, so
+				// a rejected attempt ingests nothing and a retry cannot
+				// double-count.
+				for {
+					err := cl.SubmitBatch(batch)
+					if err == nil {
+						break
+					}
+					if !IsEpochFull(err) {
+						errs[g] = err
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	stats, err := cl.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accepted != total {
+		t.Errorf("accepted = %d, want %d", stats.Accepted, total)
+	}
+	if stats.Cumulative.Received != total || stats.Cumulative.Forwarded != total {
+		t.Errorf("cumulative = %+v, want %d received and forwarded", stats.Cumulative, total)
+	}
+	if stats.Pending != 0 || stats.QueuedEpochs != 0 {
+		t.Errorf("drain left pending=%d queued=%d", stats.Pending, stats.QueuedEpochs)
+	}
+	if stats.EpochsFlushed < 2 {
+		t.Errorf("epochs flushed = %d, want >= 2 (auto-flush during submission)", stats.EpochsFlushed)
+	}
+	if stats.EpochsFailed != 0 {
+		t.Errorf("epochs failed = %d (%s)", stats.EpochsFailed, stats.LastError)
+	}
+
+	ac, err := DialAnalyzer(rig.anlz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	counts, undec, err := ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if undec != 0 {
+		t.Errorf("undecryptable = %d", undec)
+	}
+	if counts["soak-value"] != total {
+		t.Errorf("histogram count = %d, want %d (no drops, no double counts)", counts["soak-value"], total)
+	}
+	anlzStats, err := ac.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anlzStats.Records != total {
+		t.Errorf("analyzer records = %d, want %d", anlzStats.Records, total)
+	}
+}

@@ -1,19 +1,53 @@
 // Package transport runs the ESA stages as separate networked services —
 // the deployment shape of Figure 1, where encoders, shufflers, and analyzers
-// are distinct parties connected by RPC. It uses net/rpc with gob encoding
-// over TCP (the stdlib stand-in for the paper's gRPC).
+// are distinct long-lived parties connected by RPC. It uses net/rpc with gob
+// encoding over TCP (the stdlib stand-in for the paper's gRPC).
 //
-// The shuffler service batches submissions (recording arrival metadata
-// exactly so it can be seen to strip it), processes a batch on Flush, and
-// pushes the surviving inner ciphertexts to the analyzer service.
+// # Streaming model
+//
+// The shuffler service is built for continuous report traffic, not one-shot
+// batches. Ingestion is sharded: submissions are stamped with a global
+// sequence number and appended to one of N independently locked sub-batches,
+// so concurrent clients do not serialize on a single mutex. An epoch
+// scheduler cuts the accumulated sub-batches into an epoch — merging them
+// by sequence number, which makes the cut deterministic for in-order
+// submission — whenever occupancy reaches EpochConfig.FlushAt or the
+// EpochConfig.Interval timer fires. Cut epochs enter a bounded in-flight
+// queue consumed by a single flusher goroutine, which shuffles each epoch
+// (stripping the arrival metadata the service inevitably recorded) and
+// pushes the surviving inner ciphertexts to the analyzer service
+// asynchronously, in epoch order.
+//
+// # Backpressure
+//
+// The service never grows without bound: when uncut occupancy would exceed
+// EpochConfig.MaxPending (because the flusher has fallen behind the arrival
+// rate and the in-flight queue is full), Submit and SubmitBatch fail with
+// ErrEpochFull. The error is retryable — clients back off and resubmit once
+// an epoch drains; see IsEpochFull and RemotePipeline in the root package.
+//
+// # Compatibility
+//
+// Submit (one envelope per round trip) and the manual Flush RPC are kept as
+// the reference paths; SubmitBatch ships many envelopes per round trip and
+// is what production clients should use. A zero EpochConfig disables the
+// scheduler entirely, reproducing the original submit-then-Flush behavior.
+// Close drains: it cuts the final epoch, waits for every queued epoch to be
+// flushed to the analyzer, and only then releases the analyzer connection.
 package transport
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prochlo/internal/analyzer"
@@ -21,12 +55,25 @@ import (
 	"prochlo/internal/shuffler"
 )
 
-// SubmitArgs is a client's report submission.
+// SubmitArgs is a client's single-report submission (the reference path;
+// batch traffic should use SubmitBatchArgs).
 type SubmitArgs struct {
 	Envelope core.Envelope
 }
 
-// FlushReply reports a processed batch's selectivity.
+// SubmitBatchArgs ships many envelopes in one RPC round trip. The slice is
+// gob-encoded as-is, so a client can hand over encoder.EncodeBatch output
+// (all blobs carved from one backing buffer) without copying.
+type SubmitBatchArgs struct {
+	Envelopes []core.Envelope
+}
+
+// SubmitReply acknowledges accepted submissions.
+type SubmitReply struct {
+	Accepted int
+}
+
+// FlushReply reports a processed epoch's selectivity.
 type FlushReply struct {
 	Stats shuffler.Stats
 }
@@ -36,25 +83,214 @@ type KeyReply struct {
 	Key []byte
 }
 
-// ShufflerService exposes a shuffler over RPC.
+// ServiceStats is the shuffler service's health/occupancy snapshot.
+type ServiceStats struct {
+	Pending       int   // envelopes accumulated in the current epoch
+	QueuedEpochs  int   // epochs cut but not yet flushed to the analyzer
+	EpochsFlushed int   // epochs processed and pushed successfully
+	EpochsFailed  int   // epochs whose processing or push failed
+	Accepted      int64 // envelopes accepted since start
+	Rejected      int64 // envelopes rejected with ErrEpochFull
+	// Dropped counts accepted reports that were lost anyway: the contents
+	// of failed epochs, and a below-floor final epoch discarded at
+	// shutdown (the anonymity floor forbids forwarding it). Operators
+	// reconcile Accepted against Cumulative.Received + Dropped + Pending.
+	Dropped   int64
+	LastError string
+	// Cumulative sums the per-epoch shuffler stats (received, undecryptable,
+	// crowds, crowds forwarded, reports forwarded) — the only selectivity
+	// signal the shuffler's host is allowed to observe (§4.1.5).
+	Cumulative shuffler.Stats
+}
+
+// errEpochFullMsg must survive the net/rpc error round trip (the server
+// error arrives client-side as a plain string), so IsEpochFull matches on it.
+const errEpochFullMsg = "transport: epoch full, retry after flush"
+
+// ErrEpochFull is returned by Submit/SubmitBatch when the current epoch is
+// at capacity and the in-flight queue has not drained. It is retryable:
+// clients should back off and resubmit.
+var ErrEpochFull = errors.New(errEpochFullMsg)
+
+// IsEpochFull reports whether err is ErrEpochFull, including its
+// string-typed form after an RPC round trip.
+func IsEpochFull(err error) bool {
+	return err != nil && strings.Contains(err.Error(), errEpochFullMsg)
+}
+
+// IsBatchTooSmall reports whether err is shuffler.ErrBatchTooSmall,
+// including its string-typed form after an RPC round trip.
+func IsBatchTooSmall(err error) bool {
+	return err != nil && strings.Contains(err.Error(), shuffler.ErrBatchTooSmall.Error())
+}
+
+// ErrClosed is returned by submissions to a service that has been Closed.
+var ErrClosed = errors.New("transport: shuffler service closed")
+
+// EpochConfig tunes the shuffler service's streaming behavior. The zero
+// value disables the scheduler: nothing auto-flushes and batches are only
+// processed by an explicit Flush (the original one-shot behavior).
+type EpochConfig struct {
+	// FlushAt cuts an epoch as soon as occupancy reaches this many
+	// envelopes. 0 disables occupancy-driven flushing.
+	FlushAt int
+	// Interval cuts an epoch when the timer fires, provided occupancy has
+	// reached the shuffler's minimum batch size (forwarding a smaller batch
+	// would violate the anonymity floor). 0 disables timer-driven flushing.
+	Interval time.Duration
+	// MaxPending caps uncut occupancy; submissions beyond it fail with
+	// ErrEpochFull. 0 selects 2*FlushAt, or unbounded when FlushAt is 0.
+	MaxPending int
+	// InFlight bounds the queue of cut-but-unflushed epochs. 0 selects 2.
+	InFlight int
+	// Shards is the number of independently locked ingestion sub-batches.
+	// 0 selects GOMAXPROCS. Sharding changes neither results nor ordering:
+	// the epoch cut merges shards by global sequence number.
+	Shards int
+}
+
+// ingestShard is one independently locked ingestion sub-batch.
+type ingestShard struct {
+	mu   sync.Mutex
+	envs []core.Envelope
+}
+
+// epoch is a cut batch traveling to the flusher. reply is non-nil for
+// forced (manual Flush / Drain) epochs.
+type epoch struct {
+	batch      []core.Envelope
+	reply      chan flushResult
+	allowEmpty bool // Drain: an empty cut is a barrier, not an error
+}
+
+type flushResult struct {
+	stats shuffler.Stats
+	err   error
+}
+
+// forceReq asks the scheduler to cut the current epoch immediately.
+type forceReq struct {
+	reply      chan flushResult
+	allowEmpty bool
+}
+
+// ShufflerService exposes a shuffler over RPC; see the package comment for
+// the epoch/backpressure model.
 type ShufflerService struct {
-	mu       sync.Mutex
-	sh       *shuffler.Shuffler
-	pub      []byte
-	batch    []core.Envelope
-	analyzer *rpc.Client
-	seq      int
+	sh           *shuffler.Shuffler
+	pub          []byte
+	analyzer     *rpc.Client
+	analyzerAddr string
+	cfg          EpochConfig
+	minBatch     int
+
+	stream    int64 // random id naming this service's push stream for dedup
+	epochID   atomic.Int64
+	seq       atomic.Int64
+	shardRR   atomic.Int64
+	occupancy atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	dropped   atomic.Int64
+	closed    atomic.Bool
+	// closeMu serializes Close against in-flight ingests: add holds the
+	// read side for the whole stamp-and-append, so once Close holds the
+	// write side every accepted envelope is in a shard and will be seen by
+	// the scheduler's final cut — an acknowledged submission cannot race
+	// past the drain and strand.
+	closeMu sync.RWMutex
+
+	shards []ingestShard
+
+	kick   chan struct{} // occupancy crossed FlushAt
+	force  chan forceReq // manual Flush / Drain
+	epochs chan *epoch   // scheduler -> flusher, cap InFlight
+	stop   chan struct{} // Close -> scheduler
+	done   chan struct{} // flusher exited
+
+	mu            sync.Mutex // guards the epoch counters below
+	queuedEpochs  int
+	epochsFlushed int
+	epochsFailed  int
+	lastErr       error
+	cum           shuffler.Stats
 }
 
 // NewShufflerService wraps a shuffler whose output is pushed to the
-// analyzer service at analyzerAddr.
+// analyzer service at analyzerAddr, with manual flushing only (zero
+// EpochConfig); use NewStreamingShufflerService for the epoch scheduler.
 func NewShufflerService(sh *shuffler.Shuffler, pub []byte, analyzerAddr string) (*ShufflerService, error) {
+	return NewStreamingShufflerService(sh, pub, analyzerAddr, EpochConfig{})
+}
+
+// NewStreamingShufflerService wraps a shuffler whose epochs are pushed to
+// the analyzer service at analyzerAddr according to cfg. The caller should
+// Close the service to drain and release the analyzer connection.
+func NewStreamingShufflerService(sh *shuffler.Shuffler, pub []byte, analyzerAddr string, cfg EpochConfig) (*ShufflerService, error) {
 	cl, err := rpc.Dial("tcp", analyzerAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial analyzer: %w", err)
 	}
-	return &ShufflerService{sh: sh, pub: pub, analyzer: cl}, nil
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	minBatch := sh.MinBatch
+	if minBatch == 0 {
+		minBatch = shuffler.DefaultMinBatch
+	}
+	if cfg.FlushAt > 0 && cfg.FlushAt < minBatch {
+		// An epoch below the shuffler's anonymity floor could never be
+		// processed; auto-flush no earlier than the floor.
+		cfg.FlushAt = minBatch
+	}
+	if cfg.MaxPending <= 0 {
+		switch {
+		case cfg.FlushAt > 0:
+			cfg.MaxPending = 2 * cfg.FlushAt
+		case cfg.Interval > 0:
+			// Timer-only streaming still must not grow unboundedly when
+			// the flusher falls behind; a generous cap keeps the
+			// backpressure guarantee.
+			cfg.MaxPending = 1 << 20
+		}
+	}
+	if cfg.MaxPending > 0 && cfg.MaxPending < cfg.FlushAt {
+		// An occupancy cap below the flush threshold could never be
+		// crossed: submissions would bounce forever and no epoch would
+		// ever cut. Keep the threshold reachable.
+		cfg.MaxPending = cfg.FlushAt
+	}
+	if cfg.InFlight <= 0 {
+		cfg.InFlight = 2
+	}
+	var streamID [8]byte
+	if _, err := crand.Read(streamID[:]); err != nil {
+		cl.Close()
+		return nil, fmt.Errorf("transport: stream id: %w", err)
+	}
+	s := &ShufflerService{
+		sh:           sh,
+		pub:          pub,
+		analyzer:     cl,
+		analyzerAddr: analyzerAddr,
+		stream:       int64(binary.LittleEndian.Uint64(streamID[:])),
+		cfg:          cfg,
+		minBatch:     minBatch,
+		shards:       make([]ingestShard, cfg.Shards),
+		kick:         make(chan struct{}, 1),
+		force:        make(chan forceReq),
+		epochs:       make(chan *epoch, cfg.InFlight),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	go s.scheduler()
+	go s.flusher()
+	return s, nil
 }
+
+// Config returns the service's effective epoch configuration, with every
+// default and clamp applied.
+func (s *ShufflerService) Config() EpochConfig { return s.cfg }
 
 // PublicKey returns the shuffler's encryption key. (A production deployment
 // would return an SGX quote; see package shuffler's SGXShuffler.)
@@ -63,52 +299,359 @@ func (s *ShufflerService) PublicKey(_ struct{}, reply *KeyReply) error {
 	return nil
 }
 
-// Submit queues one envelope, stamping the metadata a network service
-// inevitably sees; Process will strip it.
+// add stamps and ingests a submission, enforcing backpressure. The whole
+// call takes one shard lock: the shard is picked round-robin per call
+// (not from the sequence number, which advances by the batch size and
+// would park every uniform-size batch on one shard), so concurrent RPCs
+// spread across shards while each RPC stays a single append.
+func (s *ShufflerService) add(envs []core.Envelope) error {
+	if len(envs) == 0 {
+		return nil
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	n := int64(len(envs))
+	if limit := int64(s.cfg.MaxPending); limit > 0 {
+		if cur := s.occupancy.Add(n); cur > limit {
+			s.occupancy.Add(-n)
+			s.rejected.Add(n)
+			return ErrEpochFull
+		}
+	} else {
+		s.occupancy.Add(n)
+	}
+	// Stamp the metadata a network service inevitably sees; the shuffler's
+	// first processing step strips it (§3.3).
+	now := time.Now()
+	base := s.seq.Add(n) - n
+	for i := range envs {
+		envs[i].ArrivalTime = now
+		envs[i].SeqNo = int(base) + i + 1
+	}
+	shard := &s.shards[uint64(s.shardRR.Add(1))%uint64(len(s.shards))]
+	shard.mu.Lock()
+	shard.envs = append(shard.envs, envs...)
+	shard.mu.Unlock()
+	s.accepted.Add(n)
+	if s.cfg.FlushAt > 0 && s.occupancy.Load() >= int64(s.cfg.FlushAt) {
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Submit queues one envelope (the reference path; see SubmitBatch).
 func (s *ShufflerService) Submit(args SubmitArgs, ack *bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.seq++
-	env := args.Envelope
-	env.ArrivalTime = time.Now()
-	env.SeqNo = s.seq
-	s.batch = append(s.batch, env)
+	if err := s.add([]core.Envelope{args.Envelope}); err != nil {
+		return err
+	}
 	*ack = true
 	return nil
 }
 
-// BatchSize reports the current batch occupancy.
-func (s *ShufflerService) BatchSize(_ struct{}, n *int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	*n = len(s.batch)
+// SubmitBatch queues many envelopes in one round trip. The batch is
+// accepted or rejected atomically: on ErrEpochFull no envelope is ingested.
+func (s *ShufflerService) SubmitBatch(args SubmitBatchArgs, reply *SubmitReply) error {
+	if err := s.add(args.Envelopes); err != nil {
+		return err
+	}
+	reply.Accepted = len(args.Envelopes)
 	return nil
 }
 
-// Flush processes the batch and pushes the output to the analyzer.
-func (s *ShufflerService) Flush(_ struct{}, reply *FlushReply) error {
+// cut snapshots every shard and merges the result into one epoch batch,
+// ordered by global sequence number — a total order that, for in-order
+// submission, is independent of the shard count.
+func (s *ShufflerService) cut() []core.Envelope {
+	var batch []core.Envelope
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		batch = append(batch, sh.envs...)
+		sh.envs = nil
+		sh.mu.Unlock()
+	}
+	s.occupancy.Add(-int64(len(batch)))
+	sort.Slice(batch, func(i, j int) bool { return batch[i].SeqNo < batch[j].SeqNo })
+	return batch
+}
+
+// putBack returns a cut batch to ingestion (the envelopes keep their
+// sequence stamps, so the next cut's merge restores their order).
+func (s *ShufflerService) putBack(batch []core.Envelope) {
+	if len(batch) == 0 {
+		return
+	}
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	sh.envs = append(sh.envs, batch...)
+	sh.mu.Unlock()
+	s.occupancy.Add(int64(len(batch)))
+}
+
+// cutFloor cuts the pending epoch if it holds at least the shuffler's
+// minimum batch, and puts a smaller cut back (occupancy can momentarily
+// exceed what has been appended, because ingestion bumps the counter before
+// the shard append — the cut, not the counter, is authoritative). Returns
+// nil when nothing was cut.
+func (s *ShufflerService) cutFloor() []core.Envelope {
+	batch := s.cut()
+	if len(batch) >= s.minBatch {
+		return batch
+	}
+	s.putBack(batch)
+	return nil
+}
+
+// sendEpoch queues a cut epoch for the flusher, blocking when the in-flight
+// queue is full (submission-side backpressure keeps occupancy bounded
+// meanwhile).
+func (s *ShufflerService) sendEpoch(e *epoch) {
 	s.mu.Lock()
-	batch := s.batch
-	s.batch = nil
+	s.queuedEpochs++
 	s.mu.Unlock()
-	inner, stats, err := s.sh.Process(batch)
+	s.epochs <- e
+}
+
+// scheduler is the only goroutine that cuts epochs, serializing occupancy
+// triggers, timer fires, and forced flushes into one deterministic order.
+func (s *ShufflerService) scheduler() {
+	defer close(s.epochs)
+	var tick <-chan time.Time
+	if s.cfg.Interval > 0 {
+		t := time.NewTicker(s.cfg.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			// Drain: flush whatever the final epoch holds, unless it is
+			// below the anonymity floor (a smaller batch must not be
+			// forwarded; those reports are dropped with the connection,
+			// and the loss is counted in Dropped).
+			if batch := s.cut(); len(batch) >= s.minBatch {
+				s.sendEpoch(&epoch{batch: batch})
+			} else {
+				s.dropped.Add(int64(len(batch)))
+			}
+			return
+		case <-s.kick:
+			if s.occupancy.Load() >= int64(s.cfg.FlushAt) {
+				if batch := s.cutFloor(); batch != nil {
+					s.sendEpoch(&epoch{batch: batch})
+				}
+			}
+		case <-tick:
+			if s.occupancy.Load() >= int64(s.minBatch) {
+				if batch := s.cutFloor(); batch != nil {
+					s.sendEpoch(&epoch{batch: batch})
+				}
+			}
+		case req := <-s.force:
+			switch batch := s.cutFloor(); {
+			case batch != nil:
+				s.sendEpoch(&epoch{batch: batch, reply: req.reply, allowEmpty: req.allowEmpty})
+			case req.allowEmpty:
+				// Drain of a below-floor epoch: leave it pending (it may
+				// yet grow past the floor) and send a pure barrier.
+				s.sendEpoch(&epoch{reply: req.reply, allowEmpty: true})
+			default:
+				// Flush of a below-floor epoch: refuse without destroying
+				// the pending reports — they keep accumulating.
+				req.reply <- flushResult{err: fmt.Errorf("%w: %d < %d",
+					shuffler.ErrBatchTooSmall, s.occupancy.Load(), s.minBatch)}
+			}
+		}
+	}
+}
+
+// flusher consumes cut epochs in order — epochs share the shuffler's batch
+// RNG, so processing them FIFO keeps a seeded deployment deterministic —
+// and pushes each processed epoch to the analyzer.
+func (s *ShufflerService) flusher() {
+	defer close(s.done)
+	for e := range s.epochs {
+		var res flushResult
+		if len(e.batch) == 0 && e.allowEmpty {
+			// A Drain barrier: every earlier epoch has been flushed.
+		} else {
+			var inner [][]byte
+			inner, res.stats, res.err = s.sh.Process(e.batch)
+			if res.err == nil {
+				res.err = s.push(inner)
+			}
+		}
+		s.mu.Lock()
+		s.queuedEpochs--
+		if res.err != nil {
+			s.epochsFailed++
+			s.lastErr = res.err
+			s.dropped.Add(int64(len(e.batch)))
+		} else if len(e.batch) > 0 {
+			s.epochsFlushed++
+			s.cum.Received += res.stats.Received
+			s.cum.Undecryptable += res.stats.Undecryptable
+			s.cum.Crowds += res.stats.Crowds
+			s.cum.CrowdsForwarded += res.stats.CrowdsForwarded
+			s.cum.Forwarded += res.stats.Forwarded
+		}
+		s.mu.Unlock()
+		if e.reply != nil {
+			e.reply <- res
+		}
+	}
+}
+
+// push delivers a processed epoch to the analyzer, redialing a broken
+// connection: a long-lived daemon must survive an analyzer restart, so a
+// failed call is retried on a fresh connection before the epoch is declared
+// lost. Retried pushes are deduplicated analyzer-side by (stream, epoch) —
+// a reply lost after ingestion must not double-count the epoch. Only the
+// flusher goroutine touches s.analyzer after construction (Close reads it
+// strictly after the flusher exits), so the swap is safe.
+func (s *ShufflerService) push(inner [][]byte) error {
+	args := IngestArgs{Stream: s.stream, Epoch: s.epochID.Add(1), Items: inner}
+	var ack bool
+	err := s.analyzer.Call("Analyzer.Ingest", args, &ack)
+	for attempt := 0; err != nil && attempt < 2; attempt++ {
+		time.Sleep(200 * time.Millisecond)
+		cl, derr := rpc.Dial("tcp", s.analyzerAddr)
+		if derr != nil {
+			err = fmt.Errorf("transport: redial analyzer: %w", derr)
+			continue
+		}
+		s.analyzer.Close()
+		s.analyzer = cl
+		err = s.analyzer.Call("Analyzer.Ingest", args, &ack)
+	}
+	return err
+}
+
+// forceFlush cuts the current epoch immediately and waits for it (and every
+// earlier queued epoch) to be flushed.
+func (s *ShufflerService) forceFlush(allowEmpty bool) (shuffler.Stats, error) {
+	if s.closed.Load() {
+		return shuffler.Stats{}, ErrClosed
+	}
+	req := forceReq{reply: make(chan flushResult, 1), allowEmpty: allowEmpty}
+	select {
+	case s.force <- req:
+	case <-s.stop:
+		return shuffler.Stats{}, ErrClosed
+	}
+	res := <-req.reply
+	return res.stats, res.err
+}
+
+// Flush cuts and processes the current epoch, returning its stats. An
+// empty or below-minimum epoch fails with shuffler.ErrBatchTooSmall (the
+// anonymity floor) and is left pending; use Drain for a tolerant barrier.
+func (s *ShufflerService) Flush(_ struct{}, reply *FlushReply) error {
+	stats, err := s.forceFlush(false)
 	if err != nil {
 		return err
 	}
 	reply.Stats = stats
-	var ack bool
-	return s.analyzer.Call("Analyzer.Ingest", IngestArgs{Items: inner}, &ack)
+	return nil
 }
 
-// IngestArgs carries shuffled inner ciphertexts to the analyzer.
+// Drain cuts the current epoch if it meets the anonymity floor — a
+// below-floor epoch is left pending, where it can still grow — waits for
+// every queued epoch to reach the analyzer, and returns the service stats.
+// Unlike Flush it succeeds when nothing is pending, so clients use it as a
+// barrier before querying the analyzer.
+func (s *ShufflerService) Drain(_ struct{}, reply *ServiceStats) error {
+	if _, err := s.forceFlush(true); err != nil {
+		return err
+	}
+	return s.Stats(struct{}{}, reply)
+}
+
+// Stats reports the service's occupancy, epoch counters, and cumulative
+// selectivity.
+func (s *ShufflerService) Stats(_ struct{}, reply *ServiceStats) error {
+	s.mu.Lock()
+	reply.QueuedEpochs = s.queuedEpochs
+	reply.EpochsFlushed = s.epochsFlushed
+	reply.EpochsFailed = s.epochsFailed
+	if s.lastErr != nil {
+		reply.LastError = s.lastErr.Error()
+	}
+	reply.Cumulative = s.cum
+	s.mu.Unlock()
+	reply.Pending = int(s.occupancy.Load())
+	reply.Accepted = s.accepted.Load()
+	reply.Rejected = s.rejected.Load()
+	reply.Dropped = s.dropped.Load()
+	return nil
+}
+
+// BatchSize reports the current epoch occupancy (kept for compatibility;
+// Stats is the richer call).
+func (s *ShufflerService) BatchSize(_ struct{}, n *int) error {
+	*n = int(s.occupancy.Load())
+	return nil
+}
+
+// Close gracefully shuts the service down: it stops accepting submissions,
+// cuts and flushes the final epoch (if it meets the anonymity floor), waits
+// for every queued epoch to reach the analyzer, and releases the analyzer
+// connection.
+func (s *ShufflerService) Close() error {
+	s.closeMu.Lock()
+	swapped := s.closed.CompareAndSwap(false, true)
+	s.closeMu.Unlock()
+	if !swapped {
+		return nil
+	}
+	// Report only failures from the drain itself (epochs still queued or
+	// cut now); earlier failures were already surfaced to Flush/Drain/Stats
+	// callers and must not turn a clean shutdown into an error.
+	s.mu.Lock()
+	failedBefore := s.epochsFailed
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	var err error
+	if s.epochsFailed > failedBefore {
+		err = s.lastErr
+	}
+	s.mu.Unlock()
+	if cerr := s.analyzer.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// IngestArgs carries shuffled inner ciphertexts to the analyzer. Stream and
+// Epoch identify the push for dedup: the shuffler's push retry is
+// at-least-once (a reply can be lost after the analyzer ingested), so the
+// analyzer drops an (Stream, Epoch) pair it has already materialized. Zero
+// values skip dedup (older callers).
 type IngestArgs struct {
-	Items [][]byte
+	Stream int64
+	Epoch  int64
+	Items  [][]byte
 }
 
 // HistogramReply is the analyzer's histogram of its materialized database.
 type HistogramReply struct {
 	Counts        map[string]int
 	Undecryptable int
+}
+
+// AnalyzerStats is the analyzer service's health snapshot.
+type AnalyzerStats struct {
+	Records       int // materialized database rows
+	Undecryptable int
+	Ingests       int // ingest RPCs served
 }
 
 // AnalyzerService exposes an analyzer over RPC.
@@ -118,11 +661,14 @@ type AnalyzerService struct {
 	pub           []byte
 	db            [][]byte
 	undecryptable int
+	ingests       int
+	// seen dedups retried pushes by (stream, epoch); see IngestArgs.
+	seen map[[2]int64]bool
 }
 
 // NewAnalyzerService wraps an analyzer.
 func NewAnalyzerService(an *analyzer.Analyzer, pub []byte) *AnalyzerService {
-	return &AnalyzerService{an: an, pub: pub}
+	return &AnalyzerService{an: an, pub: pub, seen: make(map[[2]int64]bool)}
 }
 
 // PublicKey returns the analyzer's encryption key.
@@ -131,12 +677,35 @@ func (a *AnalyzerService) PublicKey(_ struct{}, reply *KeyReply) error {
 	return nil
 }
 
-// Ingest decrypts and materializes a batch of shuffled records.
+// Ingest decrypts and materializes a batch of shuffled records. A retried
+// push of an epoch this service already materialized (the shuffler's reply
+// was lost) is acknowledged without re-ingesting.
 func (a *AnalyzerService) Ingest(args IngestArgs, ack *bool) error {
+	key := [2]int64{args.Stream, args.Epoch}
+	dedup := args.Stream != 0 || args.Epoch != 0
+	if dedup {
+		a.mu.Lock()
+		if a.seen[key] {
+			a.mu.Unlock()
+			*ack = true
+			return nil
+		}
+		a.mu.Unlock()
+	}
 	db, undec := a.an.Open(args.Items)
 	a.mu.Lock()
+	if dedup && a.seen[key] {
+		// A concurrent retry of the same epoch won the race.
+		a.mu.Unlock()
+		*ack = true
+		return nil
+	}
+	if dedup {
+		a.seen[key] = true
+	}
 	a.db = append(a.db, db...)
 	a.undecryptable += undec
+	a.ingests++
 	a.mu.Unlock()
 	*ack = true
 	return nil
@@ -148,6 +717,16 @@ func (a *AnalyzerService) Histogram(_ struct{}, reply *HistogramReply) error {
 	defer a.mu.Unlock()
 	reply.Counts = analyzer.Histogram(a.db)
 	reply.Undecryptable = a.undecryptable
+	return nil
+}
+
+// Stats reports the analyzer service's database size and ingest counters.
+func (a *AnalyzerService) Stats(_ struct{}, reply *AnalyzerStats) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	reply.Records = len(a.db)
+	reply.Undecryptable = a.undecryptable
+	reply.Ingests = a.ingests
 	return nil
 }
 
@@ -201,18 +780,133 @@ func (c *Client) ShufflerKey() ([]byte, error) {
 	return reply.Key, nil
 }
 
-// Submit sends one envelope.
+// Submit sends one envelope (the reference path; see SubmitBatch).
 func (c *Client) Submit(env core.Envelope) error {
 	var ack bool
 	return c.rpc.Call("Shuffler.Submit", SubmitArgs{Envelope: env}, &ack)
 }
 
-// Flush asks the shuffler to process its batch.
+// SubmitBatch ships a whole batch of envelopes in one RPC round trip. The
+// batch is accepted atomically; on an IsEpochFull error nothing was
+// ingested and the caller should back off and resubmit.
+func (c *Client) SubmitBatch(envs []core.Envelope) error {
+	var reply SubmitReply
+	return c.rpc.Call("Shuffler.SubmitBatch", SubmitBatchArgs{Envelopes: envs}, &reply)
+}
+
+// Default epoch-full retry policy shared by SubmitAll callers.
+const (
+	DefaultSubmitRetries = 50
+	DefaultSubmitDelay   = 20 * time.Millisecond
+)
+
+// SubmitAll ships a batch of envelopes, adapting to the service's
+// backpressure: a batch rejected as epoch-full is split in half and the
+// halves submitted in order (a batch larger than the occupancy cap can
+// never be accepted whole), and a single epoch-full envelope is retried
+// with backoff — up to retries attempts at delay apart — until the epoch
+// drains. Splitting preserves submission order, so a seeded deployment
+// stays deterministic.
+//
+// It returns how many envelopes the service accepted. Submission stops at
+// the first unrecoverable error, and splitting preserves order, so the
+// accepted envelopes are exactly the prefix envs[:accepted]: on error a
+// caller resumes from envs[accepted:] rather than resubmitting the whole
+// batch (which would double-count the accepted prefix).
+func (c *Client) SubmitAll(envs []core.Envelope, retries int, delay time.Duration) (accepted int, err error) {
+	err = c.SubmitBatch(envs)
+	if err == nil {
+		return len(envs), nil
+	}
+	if !IsEpochFull(err) {
+		return 0, err
+	}
+	if len(envs) > 1 {
+		mid := len(envs) / 2
+		n, err := c.SubmitAll(envs[:mid], retries, delay)
+		if err != nil {
+			return n, err
+		}
+		m, err := c.SubmitAll(envs[mid:], retries, delay)
+		return n + m, err
+	}
+	for attempt := 0; IsEpochFull(err) && attempt < retries; attempt++ {
+		time.Sleep(delay)
+		err = c.SubmitBatch(envs)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// Flush asks the shuffler to process its current epoch.
 func (c *Client) Flush() (shuffler.Stats, error) {
 	var reply FlushReply
 	err := c.rpc.Call("Shuffler.Flush", struct{}{}, &reply)
 	return reply.Stats, err
 }
 
+// Drain flushes anything pending, waits for every queued epoch to reach the
+// analyzer, and returns the service stats — the barrier to use before
+// querying the analyzer's histogram.
+func (c *Client) Drain() (ServiceStats, error) {
+	var reply ServiceStats
+	err := c.rpc.Call("Shuffler.Drain", struct{}{}, &reply)
+	return reply, err
+}
+
+// Stats fetches the shuffler service's health snapshot.
+func (c *Client) Stats() (ServiceStats, error) {
+	var reply ServiceStats
+	err := c.rpc.Call("Shuffler.Stats", struct{}{}, &reply)
+	return reply, err
+}
+
 // Close releases the connection.
 func (c *Client) Close() error { return c.rpc.Close() }
+
+// AnalyzerClient is a convenience handle for querying an analyzer service.
+type AnalyzerClient struct {
+	rpc *rpc.Client
+}
+
+// DialAnalyzer connects to an analyzer service.
+func DialAnalyzer(addr string) (*AnalyzerClient, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &AnalyzerClient{rpc: c}, nil
+}
+
+// AnalyzerKey fetches the analyzer's public key.
+func (c *AnalyzerClient) AnalyzerKey() ([]byte, error) {
+	var reply KeyReply
+	if err := c.rpc.Call("Analyzer.PublicKey", struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	if len(reply.Key) == 0 {
+		return nil, errors.New("transport: empty analyzer key")
+	}
+	return reply.Key, nil
+}
+
+// Histogram fetches the histogram of the analyzer's materialized database.
+func (c *AnalyzerClient) Histogram() (map[string]int, int, error) {
+	var reply HistogramReply
+	if err := c.rpc.Call("Analyzer.Histogram", struct{}{}, &reply); err != nil {
+		return nil, 0, err
+	}
+	return reply.Counts, reply.Undecryptable, nil
+}
+
+// Stats fetches the analyzer service's health snapshot.
+func (c *AnalyzerClient) Stats() (AnalyzerStats, error) {
+	var reply AnalyzerStats
+	err := c.rpc.Call("Analyzer.Stats", struct{}{}, &reply)
+	return reply, err
+}
+
+// Close releases the connection.
+func (c *AnalyzerClient) Close() error { return c.rpc.Close() }

@@ -41,6 +41,7 @@ func TestNetworkedPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer shufSvc.Close()
 	shufL, err := Serve("127.0.0.1:0", "Shuffler", shufSvc)
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +128,7 @@ func TestFlushEmptyBatchFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer svc.Close()
 	shufL, err := Serve("127.0.0.1:0", "Shuffler", svc)
 	if err != nil {
 		t.Fatal(err)

@@ -6,8 +6,12 @@
 //
 // The Pipeline type wires the three stages in-process for experimentation
 // and testing; the internal packages implement each stage (and the Stash
-// Shuffle, secret sharing, and blinded crowd IDs) and the cmd/ tools run
-// them as separate networked processes.
+// Shuffle, secret sharing, and blinded crowd IDs). For the paper's actual
+// deployment shape — long-lived parties serving continuous traffic —
+// cmd/prochlod runs the shuffler and analyzer as streaming daemons
+// (epoch-driven auto-flush, batched RPC, backpressure), and RemotePipeline
+// is the client-side handle that speaks to them; a seeded daemon deployment
+// produces output byte-identical to the in-process pipeline.
 //
 // Basic use:
 //

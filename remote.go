@@ -1,0 +1,216 @@
+package prochlo
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"time"
+
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/encoder"
+	"prochlo/internal/transport"
+)
+
+// RemotePipeline is the networked counterpart of Pipeline: it plays the
+// client fleet against long-lived shuffler and analyzer daemons (cmd/prochlod
+// or the transport services directly), fetching both stage keys over RPC,
+// encoding locally, and shipping whole batches per round trip with
+// Shuffler.SubmitBatch. Submission transparently retries the shuffler's
+// retryable "epoch full" backpressure error; Flush drains the shuffler's
+// epoch queue and returns the analyzer's cumulative histogram.
+//
+// A seeded daemon deployment is equivalent to the in-process pipeline: for
+// the same reports submitted in the same order and epochs cut at the same
+// boundaries, the analyzer's histogram is byte-identical to Pipeline.Flush's
+// at every worker and ingestion-shard count (see TestRemotePipelineMatchesInProcess).
+type RemotePipeline struct {
+	workers    int
+	retries    int
+	retryDelay time.Duration
+	// failedSeen is the EpochsFailed count already surfaced to the caller,
+	// so a transient failure errors one Flush instead of every later one.
+	failedSeen int
+
+	enc  *encoder.Client
+	shuf *transport.Client
+	anlz *transport.AnalyzerClient
+}
+
+// RemoteOption configures a RemotePipeline.
+type RemoteOption func(*RemotePipeline) error
+
+// WithRemoteWorkers sets the client-side encoding worker count: n <= 0
+// selects GOMAXPROCS, 1 forces the serial reference path.
+func WithRemoteWorkers(n int) RemoteOption {
+	return func(r *RemotePipeline) error {
+		r.workers = n
+		return nil
+	}
+}
+
+// WithSubmitRetry tunes how SubmitBatch handles the shuffler's retryable
+// backpressure error: up to retries resubmissions, waiting delay between
+// attempts. The default is transport.DefaultSubmitRetries at
+// transport.DefaultSubmitDelay.
+func WithSubmitRetry(retries int, delay time.Duration) RemoteOption {
+	return func(r *RemotePipeline) error {
+		if retries < 0 {
+			return fmt.Errorf("prochlo: negative retry count %d", retries)
+		}
+		r.retries = retries
+		r.retryDelay = delay
+		return nil
+	}
+}
+
+// DialRemote connects to a shuffler daemon and an analyzer daemon and
+// fetches their public keys, returning a pipeline handle ready to encode
+// and submit. The analyzer connection is used only for key fetch and
+// histogram queries — report data flows exclusively through the shuffler,
+// preserving the ESA trust split.
+func DialRemote(shufflerAddr, analyzerAddr string, opts ...RemoteOption) (*RemotePipeline, error) {
+	r := &RemotePipeline{retries: transport.DefaultSubmitRetries, retryDelay: transport.DefaultSubmitDelay}
+	for _, o := range opts {
+		if err := o(r); err != nil {
+			return nil, err
+		}
+	}
+	shuf, err := transport.Dial(shufflerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("prochlo: dial shuffler: %w", err)
+	}
+	anlz, err := transport.DialAnalyzer(analyzerAddr)
+	if err != nil {
+		shuf.Close()
+		return nil, fmt.Errorf("prochlo: dial analyzer: %w", err)
+	}
+	r.shuf, r.anlz = shuf, anlz
+	shufKeyBytes, err := shuf.ShufflerKey()
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("prochlo: shuffler key: %w", err)
+	}
+	shufKey, err := hybrid.ParsePublicKey(shufKeyBytes)
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("prochlo: shuffler key: %w", err)
+	}
+	anlzKeyBytes, err := anlz.AnalyzerKey()
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("prochlo: analyzer key: %w", err)
+	}
+	anlzKey, err := hybrid.ParsePublicKey(anlzKeyBytes)
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("prochlo: analyzer key: %w", err)
+	}
+	r.enc = &encoder.Client{ShufflerKey: shufKey, AnalyzerKey: anlzKey, Rand: crand.Reader}
+	// Baseline the daemon's cumulative failure counter so Flush only
+	// surfaces failures that happen after this client connected.
+	if stats, err := shuf.Stats(); err == nil {
+		r.failedSeen = stats.EpochsFailed
+	}
+	return r, nil
+}
+
+// Submit encodes one report and ships it over the single-envelope RPC (the
+// compatibility path; fleets should batch with SubmitBatch).
+func (r *RemotePipeline) Submit(crowdLabel string, data []byte) error {
+	env, err := r.enc.Encode(core.Report{CrowdID: core.HashCrowdID(crowdLabel), Data: data})
+	if err != nil {
+		return err
+	}
+	return r.retry(func() error { return r.shuf.Submit(env) })
+}
+
+// SubmitBatch encodes a batch of reports on the worker pool and ships all
+// envelopes in one RPC round trip, retrying the shuffler's retryable
+// backpressure error with backoff.
+func (r *RemotePipeline) SubmitBatch(labels []string, data [][]byte) error {
+	if len(labels) != len(data) {
+		return fmt.Errorf("prochlo: %d labels for %d data payloads", len(labels), len(data))
+	}
+	if len(labels) == 0 {
+		return nil
+	}
+	reports := make([]core.Report, len(labels))
+	for i := range reports {
+		reports[i] = core.Report{CrowdID: core.HashCrowdID(labels[i]), Data: data[i]}
+	}
+	envs, err := r.enc.EncodeBatch(reports, r.workers)
+	if err != nil {
+		return err
+	}
+	n, err := r.shuf.SubmitAll(envs, r.retries, r.retryDelay)
+	if err != nil && n > 0 {
+		// The accepted prefix is ingested; resubmitting the whole batch
+		// would double-count it. Tell the caller exactly where to resume.
+		return fmt.Errorf("prochlo: batch partially submitted (%d of %d reports accepted): %w", n, len(envs), err)
+	}
+	return err
+}
+
+// retry runs submit, backing off and resubmitting while the shuffler
+// reports epoch-full backpressure. It deliberately does not delegate to
+// Client.SubmitAll: Submit's purpose is to exercise the single-envelope
+// Shuffler.Submit RPC (the compatibility path), which SubmitAll would
+// silently replace with the batch RPC.
+func (r *RemotePipeline) retry(submit func() error) error {
+	err := submit()
+	for attempt := 0; transport.IsEpochFull(err) && attempt < r.retries; attempt++ {
+		time.Sleep(r.retryDelay)
+		err = submit()
+	}
+	return err
+}
+
+// Stats fetches the shuffler daemon's occupancy and epoch counters.
+func (r *RemotePipeline) Stats() (transport.ServiceStats, error) {
+	return r.shuf.Stats()
+}
+
+// Flush drains the shuffler — any pending epoch is cut and every queued
+// epoch is pushed to the analyzer — then returns the analyzer's cumulative
+// result. ShufflerStats sums the selectivity over all epochs flushed so
+// far, so under auto-flush Flush reports the whole deployment's trajectory,
+// not one epoch's.
+func (r *RemotePipeline) Flush() (*Result, error) {
+	stats, err := r.shuf.Drain()
+	if err != nil {
+		// The failed forced epoch is already in EpochsFailed; mark it seen
+		// so the next Flush does not report the same failure twice.
+		if s, serr := r.shuf.Stats(); serr == nil && s.EpochsFailed > r.failedSeen {
+			r.failedSeen = s.EpochsFailed
+		}
+		return nil, err
+	}
+	if stats.EpochsFailed > r.failedSeen {
+		// The histogram would silently omit the failed epochs' reports;
+		// surface the loss like the in-process Pipeline.Flush surfaces
+		// processing errors — but only once per failure, so a transient
+		// outage does not poison every later Flush.
+		newly := stats.EpochsFailed - r.failedSeen
+		r.failedSeen = stats.EpochsFailed
+		return nil, fmt.Errorf("prochlo: %d epochs failed to reach the analyzer (last error: %s)",
+			newly, stats.LastError)
+	}
+	counts, undec, err := r.anlz.Histogram()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Histogram:     counts,
+		ShufflerStats: stats.Cumulative,
+		Undecryptable: undec,
+	}, nil
+}
+
+// Close releases both daemon connections.
+func (r *RemotePipeline) Close() error {
+	err := r.shuf.Close()
+	if cerr := r.anlz.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

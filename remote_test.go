@@ -1,0 +1,275 @@
+package prochlo_test
+
+import (
+	"bytes"
+	crand "crypto/rand"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"runtime"
+	"sort"
+	"testing"
+
+	"prochlo"
+	"prochlo/internal/analyzer"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/dp"
+	"prochlo/internal/shuffler"
+	"prochlo/internal/transport"
+	"prochlo/internal/workload"
+)
+
+// remoteRig runs the two daemon parties on loopback with a seeded shuffler
+// whose batch RNG matches prochlo.WithSeed(seed)'s construction, so a
+// daemon deployment reproduces the in-process pipeline's thresholding draws.
+type remoteRig struct {
+	svc          *transport.ShufflerService
+	shufL, anlzL net.Listener
+}
+
+func newRemoteRig(t testing.TB, seed uint64, workers int, cfg transport.EpochConfig) *remoteRig {
+	t.Helper()
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv, Workers: workers}, anlzPriv.Public().Bytes())
+	anlzL, err := transport.Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { anlzL.Close() })
+
+	shufPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &shuffler.Shuffler{
+		Priv:      shufPriv,
+		Threshold: shuffler.Threshold{Noise: dp.PaperThresholdNoise},
+		// The same seeded construction prochlo.New uses for WithSeed.
+		Rand:    rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5)),
+		Workers: workers,
+	}
+	svc, err := transport.NewStreamingShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	shufL, err := transport.Serve("127.0.0.1:0", "Shuffler", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shufL.Close() })
+	return &remoteRig{svc: svc, shufL: shufL, anlzL: anlzL}
+}
+
+// canonicalHistogram serializes a histogram deterministically so two runs
+// can be compared byte for byte.
+func canonicalHistogram(counts map[string]int) []byte {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	for _, k := range keys {
+		fmt.Fprintf(&buf, "%q=%d\n", k, counts[k])
+	}
+	return buf.Bytes()
+}
+
+// sampleReports draws the word workload used by the daemons' demo clients.
+func sampleReports(n int) (labels []string, data [][]byte) {
+	words := workload.DefaultVocab.SampleWords(workload.NewRand(9), n)
+	labels = make([]string, n)
+	data = make([][]byte, n)
+	for i, w := range words {
+		word := workload.Word(w)
+		labels[i] = word
+		data[i] = []byte(word)
+	}
+	return labels, data
+}
+
+// TestRemotePipelineMatchesInProcess is the acceptance equivalence: a seeded
+// end-to-end run through the daemons — batch RPC, auto-flush epochs, any
+// worker and ingestion-shard count — must produce a histogram byte-identical
+// to the in-process prochlo.SubmitBatch pipeline flushing the same chunks.
+func TestRemotePipelineMatchesInProcess(t *testing.T) {
+	const (
+		seed    = 42
+		reports = 360
+		chunk   = 120
+	)
+	labels, data := sampleReports(reports)
+
+	configs := []struct {
+		name    string
+		workers int
+		shards  int
+	}{
+		{"serial-1shard", 1, 1},
+		{"workers2-3shards", 2, 3},
+		{"gomaxprocs", runtime.GOMAXPROCS(0), 0},
+	}
+	var want []byte
+	var wantStats shuffler.Stats
+	var wantUndec int
+	for ci, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			// In-process reference: same seed, same chunk boundaries.
+			p, err := prochlo.New(prochlo.WithSeed(seed), prochlo.WithWorkers(tc.workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inProcess := make(map[string]int)
+			var inStats shuffler.Stats
+			var inUndec int
+			for at := 0; at < reports; at += chunk {
+				if err := p.SubmitBatch(labels[at:at+chunk], data[at:at+chunk]); err != nil {
+					t.Fatal(err)
+				}
+				res, err := p.Flush()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k, v := range res.Histogram {
+					inProcess[k] += v
+				}
+				inStats.Received += res.ShufflerStats.Received
+				inStats.Undecryptable += res.ShufflerStats.Undecryptable
+				inStats.Crowds += res.ShufflerStats.Crowds
+				inStats.CrowdsForwarded += res.ShufflerStats.CrowdsForwarded
+				inStats.Forwarded += res.ShufflerStats.Forwarded
+				inUndec += res.Undecryptable
+			}
+
+			// Daemon deployment: auto-flush cuts an epoch per chunk (the
+			// per-chunk Flush is the drain barrier pinning the boundary).
+			rig := newRemoteRig(t, seed, tc.workers, transport.EpochConfig{
+				FlushAt: chunk,
+				Shards:  tc.shards,
+			})
+			rp, err := prochlo.DialRemote(rig.shufL.Addr().String(), rig.anlzL.Addr().String(),
+				prochlo.WithRemoteWorkers(tc.workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rp.Close()
+			var remote *prochlo.Result
+			for at := 0; at < reports; at += chunk {
+				if err := rp.SubmitBatch(labels[at:at+chunk], data[at:at+chunk]); err != nil {
+					t.Fatal(err)
+				}
+				if remote, err = rp.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			gotHist := canonicalHistogram(remote.Histogram)
+			wantHist := canonicalHistogram(inProcess)
+			if !bytes.Equal(gotHist, wantHist) {
+				t.Errorf("daemon histogram differs from in-process pipeline:\nremote:\n%s\nin-process:\n%s", gotHist, wantHist)
+			}
+			if remote.ShufflerStats != inStats {
+				t.Errorf("daemon stats = %+v, in-process = %+v", remote.ShufflerStats, inStats)
+			}
+			if remote.Undecryptable != inUndec {
+				t.Errorf("daemon undecryptable = %d, in-process = %d", remote.Undecryptable, inUndec)
+			}
+			stats, err := rp.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.EpochsFlushed != reports/chunk {
+				t.Errorf("epochs flushed = %d, want %d", stats.EpochsFlushed, reports/chunk)
+			}
+
+			// Every configuration must agree with the first, proving the
+			// result is independent of worker and shard counts.
+			if ci == 0 {
+				want, wantStats, wantUndec = wantHist, inStats, inUndec
+			} else {
+				if !bytes.Equal(gotHist, want) {
+					t.Errorf("config %s histogram differs from %s", tc.name, configs[0].name)
+				}
+				if remote.ShufflerStats != wantStats || remote.Undecryptable != wantUndec {
+					t.Errorf("config %s stats differ from %s", tc.name, configs[0].name)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRemotePipeline measures the daemon deployment end to end —
+// encode, batched RPC over loopback TCP, shuffle, push, analyze — per
+// report, for comparison against the in-process BenchmarkEndToEndPipeline:
+// the difference is the transport's round-trip and gob cost.
+func BenchmarkRemotePipeline(b *testing.B) {
+	const batch = 500
+	labels, data := sampleReports(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig := newRemoteRig(b, 42, 0, transport.EpochConfig{})
+		rp, err := prochlo.DialRemote(rig.shufL.Addr().String(), rig.anlzL.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rp.SubmitBatch(labels, data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rp.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		rp.Close()
+	}
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/report")
+}
+
+// TestRemoteSubmitSingleMatchesInProcess drives the single-envelope Submit
+// compatibility path end to end and checks it against the in-process
+// pipeline's serial Submit under the same seed.
+func TestRemoteSubmitSingleMatchesInProcess(t *testing.T) {
+	const seed = 77
+	labels, data := sampleReports(60)
+
+	p, err := prochlo.New(prochlo.WithSeed(seed), prochlo.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if err := p.Submit(labels[i], data[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inProcess, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rig := newRemoteRig(t, seed, 1, transport.EpochConfig{})
+	rp, err := prochlo.DialRemote(rig.shufL.Addr().String(), rig.anlzL.Addr().String(),
+		prochlo.WithRemoteWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+	for i := range labels {
+		if err := rp.Submit(labels[i], data[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	remote, err := rp.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := canonicalHistogram(remote.Histogram), canonicalHistogram(inProcess.Histogram); !bytes.Equal(got, want) {
+		t.Errorf("single-submit daemon histogram differs:\nremote:\n%s\nin-process:\n%s", got, want)
+	}
+	if remote.ShufflerStats != inProcess.ShufflerStats {
+		t.Errorf("stats = %+v, want %+v", remote.ShufflerStats, inProcess.ShufflerStats)
+	}
+}
