@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"math/rand/v2"
-	"net/rpc"
 	"os"
 	"os/signal"
 	"sort"
@@ -224,14 +223,16 @@ func runDemo(reports, t, workers int) {
 	fmt.Printf("shuffler: %d received, %d crowds, %d forwarded crowds, %d reports forwarded\n",
 		stats.Received, stats.Crowds, stats.CrowdsForwarded, stats.Forwarded)
 
-	// Query the analyzer.
-	ac, err := rpc.Dial("tcp", anlzL.Addr().String())
+	// Query the analyzer (DialAnalyzer bounds the connect with the default
+	// dial timeout).
+	ac, err := transport.DialAnalyzer(anlzL.Addr().String())
 	if err != nil {
 		fatal(err)
 	}
 	defer ac.Close()
 	var hist transport.HistogramReply
-	if err := ac.Call("Analyzer.Histogram", struct{}{}, &hist); err != nil {
+	hist.Counts, hist.Undecryptable, err = ac.Histogram()
+	if err != nil {
 		fatal(err)
 	}
 	type kv struct {

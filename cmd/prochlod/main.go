@@ -1,86 +1,119 @@
 // Command prochlod runs one ESA party as a long-lived daemon — the
-// deployment shape of Figure 1, where the shuffler and analyzer are distinct
-// services absorbing continuous report traffic. Either party is selected by
-// flags:
+// deployment shape of Figure 1, where the stages are distinct services
+// absorbing continuous report traffic. Any stage of the chain is selected
+// by flags; every shuffler-role daemon forwards to the -next hop:
 //
-//	prochlod -role analyzer -listen 127.0.0.1:7101
-//	prochlod -role shuffler -listen 127.0.0.1:7100 -analyzer 127.0.0.1:7101 \
+//	prochlod -role analyzer  -listen 127.0.0.1:7101
+//	prochlod -role shuffler  -listen 127.0.0.1:7100 -next 127.0.0.1:7101 \
 //	         -flush-at 2000 -epoch 10s -max-pending 4000 -inflight 2
 //
-// The shuffler daemon streams: submissions land in sharded sub-batches, an
-// epoch is cut and processed whenever occupancy reaches -flush-at or the
-// -epoch timer fires, and processed epochs are pushed to the analyzer
-// asynchronously through a bounded in-flight queue. When the queue is full
-// and occupancy reaches -max-pending, submissions fail with a retryable
-// "epoch full" error — backpressure instead of unbounded growth. SIGINT or
-// SIGTERM shuts down gracefully: the listener closes, the final epoch is
-// drained to the analyzer, and only then does the process exit.
+// or the §4.3 split-shuffler chain, where two mutually distrusting daemons
+// threshold on blinded crowd IDs (clients enter at shuffler1, which
+// forwards each blinded-and-shuffled epoch to shuffler2, which thresholds
+// and forwards to the analyzer):
 //
-// Clients connect with prochlo.DialRemote (or transport.Dial) and submit
-// whole batches per round trip; see examples/netpipeline for a loopback
-// two-party walkthrough.
+//	prochlod -role analyzer  -listen 127.0.0.1:7101
+//	prochlod -role shuffler2 -listen 127.0.0.1:7102 -next 127.0.0.1:7101 -flush-at 2000
+//	prochlod -role shuffler1 -listen 127.0.0.1:7103 -next 127.0.0.1:7102 -flush-at 2000
+//
+// Every shuffler-role daemon streams: submissions land in sharded
+// sub-batches, an epoch is cut and processed whenever occupancy reaches
+// -flush-at or the -epoch timer fires, and processed epochs are pushed to
+// the -next hop asynchronously through a bounded in-flight queue. When the
+// queue is full and occupancy reaches -max-pending, submissions fail with a
+// retryable "epoch full" error — backpressure instead of unbounded growth,
+// and it composes across a chain: a congested downstream hop pushes back on
+// its upstream, which pushes back on clients. Peer dials are bounded by
+// -dial-timeout so a daemon never hangs forever on a dead next hop, and
+// -stats-interval logs the service's health counters periodically for
+// observability without an RPC client. SIGINT or SIGTERM shuts down
+// gracefully: the listener closes, the final epoch is drained downstream,
+// and only then does the process exit.
+//
+// Clients connect with prochlo.DialRemote (single shuffler, optionally
+// -sgx attested) or prochlo.DialRemoteChain (split chain) and submit whole
+// batches per round trip; see examples/netpipeline for a loopback
+// walkthrough of both topologies.
 package main
 
 import (
 	crand "crypto/rand"
-	"encoding/binary"
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"log"
 	"math/rand/v2"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"prochlo/internal/analyzer"
+	"prochlo/internal/crypto/elgamal"
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/dp"
+	"prochlo/internal/sgx"
 	"prochlo/internal/shuffler"
 	"prochlo/internal/transport"
 )
 
 func main() {
-	role := flag.String("role", "", "party to run: shuffler | analyzer")
+	role := flag.String("role", "", "party to run: shuffler | shuffler1 | shuffler2 | analyzer")
 	listen := flag.String("listen", "127.0.0.1:0", "service listen address")
-	analyzerAddr := flag.String("analyzer", "127.0.0.1:7101", "analyzer address (shuffler role)")
+	next := flag.String("next", "", "downstream hop address: the analyzer for shuffler/shuffler2, the shuffler2 daemon for shuffler1 (default 127.0.0.1:7101)")
+	analyzerAddr := flag.String("analyzer", "", "deprecated alias for -next")
 	workers := flag.Int("workers", 0, "worker pool size per stage (0 = GOMAXPROCS, 1 = serial)")
+	sgxMode := flag.Bool("sgx", false, "shuffler role only: run inside a simulated SGX enclave (oblivious Stash Shuffle, key served with an attestation quote)")
 
 	thresholdT := flag.Int("threshold", 20, "crowd threshold T (0 disables thresholding)")
 	noiseD := flag.Float64("noise-d", 10, "randomized-threshold drop mean D (§3.5)")
 	noiseSigma := flag.Float64("noise-sigma", 2, "randomized-threshold sigma (0 = naive threshold)")
-	minBatch := flag.Int("min-batch", shuffler.DefaultMinBatch, "minimum envelopes per processed epoch")
-	seed := flag.Uint64("seed", 0, "deterministic batch RNG seed (0 = cryptographically random)")
+	minBatch := flag.Int("min-batch", shuffler.DefaultMinBatch, "minimum envelopes per processed epoch (the anonymity floor)")
+	seed := flag.Uint64("seed", 0, "deterministic batch RNG seed (0 = cryptographically random); stages derive independent per-role streams, so a seeded chain reproduces the in-process pipeline")
 
 	flushAt := flag.Int("flush-at", 0, "auto-flush when occupancy reaches this many envelopes (0 = manual Flush only)")
 	epochInterval := flag.Duration("epoch", 0, "auto-flush epoch interval (0 = no timer)")
-	maxPending := flag.Int("max-pending", 0, "occupancy cap before submissions get a retryable epoch-full error (0 = 2*flush-at)")
+	maxPending := flag.Int("max-pending", 0, "occupancy cap before submissions get a retryable epoch-full error (0 = 2*flush-at); must fit the upstream hop's epochs in a chain")
 	inFlight := flag.Int("inflight", 2, "bounded queue of cut-but-unflushed epochs")
 	shards := flag.Int("shards", 0, "ingestion sub-batch shards (0 = GOMAXPROCS)")
+	dialTimeout := flag.Duration("dial-timeout", transport.DefaultDialTimeout, "TCP connect timeout for the downstream hop (constructor and redials)")
+	statsInterval := flag.Duration("stats-interval", 0, "periodically log service stats (0 disables)")
 	flag.Parse()
+
+	if *next == "" {
+		*next = *analyzerAddr
+	}
+	if *next == "" {
+		*next = "127.0.0.1:7101"
+	}
+	cfg := transport.EpochConfig{
+		FlushAt:     *flushAt,
+		Interval:    *epochInterval,
+		MaxPending:  *maxPending,
+		InFlight:    *inFlight,
+		Shards:      *shards,
+		DialTimeout: *dialTimeout,
+	}
+	o := shufflerOpts{
+		listen: *listen, next: *next,
+		workers: *workers, thresholdT: *thresholdT, minBatch: *minBatch,
+		noiseD: *noiseD, noiseSigma: *noiseSigma,
+		seed: *seed, sgx: *sgxMode,
+		statsInterval: *statsInterval,
+		cfg:           cfg,
+	}
 
 	switch *role {
 	case "analyzer":
-		runAnalyzer(*listen, *workers)
+		runAnalyzer(*listen, *workers, *statsInterval)
 	case "shuffler":
-		runShuffler(shufflerOpts{
-			listen:       *listen,
-			analyzerAddr: *analyzerAddr,
-			workers:      *workers,
-			thresholdT:   *thresholdT,
-			noiseD:       *noiseD,
-			noiseSigma:   *noiseSigma,
-			minBatch:     *minBatch,
-			seed:         *seed,
-			cfg: transport.EpochConfig{
-				FlushAt:    *flushAt,
-				Interval:   *epochInterval,
-				MaxPending: *maxPending,
-				InFlight:   *inFlight,
-				Shards:     *shards,
-			},
-		})
+		runShuffler(o)
+	case "shuffler1":
+		runShuffler1(o)
+	case "shuffler2":
+		runShuffler2(o)
 	default:
-		fmt.Fprintln(os.Stderr, "prochlod: -role must be shuffler or analyzer")
+		fmt.Fprintln(os.Stderr, "prochlod: -role must be shuffler, shuffler1, shuffler2, or analyzer")
 		os.Exit(2)
 	}
 }
@@ -90,7 +123,55 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runAnalyzer(listen string, workers int) {
+// statser is the Stats surface shared by every shuffler-role service.
+type statser interface {
+	Stats(_ struct{}, reply *transport.ServiceStats) error
+}
+
+// logStats periodically logs a service's health snapshot until stop closes,
+// so long-running daemons are observable without an RPC client. snapshot
+// fetches and formats the role's counters.
+func logStats(role string, interval time.Duration, stop <-chan struct{}, snapshot func() (string, error)) {
+	if interval <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				line, err := snapshot()
+				if err != nil {
+					log.Printf("%s stats: %v", role, err)
+					continue
+				}
+				log.Printf("%s stats: %s", role, line)
+			}
+		}
+	}()
+}
+
+// serviceSnapshot formats a shuffler-role service's counters for logStats.
+func serviceSnapshot(svc statser) func() (string, error) {
+	return func() (string, error) {
+		var s transport.ServiceStats
+		if err := svc.Stats(struct{}{}, &s); err != nil {
+			return "", err
+		}
+		line := fmt.Sprintf("pending=%d queued=%d flushed=%d failed=%d accepted=%d rejected=%d dropped=%d forwarded=%d",
+			s.Pending, s.QueuedEpochs, s.EpochsFlushed, s.EpochsFailed,
+			s.Accepted, s.Rejected, s.Dropped, s.Cumulative.Forwarded)
+		if s.LastError != "" {
+			line += " last-error=" + s.LastError
+		}
+		return line, nil
+	}
+}
+
+func runAnalyzer(listen string, workers int, statsInterval time.Duration) {
 	priv, err := hybrid.GenerateKey(crand.Reader)
 	if err != nil {
 		fatal(err)
@@ -102,79 +183,178 @@ func runAnalyzer(listen string, workers int) {
 	}
 	fmt.Println("prochlod analyzer listening on", l.Addr())
 	fmt.Println("analyzer public key:", hex.EncodeToString(priv.Public().Bytes()))
+	stop := make(chan struct{})
+	logStats("analyzer", statsInterval, stop, func() (string, error) {
+		var s transport.AnalyzerStats
+		if err := svc.Stats(struct{}{}, &s); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("records=%d undecryptable=%d ingests=%d",
+			s.Records, s.Undecryptable, s.Ingests), nil
+	})
 	waitForSignal()
+	close(stop)
 	l.Close()
 	fmt.Println("prochlod analyzer: shut down")
 }
 
 type shufflerOpts struct {
-	listen, analyzerAddr          string
+	listen, next                  string
 	workers, thresholdT, minBatch int
 	noiseD, noiseSigma            float64
 	seed                          uint64
+	sgx                           bool
+	statsInterval                 time.Duration
 	cfg                           transport.EpochConfig
 }
 
-func runShuffler(o shufflerOpts) {
-	priv, err := hybrid.GenerateKey(crand.Reader)
-	if err != nil {
-		fatal(err)
-	}
-	var th shuffler.Threshold
+// threshold builds the crowd-thresholding config from the flags.
+func (o shufflerOpts) threshold() shuffler.Threshold {
 	switch {
 	case o.thresholdT > 0 && o.noiseSigma > 0:
-		th = shuffler.Threshold{Noise: dp.ThresholdNoise{T: o.thresholdT, D: o.noiseD, Sigma: o.noiseSigma}}
+		return shuffler.Threshold{Noise: dp.ThresholdNoise{T: o.thresholdT, D: o.noiseD, Sigma: o.noiseSigma}}
 	case o.thresholdT > 0:
-		th = shuffler.Threshold{Naive: o.thresholdT}
+		return shuffler.Threshold{Naive: o.thresholdT}
 	}
-	sh := &shuffler.Shuffler{
-		Priv:      priv,
-		Threshold: th,
-		Rand:      newRand(o.seed),
-		MinBatch:  o.minBatch,
-		Workers:   o.workers,
-	}
-	svc, err := transport.NewStreamingShufflerService(sh, priv.Public().Bytes(), o.analyzerAddr, o.cfg)
+	return shuffler.Threshold{}
+}
+
+// stageRand derives the role's deterministic batch RNG; see shuffler.StageRand.
+func stageRand(seed uint64, stage string) *rand.Rand {
+	rng, err := shuffler.StageRand(seed, stage)
 	if err != nil {
 		fatal(err)
 	}
-	l, err := transport.Serve(o.listen, "Shuffler", svc)
+	return rng
+}
+
+// closer is the graceful-shutdown surface shared by every stage service.
+type closer interface{ Close() error }
+
+// serveAndWait serves svc, logs stats, and on SIGINT/SIGTERM drains it
+// gracefully: stop accepting, flush the final epoch downstream, then exit.
+func serveAndWait(role, listen string, svc any, statsInterval time.Duration) {
+	l, err := transport.Serve(listen, "Shuffler", svc)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("prochlod shuffler listening on", l.Addr(), "forwarding to", o.analyzerAddr)
-	// Print the service's effective configuration (defaults and clamps
-	// applied), not the raw flags.
-	if cfg := svc.Config(); cfg.FlushAt > 0 || cfg.Interval > 0 {
+	fmt.Printf("prochlod %s listening on %v\n", role, l.Addr())
+	stop := make(chan struct{})
+	if s, ok := svc.(statser); ok {
+		logStats(role, statsInterval, stop, serviceSnapshot(s))
+	}
+	waitForSignal()
+	close(stop)
+	l.Close()
+	if c, ok := svc.(closer); ok {
+		if err := c.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "prochlod %s: drain: %v\n", role, err)
+		}
+	}
+	fmt.Printf("prochlod %s: drained and shut down\n", role)
+}
+
+// printEpochs prints a service's effective epoch configuration (defaults
+// and clamps applied), not the raw flags.
+func printEpochs(cfg transport.EpochConfig) {
+	if cfg.FlushAt > 0 || cfg.Interval > 0 {
 		fmt.Printf("epochs: flush-at %d, interval %v, max-pending %d, in-flight %d\n",
 			cfg.FlushAt, cfg.Interval, cfg.MaxPending, cfg.InFlight)
 	} else {
 		fmt.Println("epochs: manual Flush only")
 	}
-	waitForSignal()
-	// Graceful shutdown: stop accepting, drain the final epoch to the
-	// analyzer, then exit.
-	l.Close()
-	if err := svc.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "prochlod shuffler: drain:", err)
-	}
-	fmt.Println("prochlod shuffler: drained and shut down")
 }
 
-// newRand seeds the batch RNG: deterministic when the operator passes
-// -seed (reproducible experiments), cryptographically random otherwise.
-// The seeded construction matches prochlo.WithSeed so a seeded daemon
-// reproduces the in-process pipeline's thresholding draws exactly.
-func newRand(seed uint64) *rand.Rand {
-	if seed != 0 {
-		return rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5))
+func runShuffler(o shufflerOpts) {
+	rng := stageRand(o.seed, "shuffler")
+	var svc *transport.ShufflerService
+	var err error
+	if o.sgx {
+		ca, cerr := sgx.NewCA()
+		if cerr != nil {
+			fatal(cerr)
+		}
+		sh, quote, serr := shuffler.NewSGXShuffler(ca, o.threshold(), rng)
+		if serr != nil {
+			fatal(serr)
+		}
+		sh.Seed = o.seed
+		sh.MinBatch = o.minBatch
+		sh.Workers = o.workers
+		svc, err = transport.NewStageShufflerService(sh, quote.ReportData, o.next, o.cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := svc.SetAttestation(quote, ca.PublicKey()); err != nil {
+			fatal(err)
+		}
+		fmt.Println("sgx: key attested, measurement", hex.EncodeToString(shuffler.SGXShufflerMeasurement[:8]))
+	} else {
+		priv, kerr := hybrid.GenerateKey(crand.Reader)
+		if kerr != nil {
+			fatal(kerr)
+		}
+		sh := &shuffler.Shuffler{
+			Priv:      priv,
+			Threshold: o.threshold(),
+			Rand:      rng,
+			MinBatch:  o.minBatch,
+			Workers:   o.workers,
+		}
+		svc, err = transport.NewStreamingShufflerService(sh, priv.Public().Bytes(), o.next, o.cfg)
+		if err != nil {
+			fatal(err)
+		}
 	}
-	var b [16]byte
-	if _, err := crand.Read(b[:]); err != nil {
+	fmt.Println("forwarding to analyzer at", o.next)
+	printEpochs(svc.Config())
+	serveAndWait("shuffler", o.listen, svc, o.statsInterval)
+}
+
+func runShuffler1(o shufflerOpts) {
+	s1, err := shuffler.NewShuffler1(stageRand(o.seed, "shuffler1"))
+	if err != nil {
 		fatal(err)
 	}
-	return rand.New(rand.NewPCG(
-		binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:])))
+	s1.MinBatch = o.minBatch
+	s1.Workers = o.workers
+	svc, err := transport.NewShuffler1Service(s1, o.next, o.cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("forwarding blinded epochs to shuffler2 at", o.next)
+	printEpochs(svc.Config())
+	serveAndWait("shuffler1", o.listen, svc, o.statsInterval)
+}
+
+func runShuffler2(o shufflerOpts) {
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		fatal(err)
+	}
+	priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		fatal(err)
+	}
+	s2 := &shuffler.Shuffler2{
+		Blinding:  blindKP,
+		Priv:      priv,
+		Threshold: o.threshold(),
+		Rand:      stageRand(o.seed, "shuffler2"),
+		// The chain's entry hop enforces the anonymity floor on client
+		// traffic; this hop must accept whatever hop 1 forwards.
+		MinBatch: 1,
+		Workers:  o.workers,
+	}
+	svc, err := transport.NewShuffler2Service(s2, o.next, o.cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("forwarding to analyzer at", o.next)
+	fmt.Println("blinding public key:", hex.EncodeToString(blindKP.H.Bytes()))
+	fmt.Println("shuffler2 public key:", hex.EncodeToString(priv.Public().Bytes()))
+	printEpochs(svc.Config())
+	serveAndWait("shuffler2", o.listen, svc, o.statsInterval)
 }
 
 func waitForSignal() {

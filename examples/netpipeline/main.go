@@ -1,11 +1,20 @@
-// Networked pipeline: the three ESA parties of Figure 1 as long-lived
-// services exchanging gob-encoded RPC over loopback TCP — the same wiring
-// cmd/prochlod runs across machines. The shuffler daemon streams: a fleet
-// of clients ships whole batches of nested-encrypted reports per round trip
+// Networked pipeline: the ESA parties of Figure 1 as long-lived services
+// exchanging gob-encoded RPC over loopback TCP — the same wiring
+// cmd/prochlod runs across machines. Two topologies are demonstrated:
+//
+// The default is the single-shuffler deployment: a fleet of clients ships
+// whole batches of nested-encrypted reports per round trip
 // (Shuffler.SubmitBatch), epochs auto-flush to the analyzer whenever
 // occupancy reaches -flush-at, and the analyzer's histogram accumulates
 // across epochs. One report is also sent over the single-envelope Submit
 // RPC to show the compatibility path.
+//
+// With -chain, the §4.3 split-shuffler chain runs instead: clients submit
+// blinded envelopes to a Shuffler 1 daemon, which blinds, shuffles, and
+// forwards each epoch to a Shuffler 2 daemon (Shuffler.Forward), which
+// thresholds on blinded pseudonyms and pushes the survivors to the
+// analyzer — three mutually distrusting services, none of which sees both
+// who reported and what was reported.
 package main
 
 import (
@@ -14,9 +23,11 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"net"
 
 	"prochlo"
 	"prochlo/internal/analyzer"
+	"prochlo/internal/crypto/elgamal"
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/dp"
 	"prochlo/internal/shuffler"
@@ -27,6 +38,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size per stage (0 = GOMAXPROCS, 1 = serial)")
 	reports := flag.Int("reports", 240, "reports to submit")
 	flushAt := flag.Int("flush-at", 100, "epoch auto-flush threshold")
+	chain := flag.Bool("chain", false, "run the §4.3 split-shuffler chain (Shuffler1 -> Shuffler2 -> analyzer) instead of the single shuffler")
 	flag.Parse()
 
 	// Party 1: the analyzer daemon.
@@ -41,37 +53,11 @@ func main() {
 	}
 	defer anlzL.Close()
 
-	// Party 2: the streaming shuffler daemon, auto-flushing epochs to the
-	// analyzer through a bounded in-flight queue.
-	shufPriv, err := hybrid.GenerateKey(crand.Reader)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sh := &shuffler.Shuffler{
-		Priv:      shufPriv,
-		Threshold: shuffler.Threshold{Noise: dp.PaperThresholdNoise},
-		Rand:      rand.New(rand.NewPCG(17, 19)),
-		Workers:   *workers,
-	}
-	shufSvc, err := transport.NewStreamingShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String(),
-		transport.EpochConfig{FlushAt: *flushAt})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer shufSvc.Close()
-	shufL, err := transport.Serve("127.0.0.1:0", "Shuffler", shufSvc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer shufL.Close()
-	fmt.Println("analyzer:", anlzL.Addr(), " shuffler:", shufL.Addr())
-
-	// Party 3: the client fleet — a RemotePipeline fetches both stage keys
-	// over RPC, encodes in parallel, and ships whole batches per round trip.
-	rp, err := prochlo.DialRemote(shufL.Addr().String(), anlzL.Addr().String(),
-		prochlo.WithRemoteWorkers(*workers))
-	if err != nil {
-		log.Fatal(err)
+	var rp *prochlo.RemotePipeline
+	if *chain {
+		rp = dialChain(anlzL, *workers, *flushAt)
+	} else {
+		rp = dialSingle(anlzL, *workers, *flushAt)
 	}
 	defer rp.Close()
 
@@ -96,11 +82,99 @@ func main() {
 	fmt.Printf("mid-stream: %d pending, %d epochs auto-flushed, %d queued\n",
 		stats.Pending, stats.EpochsFlushed, stats.QueuedEpochs)
 
-	// Drain the final epoch and read the cumulative histogram.
+	// Drain the chain in hop order and read the cumulative histogram.
 	res, err := rp.Flush()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("shuffler cumulative: %+v\n", res.ShufflerStats)
 	fmt.Println("analyzer histogram:", res.Histogram)
+}
+
+// dialSingle wires the single-shuffler topology: one streaming shuffler
+// daemon auto-flushing epochs to the analyzer through a bounded in-flight
+// queue, and a RemotePipeline playing the client fleet.
+func dialSingle(anlzL net.Listener, workers, flushAt int) *prochlo.RemotePipeline {
+	shufPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sh := &shuffler.Shuffler{
+		Priv:      shufPriv,
+		Threshold: shuffler.Threshold{Noise: dp.PaperThresholdNoise},
+		Rand:      rand.New(rand.NewPCG(17, 19)),
+		Workers:   workers,
+	}
+	shufSvc, err := transport.NewStreamingShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String(),
+		transport.EpochConfig{FlushAt: flushAt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shufL, err := transport.Serve("127.0.0.1:0", "Shuffler", shufSvc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analyzer:", anlzL.Addr(), " shuffler:", shufL.Addr())
+
+	rp, err := prochlo.DialRemote(shufL.Addr().String(), anlzL.Addr().String(),
+		prochlo.WithRemoteWorkers(workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rp
+}
+
+// dialChain wires the split-shuffler chain: a Shuffler 2 daemon holding the
+// blinding and hybrid keys, a Shuffler 1 daemon forwarding blinded epochs
+// to it, and a RemotePipeline entering the chain at hop 1 with the keys
+// fetched from hop 2 over RPC.
+func dialChain(anlzL net.Listener, workers, flushAt int) *prochlo.RemotePipeline {
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2Priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2 := &shuffler.Shuffler2{
+		Blinding:  blindKP,
+		Priv:      s2Priv,
+		Threshold: shuffler.Threshold{Noise: dp.PaperThresholdNoise},
+		Rand:      rand.New(rand.NewPCG(23, 29)),
+		MinBatch:  1,
+		Workers:   workers,
+	}
+	s2Svc, err := transport.NewShuffler2Service(s2, anlzL.Addr().String(),
+		transport.EpochConfig{FlushAt: flushAt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2L, err := transport.Serve("127.0.0.1:0", "Shuffler", s2Svc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s1, err := shuffler.NewShuffler1(rand.New(rand.NewPCG(31, 37)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s1.Workers = workers
+	s1Svc, err := transport.NewShuffler1Service(s1, s2L.Addr().String(),
+		transport.EpochConfig{FlushAt: flushAt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s1L, err := transport.Serve("127.0.0.1:0", "Shuffler", s1Svc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analyzer:", anlzL.Addr(), " shuffler2:", s2L.Addr(), " shuffler1:", s1L.Addr())
+
+	rp, err := prochlo.DialRemoteChain(s1L.Addr().String(), s2L.Addr().String(), anlzL.Addr().String(),
+		prochlo.WithRemoteWorkers(workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rp
 }

@@ -24,6 +24,7 @@ type SGXShuffler struct {
 	Threshold Threshold
 	Rand      *rand.Rand
 	Seed      uint64 // deterministic stash shuffling for tests
+	MinBatch  int    // anonymity floor per epoch; 0 selects DefaultMinBatch
 	Workers   int    // Stash Shuffle distribution workers; 0 = GOMAXPROCS, 1 = serial
 
 	priv *hybrid.PrivateKey

@@ -144,9 +144,10 @@ func (s *Shuffler) Process(batch []core.Envelope) ([][]byte, Stats, error) {
 // metadata, and shuffles. It cannot decrypt crowd IDs (no Shuffler 2 private
 // key) nor data (no analyzer key).
 type Shuffler1 struct {
-	Alpha   *big.Int // blinding exponent, fixed per batch epoch
-	Rand    *rand.Rand
-	Workers int // blinding workers; 0 = GOMAXPROCS, 1 = serial
+	Alpha    *big.Int // blinding exponent, fixed per batch epoch
+	Rand     *rand.Rand
+	MinBatch int // anonymity floor per epoch; 0 selects DefaultMinBatch
+	Workers  int // blinding workers; 0 = GOMAXPROCS, 1 = serial
 }
 
 // NewShuffler1 draws a fresh blinding exponent.
@@ -206,6 +207,7 @@ type Shuffler2 struct {
 	Priv      *hybrid.PrivateKey
 	Threshold Threshold
 	Rand      *rand.Rand
+	MinBatch  int // anonymity floor per epoch; 0 selects DefaultMinBatch
 	Workers   int // decryption workers; 0 = GOMAXPROCS, 1 = serial
 }
 

@@ -1,0 +1,150 @@
+package shuffler
+
+import (
+	crand "crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+
+	"prochlo/internal/core"
+)
+
+// Stage is the common face of every shuffler variant: one hop of an ESA
+// chain that consumes an epoch batch and emits the batch for the next hop.
+// The plain Shuffler and the SGXShuffler consume client envelopes and emit
+// peeled payloads for the analyzer; Shuffler1 consumes blinded envelopes and
+// emits blinded envelopes for Shuffler2; Shuffler2 consumes blinded
+// envelopes and emits peeled payloads. Because every variant speaks
+// core.Batch, the same epoch engine (internal/transport) and the same
+// in-process pipeline driver can run any of them, and a chain topology is
+// just stages wired output-to-input — in one process or across daemons.
+type Stage interface {
+	// ProcessEpoch consumes one cut epoch and returns the batch to forward
+	// to the next hop, plus the selectivity stats the stage's host is
+	// allowed to observe. It fails if the batch kind is not the stage's
+	// input kind (a miswired topology) or violates the anonymity floor.
+	ProcessEpoch(in core.Batch) (out core.Batch, stats Stats, err error)
+	// Floor is the stage's anonymity floor: the minimum number of items an
+	// epoch must hold before the stage may process it. Epoch schedulers use
+	// it to refuse cutting smaller epochs.
+	Floor() int
+}
+
+// wrongKind is the miswired-topology error: a stage was handed a batch of
+// the wrong wire kind.
+func wrongKind(stage string, want, got core.BatchKind) error {
+	return fmt.Errorf("shuffler: %s expects %s, got %s", stage, want, got)
+}
+
+// ProcessEpoch implements Stage: envelopes in, peeled payloads out.
+func (s *Shuffler) ProcessEpoch(in core.Batch) (core.Batch, Stats, error) {
+	if k := in.Kind(); k != core.KindEnvelopes && k != core.KindEmpty {
+		return core.Batch{}, Stats{}, wrongKind("shuffler", core.KindEnvelopes, k)
+	}
+	out, stats, err := s.Process(in.Envelopes)
+	return core.Batch{Payloads: out}, stats, err
+}
+
+// Floor implements Stage.
+func (s *Shuffler) Floor() int {
+	if s.MinBatch > 0 {
+		return s.MinBatch
+	}
+	return DefaultMinBatch
+}
+
+// ProcessEpoch implements Stage: envelopes in, peeled payloads out, shuffled
+// obliviously inside the enclave.
+func (s *SGXShuffler) ProcessEpoch(in core.Batch) (core.Batch, Stats, error) {
+	if k := in.Kind(); k != core.KindEnvelopes && k != core.KindEmpty {
+		return core.Batch{}, Stats{}, wrongKind("sgx shuffler", core.KindEnvelopes, k)
+	}
+	if min := s.Floor(); len(in.Envelopes) < min {
+		return core.Batch{}, Stats{}, fmt.Errorf("%w: %d < %d", ErrBatchTooSmall, len(in.Envelopes), min)
+	}
+	out, stats, err := s.Process(in.Envelopes)
+	return core.Batch{Payloads: out}, stats, err
+}
+
+// Floor implements Stage.
+func (s *SGXShuffler) Floor() int {
+	if s.MinBatch > 0 {
+		return s.MinBatch
+	}
+	return DefaultMinBatch
+}
+
+// ProcessEpoch implements Stage: blinded envelopes in, blinded-and-shuffled
+// envelopes out, bound for Shuffler 2. Shuffler 1 sees neither crowd IDs nor
+// data, so its stats report only arrival and forwarding counts; envelopes
+// whose crowd-ID points fail to parse are dropped and counted undecryptable.
+func (s *Shuffler1) ProcessEpoch(in core.Batch) (core.Batch, Stats, error) {
+	if k := in.Kind(); k != core.KindBlinded && k != core.KindEmpty {
+		return core.Batch{}, Stats{}, wrongKind("shuffler 1", core.KindBlinded, k)
+	}
+	if min := s.Floor(); len(in.Blinded) < min {
+		return core.Batch{}, Stats{}, fmt.Errorf("%w: %d < %d", ErrBatchTooSmall, len(in.Blinded), min)
+	}
+	out, err := s.Process(in.Blinded)
+	stats := Stats{
+		Received:      len(in.Blinded),
+		Undecryptable: len(in.Blinded) - len(out),
+		Forwarded:     len(out),
+	}
+	return core.Batch{Blinded: out}, stats, err
+}
+
+// Floor implements Stage.
+func (s *Shuffler1) Floor() int {
+	if s.MinBatch > 0 {
+		return s.MinBatch
+	}
+	return DefaultMinBatch
+}
+
+// ProcessEpoch implements Stage: blinded envelopes in, peeled payloads out.
+func (s *Shuffler2) ProcessEpoch(in core.Batch) (core.Batch, Stats, error) {
+	if k := in.Kind(); k != core.KindBlinded && k != core.KindEmpty {
+		return core.Batch{}, Stats{}, wrongKind("shuffler 2", core.KindBlinded, k)
+	}
+	if min := s.Floor(); len(in.Blinded) < min {
+		return core.Batch{}, Stats{}, fmt.Errorf("%w: %d < %d", ErrBatchTooSmall, len(in.Blinded), min)
+	}
+	out, stats, err := s.Process(in.Blinded)
+	return core.Batch{Payloads: out}, stats, err
+}
+
+// Floor implements Stage.
+func (s *Shuffler2) Floor() int {
+	if s.MinBatch > 0 {
+		return s.MinBatch
+	}
+	return DefaultMinBatch
+}
+
+// StageRand derives the batch RNG for the named stage of a deployment. For
+// seed != 0 the stream is deterministic and independent per stage name, so a
+// networked chain — where each daemon owns exactly one stage and one RNG —
+// reproduces the in-process pipeline exactly: prochlo.WithSeed gives each
+// in-process stage StageRand(seed, name), and a daemon started with the same
+// seed and role name draws the identical sequence. (A single shared RNG
+// would not survive the split: stage B's draws would depend on how many
+// draws stage A consumed in the same process.) Stage names in use:
+// "shuffler" (plain and SGX), "shuffler1", "shuffler2".
+//
+// For seed == 0 the RNG is seeded from crypto/rand (production).
+func StageRand(seed uint64, stage string) (*rand.Rand, error) {
+	if seed == 0 {
+		var b [16]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			return nil, err
+		}
+		return rand.New(rand.NewPCG(
+			binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:]))), nil
+	}
+	h := sha256.Sum256([]byte("prochlo-stage-rng:" + stage))
+	return rand.New(rand.NewPCG(
+		seed^binary.LittleEndian.Uint64(h[:8]),
+		(seed^0xa5a5a5a5)^binary.LittleEndian.Uint64(h[8:16]))), nil
+}

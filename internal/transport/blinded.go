@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"prochlo/internal/core"
+	"prochlo/internal/shuffler"
+)
+
+// BlindedShufflerService exposes one hop of the §4.3 split-shuffler chain
+// over RPC. Both hops ingest blinded envelopes and run on the same epoch
+// engine; they differ only in stage and sink:
+//
+//   - the shuffler1 hop (NewShuffler1Service) blinds and shuffles each
+//     epoch and forwards it to the next shuffler hop via Shuffler.Forward;
+//   - the shuffler2 hop (NewShuffler2Service) thresholds on blinded
+//     pseudonyms, peels its encryption layer, and pushes the surviving
+//     inner ciphertexts to the analyzer via Analyzer.Ingest. It also serves
+//     the chain's client key material over Shuffler.Keys.
+//
+// Clients enter the chain at hop 1 with SubmitBlindedBatch; hop 2 receives
+// exclusively forwarded epochs (deduplicated by the upstream's
+// (stream, epoch) stamp, since inter-hop pushes are at-least-once).
+// Backpressure composes across the chain: when hop 2 rejects a forward as
+// epoch-full, hop 1's flusher backs off and retries, its in-flight queue
+// fills, and hop 1 starts rejecting its own clients with the same
+// retryable error.
+type BlindedShufflerService struct {
+	eng *engine[core.BlindedEnvelope]
+	fwd forwardDedup
+
+	// Key material served to clients; nil at hop 1, which holds no keys.
+	blindingPub []byte
+	hybridPub   []byte
+}
+
+// newBlindedService wires either hop: the shared engine over a blinded
+// stage and the given sink.
+func newBlindedService(st shuffler.Stage, snk sink, cfg EpochConfig) (*BlindedShufflerService, error) {
+	eng, err := newEngine(cfg, st.Floor(), snk,
+		func(batch []core.BlindedEnvelope) (core.Batch, shuffler.Stats, error) {
+			return st.ProcessEpoch(core.Batch{Blinded: batch})
+		},
+		stampBlinded, blindedSeq)
+	if err != nil {
+		return nil, err
+	}
+	return &BlindedShufflerService{eng: eng}, nil
+}
+
+// NewShuffler1Service wraps the first split-shuffler hop, forwarding each
+// blinded-and-shuffled epoch to the shuffler2-role daemon at nextAddr.
+func NewShuffler1Service(s1 *shuffler.Shuffler1, nextAddr string, cfg EpochConfig) (*BlindedShufflerService, error) {
+	snk, err := newStageSink(nextAddr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return newBlindedService(s1, snk, cfg)
+}
+
+// NewShuffler2Service wraps the second split-shuffler hop, pushing each
+// processed epoch's surviving inner ciphertexts to the analyzer service at
+// analyzerAddr. The service serves s2's blinding and hybrid public keys to
+// clients over Shuffler.Keys.
+func NewShuffler2Service(s2 *shuffler.Shuffler2, analyzerAddr string, cfg EpochConfig) (*BlindedShufflerService, error) {
+	if s2.Blinding == nil || s2.Priv == nil {
+		return nil, errors.New("transport: shuffler 2 needs blinding and hybrid keys")
+	}
+	snk, err := newAnalyzerSink(analyzerAddr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := newBlindedService(s2, snk, cfg)
+	if err != nil {
+		return nil, err
+	}
+	svc.blindingPub = s2.Blinding.H.Bytes()
+	svc.hybridPub = s2.Priv.Public().Bytes()
+	return svc, nil
+}
+
+// Config returns the service's effective epoch configuration, with every
+// default and clamp applied.
+func (s *BlindedShufflerService) Config() EpochConfig { return s.eng.cfg }
+
+// Keys serves the split-shuffler client key material. Hop 1 holds no keys —
+// clients fetch them from the shuffler2 daemon directly, preserving the
+// rule that no single hop could both see traffic metadata and decrypt.
+func (s *BlindedShufflerService) Keys(_ struct{}, reply *BlindedKeysReply) error {
+	if len(s.blindingPub) == 0 {
+		return errors.New("transport: this hop holds no keys (fetch them from the shuffler2 daemon)")
+	}
+	reply.Blinding = s.blindingPub
+	reply.Key = s.hybridPub
+	return nil
+}
+
+// SubmitBlindedBatch queues many blinded envelopes in one round trip. The
+// batch is accepted or rejected atomically: on ErrEpochFull nothing is
+// ingested.
+func (s *BlindedShufflerService) SubmitBlindedBatch(args SubmitBlindedBatchArgs, reply *SubmitReply) error {
+	if err := s.eng.add(args.Envelopes); err != nil {
+		return err
+	}
+	reply.Accepted = len(args.Envelopes)
+	return nil
+}
+
+// Forward ingests an epoch pushed by the upstream hop, deduplicating
+// at-least-once retries by (stream, epoch).
+func (s *BlindedShufflerService) Forward(args ForwardArgs, reply *SubmitReply) error {
+	if k := args.Batch.Kind(); k != core.KindBlinded && k != core.KindEmpty {
+		return fmt.Errorf("transport: blinded shuffler ingests %v, got %v", core.KindBlinded, k)
+	}
+	return s.fwd.ingest(args.Stream, args.Epoch, len(args.Batch.Blinded), reply, func() error {
+		return s.eng.add(args.Batch.Blinded)
+	})
+}
+
+// Flush cuts and processes the current epoch, returning its stats. An
+// empty or below-floor epoch fails with shuffler.ErrBatchTooSmall and is
+// left pending; use Drain for a tolerant barrier.
+func (s *BlindedShufflerService) Flush(_ struct{}, reply *FlushReply) error {
+	stats, err := s.eng.forceFlush(false)
+	if err != nil {
+		return err
+	}
+	reply.Stats = stats
+	return nil
+}
+
+// Drain cuts the current epoch if it meets the anonymity floor — a
+// below-floor epoch is left pending, where it can still grow — waits for
+// every queued epoch to reach the next hop, and returns the service stats.
+// Chains drain in hop order: hop 1 first (its final epoch must reach hop
+// 2's ingestion before hop 2's drain cuts), then hop 2.
+func (s *BlindedShufflerService) Drain(_ struct{}, reply *ServiceStats) error {
+	if _, err := s.eng.forceFlush(true); err != nil {
+		return err
+	}
+	return s.Stats(struct{}{}, reply)
+}
+
+// Stats reports the service's occupancy, epoch counters, and cumulative
+// selectivity.
+func (s *BlindedShufflerService) Stats(_ struct{}, reply *ServiceStats) error {
+	s.eng.stats(reply)
+	return nil
+}
+
+// BatchSize reports the current epoch occupancy.
+func (s *BlindedShufflerService) BatchSize(_ struct{}, n *int) error {
+	*n = int(s.eng.occupancy.Load())
+	return nil
+}
+
+// Close gracefully shuts the hop down: it stops accepting submissions,
+// cuts and flushes the final epoch (if it meets the anonymity floor), waits
+// for every queued epoch to reach the next hop, and releases the downstream
+// connection.
+func (s *BlindedShufflerService) Close() error { return s.eng.close() }

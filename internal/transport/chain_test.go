@@ -1,0 +1,276 @@
+package transport
+
+import (
+	crand "crypto/rand"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"prochlo/internal/analyzer"
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/elgamal"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/encoder"
+	"prochlo/internal/shuffler"
+)
+
+// TestSubmitAllPartialAccept pins the accepted-prefix contract: when the
+// service's occupancy cap rejects part of a split batch and the retry
+// budget runs out, SubmitAll must report exactly how many envelopes were
+// ingested — in submission order — so the caller can resume from the
+// remainder without double-counting.
+func TestSubmitAllPartialAccept(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{MaxPending: 4})
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	envs := make([]core.Envelope, 6)
+	values := []string{"v0", "v1", "v2", "v3", "v4", "v5"}
+	for i := range envs {
+		envs[i] = rig.envelope(t, "c:partial", values[i])
+	}
+	// Fill half the cap, then ship the rest with a tight retry budget: the
+	// whole batch bounces (2+4 > 4), the first split half fits (occupancy
+	// 4), and the second half exhausts its retries against the full epoch.
+	if err := cl.SubmitBatch(envs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := cl.SubmitAll(envs[2:], 1, time.Millisecond)
+	if !IsEpochFull(err) {
+		t.Fatalf("SubmitAll on a full epoch: err = %v, want epoch-full", err)
+	}
+	if accepted != 2 {
+		t.Fatalf("accepted = %d, want 2 (the prefix that fit under the cap)", accepted)
+	}
+
+	// The accepted prefix must be exactly v2, v3: drain and check before
+	// resuming.
+	if _, err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	ac, err := DialAnalyzer(rig.anlz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	counts, _, err := ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values[:4] {
+		if counts[v] != 1 {
+			t.Errorf("count[%s] = %d, want 1 (accepted prefix)", v, counts[v])
+		}
+	}
+	for _, v := range values[4:] {
+		if counts[v] != 0 {
+			t.Errorf("count[%s] = %d, want 0 (rejected remainder must not be ingested)", v, counts[v])
+		}
+	}
+
+	// Resume from the reported prefix: the remainder lands exactly once.
+	accepted, err = cl.SubmitAll(envs[2+accepted:], 1, time.Millisecond)
+	if err != nil || accepted != 2 {
+		t.Fatalf("resumed SubmitAll = (%d, %v), want (2, nil)", accepted, err)
+	}
+	if _, err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	counts, _, err = ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if counts[v] != 1 {
+			t.Errorf("final count[%s] = %d, want 1", v, counts[v])
+		}
+	}
+}
+
+// TestSubmitAllBackoffDrains pins the backoff path: with auto-flush
+// draining epochs underneath, a batch larger than the free occupancy must
+// be fully accepted after splitting and retrying — no reports lost, none
+// duplicated.
+func TestSubmitAllBackoffDrains(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{FlushAt: 4})
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	env := rig.envelope(t, "c:backoff", "backoff-value")
+	fill := make([]core.Envelope, 8) // MaxPending defaults to 2*FlushAt = 8
+	for i := range fill {
+		fill[i] = env
+	}
+	if err := cl.SubmitBatch(fill); err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := cl.SubmitAll(fill, 200, 2*time.Millisecond)
+	if err != nil {
+		t.Fatalf("SubmitAll with auto-flush draining: %v", err)
+	}
+	if accepted != len(fill) {
+		t.Fatalf("accepted = %d, want %d", accepted, len(fill))
+	}
+	if _, err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	ac, err := DialAnalyzer(rig.anlz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	counts, _, err := ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["backoff-value"] != 16 {
+		t.Errorf("count = %d, want 16 (8 filled + 8 retried)", counts["backoff-value"])
+	}
+}
+
+// TestDrainEmptyBelowFloor pins Drain's barrier semantics against the
+// anonymity floor: draining a service with nothing pending succeeds and
+// flushes nothing, and draining a below-floor epoch preserves it without
+// polluting the failure counters.
+func TestDrainEmptyBelowFloor(t *testing.T) {
+	rig := newStreamingRigMin(t, EpochConfig{}, 5)
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	stats, err := cl.Drain()
+	if err != nil {
+		t.Fatalf("Drain on an empty service: %v, want nil (pure barrier)", err)
+	}
+	if stats.Pending != 0 || stats.EpochsFlushed != 0 || stats.EpochsFailed != 0 {
+		t.Fatalf("empty Drain stats = %+v, want all-zero epoch counters", stats)
+	}
+
+	env := rig.envelope(t, "c:floor", "floor-value")
+	if err := cl.SubmitBatch([]core.Envelope{env, env}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = cl.Drain()
+	if err != nil {
+		t.Fatalf("Drain below the floor: %v, want nil (epoch left pending)", err)
+	}
+	if stats.Pending != 2 || stats.EpochsFlushed != 0 || stats.EpochsFailed != 0 || stats.Dropped != 0 {
+		t.Fatalf("below-floor Drain stats = %+v, want 2 pending and untouched counters", stats)
+	}
+}
+
+// TestForwardDedup pins the inter-hop ingestion contract: an at-least-once
+// Forward retry of the same (stream, epoch) must be acknowledged without
+// re-ingesting, and a batch of the wrong wire kind must be refused.
+func TestForwardDedup(t *testing.T) {
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlzSvc := NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzL, err := Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anlzL.Close()
+
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2Priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := &shuffler.Shuffler2{
+		Blinding: blindKP, Priv: s2Priv,
+		Rand: rand.New(rand.NewPCG(21, 23)), MinBatch: 1,
+	}
+	svc, err := NewShuffler2Service(s2, anlzL.Addr().String(), EpochConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	benc := &encoder.BlindedClient{
+		Shuffler2Blinding: blindKP.H,
+		Shuffler2Key:      s2Priv.Public(),
+		AnalyzerKey:       anlzPriv.Public(),
+		Rand:              crand.Reader,
+	}
+	envs := make([]core.BlindedEnvelope, 3)
+	for i := range envs {
+		envs[i], err = benc.Encode("c:dedup", []byte("dedup-value"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	args := ForwardArgs{Stream: 9, Epoch: 1, Batch: core.Batch{Blinded: envs}}
+	var reply SubmitReply
+	if err := svc.Forward(args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Accepted != 3 {
+		t.Fatalf("first forward accepted = %d, want 3", reply.Accepted)
+	}
+	// The retry (reply lost upstream) must ack without ingesting again.
+	if err := svc.Forward(args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Accepted != 3 {
+		t.Fatalf("retried forward accepted = %d, want 3 (idempotent ack)", reply.Accepted)
+	}
+	var pending int
+	if err := svc.BatchSize(struct{}{}, &pending); err != nil {
+		t.Fatal(err)
+	}
+	if pending != 3 {
+		t.Fatalf("pending after duplicate forward = %d, want 3", pending)
+	}
+
+	// Wrong wire kind: a blinded hop must refuse plain envelopes.
+	bad := ForwardArgs{Stream: 9, Epoch: 2, Batch: core.Batch{Envelopes: []core.Envelope{{Blob: []byte("x")}}}}
+	if err := svc.Forward(bad, &reply); err == nil {
+		t.Error("forward of plain envelopes into a blinded hop succeeded")
+	}
+
+	var drained ServiceStats
+	if err := svc.Drain(struct{}{}, &drained); err != nil {
+		t.Fatal(err)
+	}
+	var anlzStats AnalyzerStats
+	if err := anlzSvc.Stats(struct{}{}, &anlzStats); err != nil {
+		t.Fatal(err)
+	}
+	if anlzStats.Records != 3 {
+		t.Errorf("analyzer records = %d, want 3 (dedup prevented double ingestion)", anlzStats.Records)
+	}
+}
+
+// TestDialTimeoutFailsFast: dialing a dead peer must fail within a bounded
+// window instead of hanging in the TCP handshake. A closed loopback port is
+// the portable dead peer (an unroutable address can be swallowed by
+// sandboxed-network proxies); the connect-timeout itself is stdlib
+// net.DialTimeout behavior, and every dial in this package routes through
+// it.
+func TestDialTimeoutFailsFast(t *testing.T) {
+	start := time.Now()
+	if _, err := DialTimeout("127.0.0.1:1", 150*time.Millisecond); err == nil {
+		t.Fatal("dialing a closed port succeeded")
+	}
+	if _, err := DialAnalyzerTimeout("127.0.0.1:1", 150*time.Millisecond); err == nil {
+		t.Fatal("dialing a closed analyzer port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("dials took %v, want the ~150ms timeout to bound them", elapsed)
+	}
+}

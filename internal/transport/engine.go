@@ -1,0 +1,565 @@
+package transport
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/rpc"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prochlo/internal/core"
+	"prochlo/internal/shuffler"
+)
+
+// DefaultDialTimeout bounds how long connecting to a peer daemon may block.
+// Every dial in this package — service constructors, push redials, client
+// Dial — goes through it, so a daemon chained to a dead next hop fails fast
+// instead of hanging in the TCP handshake forever. Override per service with
+// EpochConfig.DialTimeout, or per client with DialTimeout/DialAnalyzerTimeout.
+const DefaultDialTimeout = 5 * time.Second
+
+// dialRPC dials an RPC peer with a bounded connect timeout (timeout <= 0
+// selects DefaultDialTimeout).
+func dialRPC(addr string, timeout time.Duration) (*rpc.Client, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.NewClient(conn), nil
+}
+
+// sink delivers one processed epoch to the next hop of the chain. Pushes are
+// at-least-once — implementations retry transient failures and redial broken
+// connections — so receivers dedup by the (stream, epoch) pair stamped on
+// every push. A sink is only ever driven by its engine's single flusher
+// goroutine (close strictly after the flusher exits), so implementations
+// need no locking around their connection.
+type sink interface {
+	push(stream, epoch int64, out core.Batch) error
+	close() error
+}
+
+// analyzerSink pushes peeled payloads to an analyzer service, redialing a
+// broken connection: a long-lived daemon must survive an analyzer restart,
+// so a failed call is retried on a fresh connection before the epoch is
+// declared lost. Retried pushes are deduplicated analyzer-side by
+// (stream, epoch) — a reply lost after ingestion must not double-count.
+type analyzerSink struct {
+	cl      *rpc.Client
+	addr    string
+	timeout time.Duration
+}
+
+func newAnalyzerSink(addr string, timeout time.Duration) (*analyzerSink, error) {
+	cl, err := dialRPC(addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial analyzer: %w", err)
+	}
+	return &analyzerSink{cl: cl, addr: addr, timeout: timeout}, nil
+}
+
+func (s *analyzerSink) push(stream, epoch int64, out core.Batch) error {
+	if k := out.Kind(); k != core.KindPayloads && k != core.KindEmpty {
+		return fmt.Errorf("transport: analyzer ingests %v, stage emitted %v", core.KindPayloads, k)
+	}
+	args := IngestArgs{Stream: stream, Epoch: epoch, Items: out.Payloads}
+	var ack bool
+	err := s.cl.Call("Analyzer.Ingest", args, &ack)
+	for attempt := 0; err != nil && attempt < 2; attempt++ {
+		time.Sleep(200 * time.Millisecond)
+		cl, derr := dialRPC(s.addr, s.timeout)
+		if derr != nil {
+			err = fmt.Errorf("transport: redial analyzer: %w", derr)
+			continue
+		}
+		s.cl.Close()
+		s.cl = cl
+		err = s.cl.Call("Analyzer.Ingest", args, &ack)
+	}
+	return err
+}
+
+func (s *analyzerSink) close() error { return s.cl.Close() }
+
+// Forward-push retry policy: a downstream hop rejecting with the retryable
+// epoch-full error is backpressure, not failure — the upstream flusher backs
+// off and retries while the downstream epoch drains. The bound exists so a
+// misconfigured chain (an epoch larger than the next hop's MaxPending can
+// never be accepted) surfaces as a failed epoch in Stats instead of a silent
+// stall.
+const (
+	forwardRetries = 400
+	forwardDelay   = 25 * time.Millisecond
+)
+
+// stageSink pushes a processed epoch to the next shuffler hop of a chain
+// over the Shuffler.Forward RPC. Epoch-full rejections are retried with
+// backoff (downstream backpressure propagates upstream: the flusher blocks,
+// the in-flight queue fills, and this hop starts rejecting its own clients);
+// broken connections are redialed like analyzerSink. Receivers dedup by
+// (stream, epoch).
+type stageSink struct {
+	cl      *rpc.Client
+	addr    string
+	timeout time.Duration
+}
+
+func newStageSink(addr string, timeout time.Duration) (*stageSink, error) {
+	cl, err := dialRPC(addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial next hop: %w", err)
+	}
+	return &stageSink{cl: cl, addr: addr, timeout: timeout}, nil
+}
+
+func (s *stageSink) push(stream, epoch int64, out core.Batch) error {
+	args := ForwardArgs{Stream: stream, Epoch: epoch, Batch: out}
+	var reply SubmitReply
+	err := s.cl.Call("Shuffler.Forward", args, &reply)
+	redials := 0
+	for attempt := 0; err != nil && attempt < forwardRetries; attempt++ {
+		if IsEpochFull(err) {
+			time.Sleep(forwardDelay)
+			err = s.cl.Call("Shuffler.Forward", args, &reply)
+			continue
+		}
+		if redials >= 2 {
+			break
+		}
+		redials++
+		time.Sleep(200 * time.Millisecond)
+		cl, derr := dialRPC(s.addr, s.timeout)
+		if derr != nil {
+			err = fmt.Errorf("transport: redial next hop: %w", derr)
+			continue
+		}
+		s.cl.Close()
+		s.cl = cl
+		err = s.cl.Call("Shuffler.Forward", args, &reply)
+	}
+	if IsEpochFull(err) {
+		return fmt.Errorf("transport: next hop still epoch-full after %d retries "+
+			"(its MaxPending must fit this hop's epochs): %w", forwardRetries, err)
+	}
+	return err
+}
+
+func (s *stageSink) close() error { return s.cl.Close() }
+
+// ingestShard is one independently locked ingestion sub-batch.
+type ingestShard[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// epoch is a cut batch traveling to the flusher. reply is non-nil for
+// forced (manual Flush / Drain) epochs.
+type epoch[T any] struct {
+	batch      []T
+	reply      chan flushResult
+	allowEmpty bool // Drain: an empty cut is a barrier, not an error
+}
+
+type flushResult struct {
+	stats shuffler.Stats
+	err   error
+}
+
+// forceReq asks the scheduler to cut the current epoch immediately.
+type forceReq struct {
+	reply      chan flushResult
+	allowEmpty bool
+}
+
+// engine is the reusable epoch machinery every stage daemon runs: sharded
+// ingestion with global sequence stamping, an epoch scheduler (occupancy- and
+// timer-driven cuts, respecting the stage's anonymity floor), submission
+// backpressure at MaxPending, a single in-order flusher feeding the stage
+// function, and an at-least-once push of each processed epoch into the sink.
+// It is generic over the ingested wire item (client envelopes for the plain
+// and SGX shufflers, blinded envelopes for the split-shuffler hops); the
+// stage's output travels as a core.Batch, so any stage can feed any sink.
+// See the package comment for the streaming and backpressure model.
+type engine[T any] struct {
+	process func([]T) (core.Batch, shuffler.Stats, error)
+	sink    sink
+	// stamp records the arrival metadata a network service inevitably sees
+	// (the stage's first processing step strips it, §3.3): item i gets
+	// sequence number base+i+1 and the arrival time.
+	stamp func(items []T, at time.Time, base int64)
+	seqOf func(item *T) int
+	floor int
+	cfg   EpochConfig
+
+	stream    int64 // random id naming this engine's push stream for dedup
+	epochID   atomic.Int64
+	seq       atomic.Int64
+	shardRR   atomic.Int64
+	occupancy atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	dropped   atomic.Int64
+	closed    atomic.Bool
+	// closeMu serializes close against in-flight ingests: add holds the
+	// read side for the whole stamp-and-append, so once close holds the
+	// write side every accepted item is in a shard and will be seen by
+	// the scheduler's final cut — an acknowledged submission cannot race
+	// past the drain and strand.
+	closeMu sync.RWMutex
+
+	shards []ingestShard[T]
+
+	kick   chan struct{}  // occupancy crossed FlushAt
+	force  chan forceReq  // manual Flush / Drain
+	epochs chan *epoch[T] // scheduler -> flusher, cap InFlight
+	stop   chan struct{}  // close -> scheduler
+	done   chan struct{}  // flusher exited
+
+	mu            sync.Mutex // guards the epoch counters below
+	queuedEpochs  int
+	epochsFlushed int
+	epochsFailed  int
+	lastErr       error
+	cum           shuffler.Stats
+}
+
+// newEngine wires an engine: cfg defaults and clamps applied, stream id
+// drawn, scheduler and flusher started. floor is the stage's anonymity
+// floor; snk receives every processed epoch and is closed by close().
+func newEngine[T any](
+	cfg EpochConfig, floor int, snk sink,
+	process func([]T) (core.Batch, shuffler.Stats, error),
+	stamp func(items []T, at time.Time, base int64),
+	seqOf func(item *T) int,
+) (*engine[T], error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if floor <= 0 {
+		floor = 1
+	}
+	if cfg.FlushAt > 0 && cfg.FlushAt < floor {
+		// An epoch below the stage's anonymity floor could never be
+		// processed; auto-flush no earlier than the floor.
+		cfg.FlushAt = floor
+	}
+	if cfg.MaxPending <= 0 {
+		switch {
+		case cfg.FlushAt > 0:
+			cfg.MaxPending = 2 * cfg.FlushAt
+		case cfg.Interval > 0:
+			// Timer-only streaming still must not grow unboundedly when
+			// the flusher falls behind; a generous cap keeps the
+			// backpressure guarantee.
+			cfg.MaxPending = 1 << 20
+		}
+	}
+	if cfg.MaxPending > 0 && cfg.MaxPending < cfg.FlushAt {
+		// An occupancy cap below the flush threshold could never be
+		// crossed: submissions would bounce forever and no epoch would
+		// ever cut. Keep the threshold reachable.
+		cfg.MaxPending = cfg.FlushAt
+	}
+	if cfg.InFlight <= 0 {
+		cfg.InFlight = 2
+	}
+	var streamID [8]byte
+	if _, err := crand.Read(streamID[:]); err != nil {
+		snk.close()
+		return nil, fmt.Errorf("transport: stream id: %w", err)
+	}
+	e := &engine[T]{
+		process: process,
+		sink:    snk,
+		stamp:   stamp,
+		seqOf:   seqOf,
+		floor:   floor,
+		cfg:     cfg,
+		stream:  int64(binary.LittleEndian.Uint64(streamID[:])),
+		shards:  make([]ingestShard[T], cfg.Shards),
+		kick:    make(chan struct{}, 1),
+		force:   make(chan forceReq),
+		epochs:  make(chan *epoch[T], cfg.InFlight),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go e.scheduler()
+	go e.flusher()
+	return e, nil
+}
+
+// add stamps and ingests a submission, enforcing backpressure. The whole
+// call takes one shard lock: the shard is picked round-robin per call
+// (not from the sequence number, which advances by the batch size and
+// would park every uniform-size batch on one shard), so concurrent RPCs
+// spread across shards while each RPC stays a single append.
+func (e *engine[T]) add(items []T) error {
+	if len(items) == 0 {
+		return nil
+	}
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	n := int64(len(items))
+	if limit := int64(e.cfg.MaxPending); limit > 0 {
+		if cur := e.occupancy.Add(n); cur > limit {
+			e.occupancy.Add(-n)
+			e.rejected.Add(n)
+			return ErrEpochFull
+		}
+	} else {
+		e.occupancy.Add(n)
+	}
+	e.stamp(items, time.Now(), e.seq.Add(n)-n)
+	shard := &e.shards[uint64(e.shardRR.Add(1))%uint64(len(e.shards))]
+	shard.mu.Lock()
+	shard.items = append(shard.items, items...)
+	shard.mu.Unlock()
+	e.accepted.Add(n)
+	if e.cfg.FlushAt > 0 && e.occupancy.Load() >= int64(e.cfg.FlushAt) {
+		select {
+		case e.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// cut snapshots every shard and merges the result into one epoch batch,
+// ordered by global sequence number — a total order that, for in-order
+// submission, is independent of the shard count.
+func (e *engine[T]) cut() []T {
+	var batch []T
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		batch = append(batch, sh.items...)
+		sh.items = nil
+		sh.mu.Unlock()
+	}
+	e.occupancy.Add(-int64(len(batch)))
+	sort.Slice(batch, func(i, j int) bool { return e.seqOf(&batch[i]) < e.seqOf(&batch[j]) })
+	return batch
+}
+
+// putBack returns a cut batch to ingestion (the items keep their sequence
+// stamps, so the next cut's merge restores their order).
+func (e *engine[T]) putBack(batch []T) {
+	if len(batch) == 0 {
+		return
+	}
+	sh := &e.shards[0]
+	sh.mu.Lock()
+	sh.items = append(sh.items, batch...)
+	sh.mu.Unlock()
+	e.occupancy.Add(int64(len(batch)))
+}
+
+// cutFloor cuts the pending epoch if it holds at least the stage's anonymity
+// floor, and puts a smaller cut back (occupancy can momentarily exceed what
+// has been appended, because ingestion bumps the counter before the shard
+// append — the cut, not the counter, is authoritative). Returns nil when
+// nothing was cut.
+func (e *engine[T]) cutFloor() []T {
+	batch := e.cut()
+	if len(batch) >= e.floor {
+		return batch
+	}
+	e.putBack(batch)
+	return nil
+}
+
+// sendEpoch queues a cut epoch for the flusher, blocking when the in-flight
+// queue is full (submission-side backpressure keeps occupancy bounded
+// meanwhile).
+func (e *engine[T]) sendEpoch(ep *epoch[T]) {
+	e.mu.Lock()
+	e.queuedEpochs++
+	e.mu.Unlock()
+	e.epochs <- ep
+}
+
+// scheduler is the only goroutine that cuts epochs, serializing occupancy
+// triggers, timer fires, and forced flushes into one deterministic order.
+func (e *engine[T]) scheduler() {
+	defer close(e.epochs)
+	var tick <-chan time.Time
+	if e.cfg.Interval > 0 {
+		t := time.NewTicker(e.cfg.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-e.stop:
+			// Drain: flush whatever the final epoch holds, unless it is
+			// below the anonymity floor (a smaller batch must not be
+			// forwarded; those reports are dropped with the connection,
+			// and the loss is counted in Dropped).
+			if batch := e.cut(); len(batch) >= e.floor {
+				e.sendEpoch(&epoch[T]{batch: batch})
+			} else {
+				e.dropped.Add(int64(len(batch)))
+			}
+			return
+		case <-e.kick:
+			if e.occupancy.Load() >= int64(e.cfg.FlushAt) {
+				if batch := e.cutFloor(); batch != nil {
+					e.sendEpoch(&epoch[T]{batch: batch})
+				}
+			}
+		case <-tick:
+			if e.occupancy.Load() >= int64(e.floor) {
+				if batch := e.cutFloor(); batch != nil {
+					e.sendEpoch(&epoch[T]{batch: batch})
+				}
+			}
+		case req := <-e.force:
+			switch batch := e.cutFloor(); {
+			case batch != nil:
+				e.sendEpoch(&epoch[T]{batch: batch, reply: req.reply, allowEmpty: req.allowEmpty})
+			case req.allowEmpty:
+				// Drain of a below-floor epoch: leave it pending (it may
+				// yet grow past the floor) and send a pure barrier.
+				e.sendEpoch(&epoch[T]{reply: req.reply, allowEmpty: true})
+			default:
+				// Flush of a below-floor epoch: refuse without destroying
+				// the pending reports — they keep accumulating.
+				req.reply <- flushResult{err: fmt.Errorf("%w: %d < %d",
+					shuffler.ErrBatchTooSmall, e.occupancy.Load(), e.floor)}
+			}
+		}
+	}
+}
+
+// flusher consumes cut epochs in order — epochs share the stage's batch
+// RNG, so processing them FIFO keeps a seeded deployment deterministic —
+// and pushes each processed epoch into the sink.
+func (e *engine[T]) flusher() {
+	defer close(e.done)
+	for ep := range e.epochs {
+		var res flushResult
+		if len(ep.batch) == 0 && ep.allowEmpty {
+			// A Drain barrier: every earlier epoch has been flushed.
+		} else {
+			var out core.Batch
+			out, res.stats, res.err = e.process(ep.batch)
+			if res.err == nil {
+				res.err = e.sink.push(e.stream, e.epochID.Add(1), out)
+			}
+		}
+		e.mu.Lock()
+		e.queuedEpochs--
+		if res.err != nil {
+			e.epochsFailed++
+			e.lastErr = res.err
+			e.dropped.Add(int64(len(ep.batch)))
+		} else if len(ep.batch) > 0 {
+			e.epochsFlushed++
+			e.cum.Received += res.stats.Received
+			e.cum.Undecryptable += res.stats.Undecryptable
+			e.cum.Crowds += res.stats.Crowds
+			e.cum.CrowdsForwarded += res.stats.CrowdsForwarded
+			e.cum.Forwarded += res.stats.Forwarded
+		}
+		e.mu.Unlock()
+		if ep.reply != nil {
+			ep.reply <- res
+		}
+	}
+}
+
+// forceFlush cuts the current epoch immediately and waits for it (and every
+// earlier queued epoch) to be flushed.
+func (e *engine[T]) forceFlush(allowEmpty bool) (shuffler.Stats, error) {
+	if e.closed.Load() {
+		return shuffler.Stats{}, ErrClosed
+	}
+	req := forceReq{reply: make(chan flushResult, 1), allowEmpty: allowEmpty}
+	select {
+	case e.force <- req:
+	case <-e.stop:
+		return shuffler.Stats{}, ErrClosed
+	}
+	res := <-req.reply
+	return res.stats, res.err
+}
+
+// stats fills the service's occupancy, epoch counters, and cumulative
+// selectivity snapshot.
+func (e *engine[T]) stats(reply *ServiceStats) {
+	e.mu.Lock()
+	reply.QueuedEpochs = e.queuedEpochs
+	reply.EpochsFlushed = e.epochsFlushed
+	reply.EpochsFailed = e.epochsFailed
+	if e.lastErr != nil {
+		reply.LastError = e.lastErr.Error()
+	}
+	reply.Cumulative = e.cum
+	e.mu.Unlock()
+	reply.Pending = int(e.occupancy.Load())
+	reply.Accepted = e.accepted.Load()
+	reply.Rejected = e.rejected.Load()
+	reply.Dropped = e.dropped.Load()
+}
+
+// close gracefully shuts the engine down: it stops accepting submissions,
+// cuts and flushes the final epoch (if it meets the anonymity floor), waits
+// for every queued epoch to reach the sink, and closes the sink.
+func (e *engine[T]) close() error {
+	e.closeMu.Lock()
+	swapped := e.closed.CompareAndSwap(false, true)
+	e.closeMu.Unlock()
+	if !swapped {
+		return nil
+	}
+	// Report only failures from the drain itself (epochs still queued or
+	// cut now); earlier failures were already surfaced to Flush/Drain/Stats
+	// callers and must not turn a clean shutdown into an error.
+	e.mu.Lock()
+	failedBefore := e.epochsFailed
+	e.mu.Unlock()
+	close(e.stop)
+	<-e.done
+	e.mu.Lock()
+	var err error
+	if e.epochsFailed > failedBefore {
+		err = e.lastErr
+	}
+	e.mu.Unlock()
+	if cerr := e.sink.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Per-item stamping and ordering for the two wire item types the stage
+// engines ingest.
+
+func stampEnvelopes(items []core.Envelope, at time.Time, base int64) {
+	for i := range items {
+		items[i].ArrivalTime = at
+		items[i].SeqNo = int(base) + i + 1
+	}
+}
+
+func envelopeSeq(item *core.Envelope) int { return item.SeqNo }
+
+func stampBlinded(items []core.BlindedEnvelope, at time.Time, base int64) {
+	for i := range items {
+		items[i].ArrivalTime = at
+		items[i].SeqNo = int(base) + i + 1
+	}
+}
+
+func blindedSeq(item *core.BlindedEnvelope) int { return item.SeqNo }

@@ -3,9 +3,28 @@
 // are distinct long-lived parties connected by RPC. It uses net/rpc with gob
 // encoding over TCP (the stdlib stand-in for the paper's gRPC).
 //
+// # Stage topology
+//
+// Every shuffler variant runs on the same epoch engine (see engine.go): a
+// service ingests wire items, cuts them into epochs, processes each epoch
+// through its shuffler.Stage, and pushes the output to a downstream sink.
+// Because stage output travels as the shared core.Batch wire union, the
+// downstream can be an analyzer (Analyzer.Ingest) or another shuffler hop
+// (Shuffler.Forward), so the split-shuffler chain of §4.3 deploys as real
+// networked daemons:
+//
+//	clients -> Shuffler1 daemon -> Shuffler2 daemon -> analyzer daemon
+//
+// ShufflerService is the single-shuffler hop (plain or SGX stage);
+// BlindedShufflerService (blinded.go) is either hop of the split chain.
+// Inter-hop pushes are at-least-once and deduplicated by (stream, epoch);
+// downstream epoch-full backpressure propagates upstream because the pushing
+// flusher blocks, its in-flight queue fills, and the hop starts rejecting
+// its own clients.
+//
 // # Streaming model
 //
-// The shuffler service is built for continuous report traffic, not one-shot
+// The services are built for continuous report traffic, not one-shot
 // batches. Ingestion is sharded: submissions are stamped with a global
 // sequence number and appended to one of N independently locked sub-batches,
 // so concurrent clients do not serialize on a single mutex. An epoch
@@ -13,18 +32,17 @@
 // by sequence number, which makes the cut deterministic for in-order
 // submission — whenever occupancy reaches EpochConfig.FlushAt or the
 // EpochConfig.Interval timer fires. Cut epochs enter a bounded in-flight
-// queue consumed by a single flusher goroutine, which shuffles each epoch
-// (stripping the arrival metadata the service inevitably recorded) and
-// pushes the surviving inner ciphertexts to the analyzer service
-// asynchronously, in epoch order.
+// queue consumed by a single flusher goroutine, which runs the stage over
+// each epoch (stripping the arrival metadata the service inevitably
+// recorded) and pushes the output downstream asynchronously, in epoch order.
 //
 // # Backpressure
 //
-// The service never grows without bound: when uncut occupancy would exceed
+// A service never grows without bound: when uncut occupancy would exceed
 // EpochConfig.MaxPending (because the flusher has fallen behind the arrival
-// rate and the in-flight queue is full), Submit and SubmitBatch fail with
-// ErrEpochFull. The error is retryable — clients back off and resubmit once
-// an epoch drains; see IsEpochFull and RemotePipeline in the root package.
+// rate and the in-flight queue is full), submissions fail with ErrEpochFull.
+// The error is retryable — clients back off and resubmit once an epoch
+// drains; see IsEpochFull and RemotePipeline in the root package.
 //
 // # Compatibility
 //
@@ -33,25 +51,23 @@
 // is what production clients should use. A zero EpochConfig disables the
 // scheduler entirely, reproducing the original submit-then-Flush behavior.
 // Close drains: it cuts the final epoch, waits for every queued epoch to be
-// flushed to the analyzer, and only then releases the analyzer connection.
+// flushed downstream, and only then releases the downstream connection.
 package transport
 
 import (
-	crand "crypto/rand"
-	"encoding/binary"
+	"crypto/ecdsa"
+	"crypto/x509"
 	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
-	"runtime"
-	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"prochlo/internal/analyzer"
 	"prochlo/internal/core"
+	"prochlo/internal/sgx"
 	"prochlo/internal/shuffler"
 )
 
@@ -68,9 +84,28 @@ type SubmitBatchArgs struct {
 	Envelopes []core.Envelope
 }
 
+// SubmitBlindedBatchArgs ships many split-shuffler envelopes in one RPC
+// round trip (the client entry of the §4.3 chain, ingested by Shuffler 1).
+type SubmitBlindedBatchArgs struct {
+	Envelopes []core.BlindedEnvelope
+}
+
 // SubmitReply acknowledges accepted submissions.
 type SubmitReply struct {
 	Accepted int
+}
+
+// ForwardArgs moves one processed epoch between stage daemons: Shuffler 1
+// pushing its blinded-and-shuffled epoch to Shuffler 2, or any future hop
+// pair — the Batch union carries whichever wire kind the receiving stage
+// ingests. Stream and Epoch identify the push for dedup: inter-hop pushes
+// are at-least-once (a reply can be lost after ingestion), so the receiver
+// drops a (Stream, Epoch) pair it has already ingested. Zero values skip
+// dedup.
+type ForwardArgs struct {
+	Stream int64
+	Epoch  int64
+	Batch  core.Batch
 }
 
 // FlushReply reports a processed epoch's selectivity.
@@ -83,14 +118,31 @@ type KeyReply struct {
 	Key []byte
 }
 
-// ServiceStats is the shuffler service's health/occupancy snapshot.
+// BlindedKeysReply carries the key material a split-shuffler client needs
+// from Shuffler 2: the El Gamal blinding key its crowd IDs are encrypted to
+// and the hybrid key its data envelopes are sealed to. Served by the
+// shuffler2 role; the shuffler1 hop holds no keys of its own.
+type BlindedKeysReply struct {
+	Blinding []byte // compressed P-256 point (El Gamal public key)
+	Key      []byte // hybrid public key
+}
+
+// AttestationReply carries an SGX shuffler's quote over its public key plus
+// the attestation CA's verification key (PKIX-encoded), so a networked
+// client can perform the §4.1.1 checks before trusting the key.
+type AttestationReply struct {
+	Quote sgx.Quote
+	CAKey []byte
+}
+
+// ServiceStats is a stage service's health/occupancy snapshot.
 type ServiceStats struct {
-	Pending       int   // envelopes accumulated in the current epoch
-	QueuedEpochs  int   // epochs cut but not yet flushed to the analyzer
+	Pending       int   // items accumulated in the current epoch
+	QueuedEpochs  int   // epochs cut but not yet flushed downstream
 	EpochsFlushed int   // epochs processed and pushed successfully
 	EpochsFailed  int   // epochs whose processing or push failed
-	Accepted      int64 // envelopes accepted since start
-	Rejected      int64 // envelopes rejected with ErrEpochFull
+	Accepted      int64 // items accepted since start
+	Rejected      int64 // items rejected with ErrEpochFull
 	// Dropped counts accepted reports that were lost anyway: the contents
 	// of failed epochs, and a below-floor final epoch discarded at
 	// shutdown (the anonymity floor forbids forwarding it). Operators
@@ -107,8 +159,8 @@ type ServiceStats struct {
 // error arrives client-side as a plain string), so IsEpochFull matches on it.
 const errEpochFullMsg = "transport: epoch full, retry after flush"
 
-// ErrEpochFull is returned by Submit/SubmitBatch when the current epoch is
-// at capacity and the in-flight queue has not drained. It is retryable:
+// ErrEpochFull is returned by submissions when the current epoch is at
+// capacity and the in-flight queue has not drained. It is retryable:
 // clients should back off and resubmit.
 var ErrEpochFull = errors.New(errEpochFullMsg)
 
@@ -127,19 +179,21 @@ func IsBatchTooSmall(err error) bool {
 // ErrClosed is returned by submissions to a service that has been Closed.
 var ErrClosed = errors.New("transport: shuffler service closed")
 
-// EpochConfig tunes the shuffler service's streaming behavior. The zero
-// value disables the scheduler: nothing auto-flushes and batches are only
+// EpochConfig tunes a stage service's streaming behavior. The zero value
+// disables the scheduler: nothing auto-flushes and batches are only
 // processed by an explicit Flush (the original one-shot behavior).
 type EpochConfig struct {
-	// FlushAt cuts an epoch as soon as occupancy reaches this many
-	// envelopes. 0 disables occupancy-driven flushing.
+	// FlushAt cuts an epoch as soon as occupancy reaches this many items.
+	// 0 disables occupancy-driven flushing.
 	FlushAt int
 	// Interval cuts an epoch when the timer fires, provided occupancy has
-	// reached the shuffler's minimum batch size (forwarding a smaller batch
-	// would violate the anonymity floor). 0 disables timer-driven flushing.
+	// reached the stage's anonymity floor (forwarding a smaller batch
+	// would violate it). 0 disables timer-driven flushing.
 	Interval time.Duration
 	// MaxPending caps uncut occupancy; submissions beyond it fail with
 	// ErrEpochFull. 0 selects 2*FlushAt, or unbounded when FlushAt is 0.
+	// In a chain, a hop's MaxPending must fit the epochs its upstream hop
+	// forwards (at least the upstream FlushAt), or forwards bounce forever.
 	MaxPending int
 	// InFlight bounds the queue of cut-but-unflushed epochs. 0 selects 2.
 	InFlight int
@@ -147,73 +201,60 @@ type EpochConfig struct {
 	// 0 selects GOMAXPROCS. Sharding changes neither results nor ordering:
 	// the epoch cut merges shards by global sequence number.
 	Shards int
+	// DialTimeout bounds connecting to the downstream peer (construction
+	// and redials). 0 selects DefaultDialTimeout.
+	DialTimeout time.Duration
 }
 
-// ingestShard is one independently locked ingestion sub-batch.
-type ingestShard struct {
+// forwardDedup tracks inter-hop pushes already ingested, so an at-least-once
+// Forward retry (the pusher's reply was lost) is acknowledged without
+// re-ingesting. The lock is held across the whole check-ingest-mark
+// sequence: two concurrent retries of the same epoch must not both ingest,
+// and a push rejected by backpressure must not be marked seen.
+type forwardDedup struct {
 	mu   sync.Mutex
-	envs []core.Envelope
+	seen map[[2]int64]bool
 }
 
-// epoch is a cut batch traveling to the flusher. reply is non-nil for
-// forced (manual Flush / Drain) epochs.
-type epoch struct {
-	batch      []core.Envelope
-	reply      chan flushResult
-	allowEmpty bool // Drain: an empty cut is a barrier, not an error
+// ingest runs add under the dedup lock. Pushes with a zero (stream, epoch)
+// skip dedup entirely.
+func (d *forwardDedup) ingest(stream, epoch int64, n int, reply *SubmitReply, add func() error) error {
+	if stream == 0 && epoch == 0 {
+		if err := add(); err != nil {
+			return err
+		}
+		reply.Accepted = n
+		return nil
+	}
+	key := [2]int64{stream, epoch}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seen[key] {
+		reply.Accepted = n
+		return nil
+	}
+	if err := add(); err != nil {
+		return err
+	}
+	if d.seen == nil {
+		d.seen = make(map[[2]int64]bool)
+	}
+	d.seen[key] = true
+	reply.Accepted = n
+	return nil
 }
 
-type flushResult struct {
-	stats shuffler.Stats
-	err   error
-}
-
-// forceReq asks the scheduler to cut the current epoch immediately.
-type forceReq struct {
-	reply      chan flushResult
-	allowEmpty bool
-}
-
-// ShufflerService exposes a shuffler over RPC; see the package comment for
-// the epoch/backpressure model.
+// ShufflerService exposes a single-shuffler stage over RPC — the plain
+// trusted shuffler or the SGX-hardened variant, both ingesting client
+// envelopes and pushing peeled payloads to an analyzer service. See the
+// package comment for the epoch/backpressure model.
 type ShufflerService struct {
-	sh           *shuffler.Shuffler
-	pub          []byte
-	analyzer     *rpc.Client
-	analyzerAddr string
-	cfg          EpochConfig
-	minBatch     int
+	eng *engine[core.Envelope]
+	pub []byte
+	fwd forwardDedup
 
-	stream    int64 // random id naming this service's push stream for dedup
-	epochID   atomic.Int64
-	seq       atomic.Int64
-	shardRR   atomic.Int64
-	occupancy atomic.Int64
-	accepted  atomic.Int64
-	rejected  atomic.Int64
-	dropped   atomic.Int64
-	closed    atomic.Bool
-	// closeMu serializes Close against in-flight ingests: add holds the
-	// read side for the whole stamp-and-append, so once Close holds the
-	// write side every accepted envelope is in a shard and will be seen by
-	// the scheduler's final cut — an acknowledged submission cannot race
-	// past the drain and strand.
-	closeMu sync.RWMutex
-
-	shards []ingestShard
-
-	kick   chan struct{} // occupancy crossed FlushAt
-	force  chan forceReq // manual Flush / Drain
-	epochs chan *epoch   // scheduler -> flusher, cap InFlight
-	stop   chan struct{} // Close -> scheduler
-	done   chan struct{} // flusher exited
-
-	mu            sync.Mutex // guards the epoch counters below
-	queuedEpochs  int
-	epochsFlushed int
-	epochsFailed  int
-	lastErr       error
-	cum           shuffler.Stats
+	attMu sync.Mutex
+	att   *AttestationReply
 }
 
 // NewShufflerService wraps a shuffler whose output is pushed to the
@@ -223,131 +264,74 @@ func NewShufflerService(sh *shuffler.Shuffler, pub []byte, analyzerAddr string) 
 	return NewStreamingShufflerService(sh, pub, analyzerAddr, EpochConfig{})
 }
 
-// NewStreamingShufflerService wraps a shuffler whose epochs are pushed to
-// the analyzer service at analyzerAddr according to cfg. The caller should
-// Close the service to drain and release the analyzer connection.
+// NewStreamingShufflerService wraps a plain shuffler whose epochs are pushed
+// to the analyzer service at analyzerAddr according to cfg. The caller
+// should Close the service to drain and release the analyzer connection.
 func NewStreamingShufflerService(sh *shuffler.Shuffler, pub []byte, analyzerAddr string, cfg EpochConfig) (*ShufflerService, error) {
-	cl, err := rpc.Dial("tcp", analyzerAddr)
+	return NewStageShufflerService(sh, pub, analyzerAddr, cfg)
+}
+
+// NewStageShufflerService wraps any envelope-ingesting stage (the plain
+// Shuffler or an SGXShuffler) whose epochs are pushed to the analyzer
+// service at analyzerAddr according to cfg. pub is the key served to
+// clients over Shuffler.PublicKey.
+func NewStageShufflerService(st shuffler.Stage, pub []byte, analyzerAddr string, cfg EpochConfig) (*ShufflerService, error) {
+	snk, err := newAnalyzerSink(analyzerAddr, cfg.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial analyzer: %w", err)
+		return nil, err
 	}
-	if cfg.Shards <= 0 {
-		cfg.Shards = runtime.GOMAXPROCS(0)
+	eng, err := newEngine(cfg, st.Floor(), snk,
+		func(batch []core.Envelope) (core.Batch, shuffler.Stats, error) {
+			return st.ProcessEpoch(core.Batch{Envelopes: batch})
+		},
+		stampEnvelopes, envelopeSeq)
+	if err != nil {
+		return nil, err
 	}
-	minBatch := sh.MinBatch
-	if minBatch == 0 {
-		minBatch = shuffler.DefaultMinBatch
+	return &ShufflerService{eng: eng, pub: pub}, nil
+}
+
+// SetAttestation installs the quote served over the Shuffler.Attestation
+// RPC (the SGX deployment: the quote covers the service's public key and
+// caKey is the attestation CA's ECDSA verification key).
+func (s *ShufflerService) SetAttestation(quote sgx.Quote, caKey *ecdsa.PublicKey) error {
+	der, err := x509.MarshalPKIXPublicKey(caKey)
+	if err != nil {
+		return fmt.Errorf("transport: marshal CA key: %w", err)
 	}
-	if cfg.FlushAt > 0 && cfg.FlushAt < minBatch {
-		// An epoch below the shuffler's anonymity floor could never be
-		// processed; auto-flush no earlier than the floor.
-		cfg.FlushAt = minBatch
+	s.attMu.Lock()
+	s.att = &AttestationReply{Quote: quote, CAKey: der}
+	s.attMu.Unlock()
+	return nil
+}
+
+// Attestation serves the SGX quote over the service's public key; it fails
+// on a service running without an enclave (clients requiring attestation
+// must not fall back silently).
+func (s *ShufflerService) Attestation(_ struct{}, reply *AttestationReply) error {
+	s.attMu.Lock()
+	defer s.attMu.Unlock()
+	if s.att == nil {
+		return errors.New("transport: shuffler runs without SGX attestation")
 	}
-	if cfg.MaxPending <= 0 {
-		switch {
-		case cfg.FlushAt > 0:
-			cfg.MaxPending = 2 * cfg.FlushAt
-		case cfg.Interval > 0:
-			// Timer-only streaming still must not grow unboundedly when
-			// the flusher falls behind; a generous cap keeps the
-			// backpressure guarantee.
-			cfg.MaxPending = 1 << 20
-		}
-	}
-	if cfg.MaxPending > 0 && cfg.MaxPending < cfg.FlushAt {
-		// An occupancy cap below the flush threshold could never be
-		// crossed: submissions would bounce forever and no epoch would
-		// ever cut. Keep the threshold reachable.
-		cfg.MaxPending = cfg.FlushAt
-	}
-	if cfg.InFlight <= 0 {
-		cfg.InFlight = 2
-	}
-	var streamID [8]byte
-	if _, err := crand.Read(streamID[:]); err != nil {
-		cl.Close()
-		return nil, fmt.Errorf("transport: stream id: %w", err)
-	}
-	s := &ShufflerService{
-		sh:           sh,
-		pub:          pub,
-		analyzer:     cl,
-		analyzerAddr: analyzerAddr,
-		stream:       int64(binary.LittleEndian.Uint64(streamID[:])),
-		cfg:          cfg,
-		minBatch:     minBatch,
-		shards:       make([]ingestShard, cfg.Shards),
-		kick:         make(chan struct{}, 1),
-		force:        make(chan forceReq),
-		epochs:       make(chan *epoch, cfg.InFlight),
-		stop:         make(chan struct{}),
-		done:         make(chan struct{}),
-	}
-	go s.scheduler()
-	go s.flusher()
-	return s, nil
+	*reply = *s.att
+	return nil
 }
 
 // Config returns the service's effective epoch configuration, with every
 // default and clamp applied.
-func (s *ShufflerService) Config() EpochConfig { return s.cfg }
+func (s *ShufflerService) Config() EpochConfig { return s.eng.cfg }
 
-// PublicKey returns the shuffler's encryption key. (A production deployment
-// would return an SGX quote; see package shuffler's SGXShuffler.)
+// PublicKey returns the shuffler's encryption key. (An SGX deployment
+// additionally serves the quote over it; see Attestation.)
 func (s *ShufflerService) PublicKey(_ struct{}, reply *KeyReply) error {
 	reply.Key = s.pub
 	return nil
 }
 
-// add stamps and ingests a submission, enforcing backpressure. The whole
-// call takes one shard lock: the shard is picked round-robin per call
-// (not from the sequence number, which advances by the batch size and
-// would park every uniform-size batch on one shard), so concurrent RPCs
-// spread across shards while each RPC stays a single append.
-func (s *ShufflerService) add(envs []core.Envelope) error {
-	if len(envs) == 0 {
-		return nil
-	}
-	s.closeMu.RLock()
-	defer s.closeMu.RUnlock()
-	if s.closed.Load() {
-		return ErrClosed
-	}
-	n := int64(len(envs))
-	if limit := int64(s.cfg.MaxPending); limit > 0 {
-		if cur := s.occupancy.Add(n); cur > limit {
-			s.occupancy.Add(-n)
-			s.rejected.Add(n)
-			return ErrEpochFull
-		}
-	} else {
-		s.occupancy.Add(n)
-	}
-	// Stamp the metadata a network service inevitably sees; the shuffler's
-	// first processing step strips it (§3.3).
-	now := time.Now()
-	base := s.seq.Add(n) - n
-	for i := range envs {
-		envs[i].ArrivalTime = now
-		envs[i].SeqNo = int(base) + i + 1
-	}
-	shard := &s.shards[uint64(s.shardRR.Add(1))%uint64(len(s.shards))]
-	shard.mu.Lock()
-	shard.envs = append(shard.envs, envs...)
-	shard.mu.Unlock()
-	s.accepted.Add(n)
-	if s.cfg.FlushAt > 0 && s.occupancy.Load() >= int64(s.cfg.FlushAt) {
-		select {
-		case s.kick <- struct{}{}:
-		default:
-		}
-	}
-	return nil
-}
-
 // Submit queues one envelope (the reference path; see SubmitBatch).
 func (s *ShufflerService) Submit(args SubmitArgs, ack *bool) error {
-	if err := s.add([]core.Envelope{args.Envelope}); err != nil {
+	if err := s.eng.add([]core.Envelope{args.Envelope}); err != nil {
 		return err
 	}
 	*ack = true
@@ -357,203 +341,30 @@ func (s *ShufflerService) Submit(args SubmitArgs, ack *bool) error {
 // SubmitBatch queues many envelopes in one round trip. The batch is
 // accepted or rejected atomically: on ErrEpochFull no envelope is ingested.
 func (s *ShufflerService) SubmitBatch(args SubmitBatchArgs, reply *SubmitReply) error {
-	if err := s.add(args.Envelopes); err != nil {
+	if err := s.eng.add(args.Envelopes); err != nil {
 		return err
 	}
 	reply.Accepted = len(args.Envelopes)
 	return nil
 }
 
-// cut snapshots every shard and merges the result into one epoch batch,
-// ordered by global sequence number — a total order that, for in-order
-// submission, is independent of the shard count.
-func (s *ShufflerService) cut() []core.Envelope {
-	var batch []core.Envelope
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		batch = append(batch, sh.envs...)
-		sh.envs = nil
-		sh.mu.Unlock()
+// Forward ingests an epoch pushed by an upstream stage daemon, deduplicating
+// at-least-once retries by (stream, epoch). The single-shuffler stage
+// ingests client envelopes.
+func (s *ShufflerService) Forward(args ForwardArgs, reply *SubmitReply) error {
+	if k := args.Batch.Kind(); k != core.KindEnvelopes && k != core.KindEmpty {
+		return fmt.Errorf("transport: shuffler ingests %v, got %v", core.KindEnvelopes, k)
 	}
-	s.occupancy.Add(-int64(len(batch)))
-	sort.Slice(batch, func(i, j int) bool { return batch[i].SeqNo < batch[j].SeqNo })
-	return batch
-}
-
-// putBack returns a cut batch to ingestion (the envelopes keep their
-// sequence stamps, so the next cut's merge restores their order).
-func (s *ShufflerService) putBack(batch []core.Envelope) {
-	if len(batch) == 0 {
-		return
-	}
-	sh := &s.shards[0]
-	sh.mu.Lock()
-	sh.envs = append(sh.envs, batch...)
-	sh.mu.Unlock()
-	s.occupancy.Add(int64(len(batch)))
-}
-
-// cutFloor cuts the pending epoch if it holds at least the shuffler's
-// minimum batch, and puts a smaller cut back (occupancy can momentarily
-// exceed what has been appended, because ingestion bumps the counter before
-// the shard append — the cut, not the counter, is authoritative). Returns
-// nil when nothing was cut.
-func (s *ShufflerService) cutFloor() []core.Envelope {
-	batch := s.cut()
-	if len(batch) >= s.minBatch {
-		return batch
-	}
-	s.putBack(batch)
-	return nil
-}
-
-// sendEpoch queues a cut epoch for the flusher, blocking when the in-flight
-// queue is full (submission-side backpressure keeps occupancy bounded
-// meanwhile).
-func (s *ShufflerService) sendEpoch(e *epoch) {
-	s.mu.Lock()
-	s.queuedEpochs++
-	s.mu.Unlock()
-	s.epochs <- e
-}
-
-// scheduler is the only goroutine that cuts epochs, serializing occupancy
-// triggers, timer fires, and forced flushes into one deterministic order.
-func (s *ShufflerService) scheduler() {
-	defer close(s.epochs)
-	var tick <-chan time.Time
-	if s.cfg.Interval > 0 {
-		t := time.NewTicker(s.cfg.Interval)
-		defer t.Stop()
-		tick = t.C
-	}
-	for {
-		select {
-		case <-s.stop:
-			// Drain: flush whatever the final epoch holds, unless it is
-			// below the anonymity floor (a smaller batch must not be
-			// forwarded; those reports are dropped with the connection,
-			// and the loss is counted in Dropped).
-			if batch := s.cut(); len(batch) >= s.minBatch {
-				s.sendEpoch(&epoch{batch: batch})
-			} else {
-				s.dropped.Add(int64(len(batch)))
-			}
-			return
-		case <-s.kick:
-			if s.occupancy.Load() >= int64(s.cfg.FlushAt) {
-				if batch := s.cutFloor(); batch != nil {
-					s.sendEpoch(&epoch{batch: batch})
-				}
-			}
-		case <-tick:
-			if s.occupancy.Load() >= int64(s.minBatch) {
-				if batch := s.cutFloor(); batch != nil {
-					s.sendEpoch(&epoch{batch: batch})
-				}
-			}
-		case req := <-s.force:
-			switch batch := s.cutFloor(); {
-			case batch != nil:
-				s.sendEpoch(&epoch{batch: batch, reply: req.reply, allowEmpty: req.allowEmpty})
-			case req.allowEmpty:
-				// Drain of a below-floor epoch: leave it pending (it may
-				// yet grow past the floor) and send a pure barrier.
-				s.sendEpoch(&epoch{reply: req.reply, allowEmpty: true})
-			default:
-				// Flush of a below-floor epoch: refuse without destroying
-				// the pending reports — they keep accumulating.
-				req.reply <- flushResult{err: fmt.Errorf("%w: %d < %d",
-					shuffler.ErrBatchTooSmall, s.occupancy.Load(), s.minBatch)}
-			}
-		}
-	}
-}
-
-// flusher consumes cut epochs in order — epochs share the shuffler's batch
-// RNG, so processing them FIFO keeps a seeded deployment deterministic —
-// and pushes each processed epoch to the analyzer.
-func (s *ShufflerService) flusher() {
-	defer close(s.done)
-	for e := range s.epochs {
-		var res flushResult
-		if len(e.batch) == 0 && e.allowEmpty {
-			// A Drain barrier: every earlier epoch has been flushed.
-		} else {
-			var inner [][]byte
-			inner, res.stats, res.err = s.sh.Process(e.batch)
-			if res.err == nil {
-				res.err = s.push(inner)
-			}
-		}
-		s.mu.Lock()
-		s.queuedEpochs--
-		if res.err != nil {
-			s.epochsFailed++
-			s.lastErr = res.err
-			s.dropped.Add(int64(len(e.batch)))
-		} else if len(e.batch) > 0 {
-			s.epochsFlushed++
-			s.cum.Received += res.stats.Received
-			s.cum.Undecryptable += res.stats.Undecryptable
-			s.cum.Crowds += res.stats.Crowds
-			s.cum.CrowdsForwarded += res.stats.CrowdsForwarded
-			s.cum.Forwarded += res.stats.Forwarded
-		}
-		s.mu.Unlock()
-		if e.reply != nil {
-			e.reply <- res
-		}
-	}
-}
-
-// push delivers a processed epoch to the analyzer, redialing a broken
-// connection: a long-lived daemon must survive an analyzer restart, so a
-// failed call is retried on a fresh connection before the epoch is declared
-// lost. Retried pushes are deduplicated analyzer-side by (stream, epoch) —
-// a reply lost after ingestion must not double-count the epoch. Only the
-// flusher goroutine touches s.analyzer after construction (Close reads it
-// strictly after the flusher exits), so the swap is safe.
-func (s *ShufflerService) push(inner [][]byte) error {
-	args := IngestArgs{Stream: s.stream, Epoch: s.epochID.Add(1), Items: inner}
-	var ack bool
-	err := s.analyzer.Call("Analyzer.Ingest", args, &ack)
-	for attempt := 0; err != nil && attempt < 2; attempt++ {
-		time.Sleep(200 * time.Millisecond)
-		cl, derr := rpc.Dial("tcp", s.analyzerAddr)
-		if derr != nil {
-			err = fmt.Errorf("transport: redial analyzer: %w", derr)
-			continue
-		}
-		s.analyzer.Close()
-		s.analyzer = cl
-		err = s.analyzer.Call("Analyzer.Ingest", args, &ack)
-	}
-	return err
-}
-
-// forceFlush cuts the current epoch immediately and waits for it (and every
-// earlier queued epoch) to be flushed.
-func (s *ShufflerService) forceFlush(allowEmpty bool) (shuffler.Stats, error) {
-	if s.closed.Load() {
-		return shuffler.Stats{}, ErrClosed
-	}
-	req := forceReq{reply: make(chan flushResult, 1), allowEmpty: allowEmpty}
-	select {
-	case s.force <- req:
-	case <-s.stop:
-		return shuffler.Stats{}, ErrClosed
-	}
-	res := <-req.reply
-	return res.stats, res.err
+	return s.fwd.ingest(args.Stream, args.Epoch, len(args.Batch.Envelopes), reply, func() error {
+		return s.eng.add(args.Batch.Envelopes)
+	})
 }
 
 // Flush cuts and processes the current epoch, returning its stats. An
 // empty or below-minimum epoch fails with shuffler.ErrBatchTooSmall (the
 // anonymity floor) and is left pending; use Drain for a tolerant barrier.
 func (s *ShufflerService) Flush(_ struct{}, reply *FlushReply) error {
-	stats, err := s.forceFlush(false)
+	stats, err := s.eng.forceFlush(false)
 	if err != nil {
 		return err
 	}
@@ -567,7 +378,7 @@ func (s *ShufflerService) Flush(_ struct{}, reply *FlushReply) error {
 // Unlike Flush it succeeds when nothing is pending, so clients use it as a
 // barrier before querying the analyzer.
 func (s *ShufflerService) Drain(_ struct{}, reply *ServiceStats) error {
-	if _, err := s.forceFlush(true); err != nil {
+	if _, err := s.eng.forceFlush(true); err != nil {
 		return err
 	}
 	return s.Stats(struct{}{}, reply)
@@ -576,26 +387,14 @@ func (s *ShufflerService) Drain(_ struct{}, reply *ServiceStats) error {
 // Stats reports the service's occupancy, epoch counters, and cumulative
 // selectivity.
 func (s *ShufflerService) Stats(_ struct{}, reply *ServiceStats) error {
-	s.mu.Lock()
-	reply.QueuedEpochs = s.queuedEpochs
-	reply.EpochsFlushed = s.epochsFlushed
-	reply.EpochsFailed = s.epochsFailed
-	if s.lastErr != nil {
-		reply.LastError = s.lastErr.Error()
-	}
-	reply.Cumulative = s.cum
-	s.mu.Unlock()
-	reply.Pending = int(s.occupancy.Load())
-	reply.Accepted = s.accepted.Load()
-	reply.Rejected = s.rejected.Load()
-	reply.Dropped = s.dropped.Load()
+	s.eng.stats(reply)
 	return nil
 }
 
 // BatchSize reports the current epoch occupancy (kept for compatibility;
 // Stats is the richer call).
 func (s *ShufflerService) BatchSize(_ struct{}, n *int) error {
-	*n = int(s.occupancy.Load())
+	*n = int(s.eng.occupancy.Load())
 	return nil
 }
 
@@ -603,32 +402,7 @@ func (s *ShufflerService) BatchSize(_ struct{}, n *int) error {
 // cuts and flushes the final epoch (if it meets the anonymity floor), waits
 // for every queued epoch to reach the analyzer, and releases the analyzer
 // connection.
-func (s *ShufflerService) Close() error {
-	s.closeMu.Lock()
-	swapped := s.closed.CompareAndSwap(false, true)
-	s.closeMu.Unlock()
-	if !swapped {
-		return nil
-	}
-	// Report only failures from the drain itself (epochs still queued or
-	// cut now); earlier failures were already surfaced to Flush/Drain/Stats
-	// callers and must not turn a clean shutdown into an error.
-	s.mu.Lock()
-	failedBefore := s.epochsFailed
-	s.mu.Unlock()
-	close(s.stop)
-	<-s.done
-	s.mu.Lock()
-	var err error
-	if s.epochsFailed > failedBefore {
-		err = s.lastErr
-	}
-	s.mu.Unlock()
-	if cerr := s.analyzer.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
+func (s *ShufflerService) Close() error { return s.eng.close() }
 
 // IngestArgs carries shuffled inner ciphertexts to the analyzer. Stream and
 // Epoch identify the push for dedup: the shuffler's push retry is
@@ -753,15 +527,21 @@ func Serve(addr, name string, rcvr any) (net.Listener, error) {
 	return l, nil
 }
 
-// Client is a convenience handle for submitting reports to a shuffler
-// service.
+// Client is a convenience handle for submitting reports to a shuffler-role
+// service — a plain/SGX shuffler daemon or either hop of the blinded chain.
 type Client struct {
 	rpc *rpc.Client
 }
 
-// Dial connects to a shuffler service.
+// Dial connects to a shuffler service with the default connect timeout.
 func Dial(addr string) (*Client, error) {
-	c, err := rpc.Dial("tcp", addr)
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout connects to a shuffler service, bounding the TCP connect
+// (timeout <= 0 selects DefaultDialTimeout).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	c, err := dialRPC(addr, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -780,6 +560,42 @@ func (c *Client) ShufflerKey() ([]byte, error) {
 	return reply.Key, nil
 }
 
+// Attestation fetches an SGX shuffler's quote and attestation-CA key and
+// verifies both §4.1.1 client-side checks: the CA signature over the quote
+// and the expected code measurement. It returns the attested public key
+// (the quote's report data) only when verification succeeds.
+func (c *Client) Attestation(measurement [32]byte) ([]byte, error) {
+	var reply AttestationReply
+	if err := c.rpc.Call("Shuffler.Attestation", struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	caAny, err := x509.ParsePKIXPublicKey(reply.CAKey)
+	if err != nil {
+		return nil, fmt.Errorf("transport: attestation CA key: %w", err)
+	}
+	caKey, ok := caAny.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("transport: attestation CA key is %T, want ECDSA", caAny)
+	}
+	if err := sgx.VerifyQuote(caKey, reply.Quote, measurement); err != nil {
+		return nil, err
+	}
+	return reply.Quote.ReportData, nil
+}
+
+// BlindedKeys fetches the split-shuffler key material (Shuffler 2's
+// blinding and hybrid keys). Only the shuffler2 role serves it.
+func (c *Client) BlindedKeys() (BlindedKeysReply, error) {
+	var reply BlindedKeysReply
+	if err := c.rpc.Call("Shuffler.Keys", struct{}{}, &reply); err != nil {
+		return BlindedKeysReply{}, err
+	}
+	if len(reply.Blinding) == 0 || len(reply.Key) == 0 {
+		return BlindedKeysReply{}, errors.New("transport: empty blinded shuffler keys")
+	}
+	return reply, nil
+}
+
 // Submit sends one envelope (the reference path; see SubmitBatch).
 func (c *Client) Submit(env core.Envelope) error {
 	var ack bool
@@ -794,11 +610,47 @@ func (c *Client) SubmitBatch(envs []core.Envelope) error {
 	return c.rpc.Call("Shuffler.SubmitBatch", SubmitBatchArgs{Envelopes: envs}, &reply)
 }
 
+// SubmitBlindedBatch ships a batch of split-shuffler envelopes in one RPC
+// round trip (accepted atomically, like SubmitBatch).
+func (c *Client) SubmitBlindedBatch(envs []core.BlindedEnvelope) error {
+	var reply SubmitReply
+	return c.rpc.Call("Shuffler.SubmitBlindedBatch", SubmitBlindedBatchArgs{Envelopes: envs}, &reply)
+}
+
 // Default epoch-full retry policy shared by SubmitAll callers.
 const (
 	DefaultSubmitRetries = 50
 	DefaultSubmitDelay   = 20 * time.Millisecond
 )
+
+// submitAll is the backpressure-adapting submission loop shared by
+// SubmitAll and SubmitAllBlinded; see SubmitAll for the contract.
+func submitAll[T any](submit func([]T) error, envs []T, retries int, delay time.Duration) (accepted int, err error) {
+	err = submit(envs)
+	if err == nil {
+		return len(envs), nil
+	}
+	if !IsEpochFull(err) {
+		return 0, err
+	}
+	if len(envs) > 1 {
+		mid := len(envs) / 2
+		n, err := submitAll(submit, envs[:mid], retries, delay)
+		if err != nil {
+			return n, err
+		}
+		m, err := submitAll(submit, envs[mid:], retries, delay)
+		return n + m, err
+	}
+	for attempt := 0; IsEpochFull(err) && attempt < retries; attempt++ {
+		time.Sleep(delay)
+		err = submit(envs)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
 
 // SubmitAll ships a batch of envelopes, adapting to the service's
 // backpressure: a batch rejected as epoch-full is split in half and the
@@ -814,30 +666,13 @@ const (
 // caller resumes from envs[accepted:] rather than resubmitting the whole
 // batch (which would double-count the accepted prefix).
 func (c *Client) SubmitAll(envs []core.Envelope, retries int, delay time.Duration) (accepted int, err error) {
-	err = c.SubmitBatch(envs)
-	if err == nil {
-		return len(envs), nil
-	}
-	if !IsEpochFull(err) {
-		return 0, err
-	}
-	if len(envs) > 1 {
-		mid := len(envs) / 2
-		n, err := c.SubmitAll(envs[:mid], retries, delay)
-		if err != nil {
-			return n, err
-		}
-		m, err := c.SubmitAll(envs[mid:], retries, delay)
-		return n + m, err
-	}
-	for attempt := 0; IsEpochFull(err) && attempt < retries; attempt++ {
-		time.Sleep(delay)
-		err = c.SubmitBatch(envs)
-	}
-	if err != nil {
-		return 0, err
-	}
-	return 1, nil
+	return submitAll(c.SubmitBatch, envs, retries, delay)
+}
+
+// SubmitAllBlinded is SubmitAll for split-shuffler envelopes: same
+// splitting, backoff, and accepted-prefix contract.
+func (c *Client) SubmitAllBlinded(envs []core.BlindedEnvelope, retries int, delay time.Duration) (accepted int, err error) {
+	return submitAll(c.SubmitBlindedBatch, envs, retries, delay)
 }
 
 // Flush asks the shuffler to process its current epoch.
@@ -848,8 +683,10 @@ func (c *Client) Flush() (shuffler.Stats, error) {
 }
 
 // Drain flushes anything pending, waits for every queued epoch to reach the
-// analyzer, and returns the service stats — the barrier to use before
-// querying the analyzer's histogram.
+// next hop, and returns the service stats — the barrier to use before
+// querying downstream. Draining a chain is hop order: drain Shuffler 1 so
+// its final epoch reaches Shuffler 2, then drain Shuffler 2 so it reaches
+// the analyzer.
 func (c *Client) Drain() (ServiceStats, error) {
 	var reply ServiceStats
 	err := c.rpc.Call("Shuffler.Drain", struct{}{}, &reply)
@@ -871,9 +708,16 @@ type AnalyzerClient struct {
 	rpc *rpc.Client
 }
 
-// DialAnalyzer connects to an analyzer service.
+// DialAnalyzer connects to an analyzer service with the default connect
+// timeout.
 func DialAnalyzer(addr string) (*AnalyzerClient, error) {
-	c, err := rpc.Dial("tcp", addr)
+	return DialAnalyzerTimeout(addr, 0)
+}
+
+// DialAnalyzerTimeout connects to an analyzer service, bounding the TCP
+// connect (timeout <= 0 selects DefaultDialTimeout).
+func DialAnalyzerTimeout(addr string, timeout time.Duration) (*AnalyzerClient, error) {
+	c, err := dialRPC(addr, timeout)
 	if err != nil {
 		return nil, err
 	}

@@ -33,10 +33,8 @@ package prochlo
 
 import (
 	crand "crypto/rand"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/rand/v2"
 
 	"prochlo/internal/analyzer"
 	"prochlo/internal/core"
@@ -66,8 +64,11 @@ const (
 )
 
 // Pipeline is an in-process ESA deployment: its Submit method plays the
-// role of a fleet of clients, and Flush runs the shuffler and analyzer over
-// the accumulated batch.
+// role of a fleet of clients, and Flush drives the accumulated batch
+// through the shuffler stage chain and the analyzer. Every mode is the same
+// machinery — New wires the mode's stages ([shuffler], [sgx shuffler], or
+// [shuffler1, shuffler2]) and Flush runs them output-to-input through the
+// shared shuffler.Stage interface, exactly as the networked daemons do.
 type Pipeline struct {
 	mode      Mode
 	threshold shuffler.Threshold
@@ -75,7 +76,9 @@ type Pipeline struct {
 	minBatch  int
 	seed      uint64
 	workers   int
-	rng       *rand.Rand
+
+	// stages is the shuffler chain Flush drives, in hop order.
+	stages []shuffler.Stage
 
 	analyzerPriv *hybrid.PrivateKey
 	an           *analyzer.Analyzer
@@ -159,8 +162,11 @@ func WithMinBatch(n int) Option {
 }
 
 // WithSeed makes all pipeline randomness (thresholding noise, shuffling)
-// deterministic for reproducible experiments. Cryptographic keys remain
-// properly random.
+// deterministic for reproducible experiments. Each stage draws from an
+// independent per-stage stream derived from the seed (shuffler.StageRand),
+// so a networked deployment of the same stages under the same seed — one
+// daemon per stage, as cmd/prochlod runs them — reproduces the in-process
+// pipeline exactly. Cryptographic keys remain properly random.
 func WithSeed(seed uint64) Option {
 	return func(p *Pipeline) error {
 		p.seed = seed
@@ -195,16 +201,6 @@ func New(opts ...Option) (*Pipeline, error) {
 			return nil, err
 		}
 	}
-	if p.seed != 0 {
-		p.rng = rand.New(rand.NewPCG(p.seed, p.seed^0xa5a5a5a5))
-	} else {
-		var b [16]byte
-		if _, err := crand.Read(b[:]); err != nil {
-			return nil, err
-		}
-		p.rng = rand.New(rand.NewPCG(
-			binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:])))
-	}
 	var err error
 	p.analyzerPriv, err = hybrid.GenerateKey(crand.Reader)
 	if err != nil {
@@ -214,26 +210,40 @@ func New(opts ...Option) (*Pipeline, error) {
 
 	switch p.mode {
 	case ModePlain:
+		rng, err := shuffler.StageRand(p.seed, "shuffler")
+		if err != nil {
+			return nil, err
+		}
 		p.shufflerPriv, err = hybrid.GenerateKey(crand.Reader)
 		if err != nil {
 			return nil, err
 		}
+		p.stages = []shuffler.Stage{&shuffler.Shuffler{
+			Priv: p.shufflerPriv, Threshold: p.threshold, Rand: rng,
+			MinBatch: p.minBatch, Workers: p.workers,
+		}}
 		p.client = &encoder.Client{
 			ShufflerKey: p.shufflerPriv.Public(),
 			AnalyzerKey: p.analyzerPriv.Public(),
 			Rand:        crand.Reader,
 		}
 	case ModeSGX:
+		rng, err := shuffler.StageRand(p.seed, "shuffler")
+		if err != nil {
+			return nil, err
+		}
 		p.ca, err = sgx.NewCA()
 		if err != nil {
 			return nil, err
 		}
-		p.sgxShuffler, p.quote, err = shuffler.NewSGXShuffler(p.ca, p.threshold, p.rng)
+		p.sgxShuffler, p.quote, err = shuffler.NewSGXShuffler(p.ca, p.threshold, rng)
 		if err != nil {
 			return nil, err
 		}
 		p.sgxShuffler.Seed = p.seed
+		p.sgxShuffler.MinBatch = p.minBatch
 		p.sgxShuffler.Workers = p.workers
+		p.stages = []shuffler.Stage{p.sgxShuffler}
 		// Client-side verification before trusting the key (§4.1.1).
 		if err := sgx.VerifyQuote(p.ca.PublicKey(), p.quote, shuffler.SGXShufflerMeasurement); err != nil {
 			return nil, fmt.Errorf("prochlo: shuffler attestation failed: %w", err)
@@ -248,10 +258,19 @@ func New(opts ...Option) (*Pipeline, error) {
 			Rand:        crand.Reader,
 		}
 	case ModeBlinded:
-		p.s1, err = shuffler.NewShuffler1(p.rng)
+		rng1, err := shuffler.StageRand(p.seed, "shuffler1")
 		if err != nil {
 			return nil, err
 		}
+		rng2, err := shuffler.StageRand(p.seed, "shuffler2")
+		if err != nil {
+			return nil, err
+		}
+		p.s1, err = shuffler.NewShuffler1(rng1)
+		if err != nil {
+			return nil, err
+		}
+		p.s1.MinBatch = p.minBatch
 		p.s1.Workers = p.workers
 		blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
 		if err != nil {
@@ -262,9 +281,13 @@ func New(opts ...Option) (*Pipeline, error) {
 			return nil, err
 		}
 		p.s2 = &shuffler.Shuffler2{
-			Blinding: blindKP, Priv: s2Priv, Threshold: p.threshold, Rand: p.rng,
-			Workers: p.workers,
+			Blinding: blindKP, Priv: s2Priv, Threshold: p.threshold, Rand: rng2,
+			// The entry hop enforces the anonymity floor; hop 2 must accept
+			// whatever hop 1 forwards (malformed drops can shrink an epoch).
+			MinBatch: 1,
+			Workers:  p.workers,
 		}
+		p.stages = []shuffler.Stage{p.s1, p.s2}
 		p.blindedClient = &encoder.BlindedClient{
 			Shuffler2Blinding: blindKP.H,
 			Shuffler2Key:      s2Priv.Public(),
@@ -398,33 +421,36 @@ type Result struct {
 	Undecryptable int
 }
 
-// Flush runs the shuffler over the pending batch and the analyzer over its
-// output, returning the analysis result.
-func (p *Pipeline) Flush() (*Result, error) {
-	var inner [][]byte
-	var stats shuffler.Stats
-	var err error
-	switch p.mode {
-	case ModePlain:
-		s := &shuffler.Shuffler{Priv: p.shufflerPriv, Threshold: p.threshold,
-			Rand: p.rng, MinBatch: p.minBatch, Workers: p.workers}
-		inner, stats, err = s.Process(p.pending)
-		p.pending = nil
-	case ModeSGX:
-		inner, stats, err = p.sgxShuffler.Process(p.pending)
-		p.pending = nil
-	case ModeBlinded:
-		var blinded []core.BlindedEnvelope
-		blinded, err = p.s1.Process(p.blindedBatch)
+// takeBatch detaches the pending reports as the wire batch entering the
+// first stage of the chain.
+func (p *Pipeline) takeBatch() core.Batch {
+	if p.mode == ModeBlinded {
+		b := core.Batch{Blinded: p.blindedBatch}
 		p.blindedBatch = nil
-		if err == nil {
-			inner, stats, err = p.s2.Process(blinded)
+		return b
+	}
+	b := core.Batch{Envelopes: p.pending}
+	p.pending = nil
+	return b
+}
+
+// Flush drives the pending batch through the shuffler stage chain —
+// each stage's output is the next stage's input, exactly as the networked
+// daemons forward epochs — and the analyzer over the final stage's output,
+// returning the analysis result. Result.ShufflerStats is the last stage's
+// (the thresholding hop's) selectivity, the only stage whose stats describe
+// what reaches the analyzer.
+func (p *Pipeline) Flush() (*Result, error) {
+	batch := p.takeBatch()
+	var stats shuffler.Stats
+	for _, st := range p.stages {
+		var err error
+		batch, stats, err = st.ProcessEpoch(batch)
+		if err != nil {
+			return nil, err
 		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	db, undec := p.an.Open(inner)
+	db, undec := p.an.Open(batch.Payloads)
 	res := &Result{
 		Histogram:     analyzer.Histogram(db),
 		ShufflerStats: stats,

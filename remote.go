@@ -2,37 +2,56 @@ package prochlo
 
 import (
 	crand "crypto/rand"
+	"errors"
 	"fmt"
 	"time"
 
 	"prochlo/internal/core"
+	"prochlo/internal/crypto/elgamal"
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/encoder"
+	"prochlo/internal/shuffler"
 	"prochlo/internal/transport"
 )
 
 // RemotePipeline is the networked counterpart of Pipeline: it plays the
-// client fleet against long-lived shuffler and analyzer daemons (cmd/prochlod
-// or the transport services directly), fetching both stage keys over RPC,
-// encoding locally, and shipping whole batches per round trip with
-// Shuffler.SubmitBatch. Submission transparently retries the shuffler's
-// retryable "epoch full" backpressure error; Flush drains the shuffler's
-// epoch queue and returns the analyzer's cumulative histogram.
+// client fleet against long-lived stage daemons (cmd/prochlod or the
+// transport services directly), fetching the stage keys over RPC, encoding
+// locally, and shipping whole batches per round trip. Submission
+// transparently retries the entry hop's retryable "epoch full" backpressure
+// error; Flush drains every hop's epoch queue in chain order and returns
+// the analyzer's cumulative histogram.
+//
+// All three shuffler deployments are supported by the dial functions:
+// DialRemote speaks to a single plain shuffler daemon (ModePlain),
+// DialRemote with WithRemoteAttestation verifies an SGX daemon's quote
+// before trusting its key (ModeSGX), and DialRemoteChain enters the §4.3
+// split-shuffler chain at the Shuffler 1 daemon (ModeBlinded).
 //
 // A seeded daemon deployment is equivalent to the in-process pipeline: for
 // the same reports submitted in the same order and epochs cut at the same
 // boundaries, the analyzer's histogram is byte-identical to Pipeline.Flush's
-// at every worker and ingestion-shard count (see TestRemotePipelineMatchesInProcess).
+// at every worker and ingestion-shard count — including across the networked
+// two-hop chain (see TestRemotePipelineMatchesInProcess and
+// TestRemoteChainMatchesInProcess).
 type RemotePipeline struct {
-	workers    int
-	retries    int
-	retryDelay time.Duration
-	// failedSeen is the EpochsFailed count already surfaced to the caller,
-	// so a transient failure errors one Flush instead of every later one.
-	failedSeen int
+	mode        Mode
+	workers     int
+	retries     int
+	retryDelay  time.Duration
+	dialTimeout time.Duration
+	attest      bool
+	// failedSeen is each hop's EpochsFailed count already surfaced to the
+	// caller, so a transient failure errors one Flush instead of every
+	// later one.
+	failedSeen []int
 
-	enc  *encoder.Client
-	shuf *transport.Client
+	enc  *encoder.Client        // ModePlain / ModeSGX
+	benc *encoder.BlindedClient // ModeBlinded
+	// hops are the shuffler daemons in chain order; hops[0] is the
+	// submission entry, and Flush drains them front to back so each hop's
+	// final epoch reaches the next before that hop is drained.
+	hops []*transport.Client
 	anlz *transport.AnalyzerClient
 }
 
@@ -63,70 +82,199 @@ func WithSubmitRetry(retries int, delay time.Duration) RemoteOption {
 	}
 }
 
-// DialRemote connects to a shuffler daemon and an analyzer daemon and
-// fetches their public keys, returning a pipeline handle ready to encode
-// and submit. The analyzer connection is used only for key fetch and
-// histogram queries — report data flows exclusively through the shuffler,
-// preserving the ESA trust split.
-func DialRemote(shufflerAddr, analyzerAddr string, opts ...RemoteOption) (*RemotePipeline, error) {
+// WithRemoteDialTimeout bounds each daemon connect (0 selects
+// transport.DefaultDialTimeout), so dialing a dead daemon fails fast.
+func WithRemoteDialTimeout(d time.Duration) RemoteOption {
+	return func(r *RemotePipeline) error {
+		r.dialTimeout = d
+		return nil
+	}
+}
+
+// WithRemoteAttestation makes DialRemote require and verify the shuffler
+// daemon's SGX quote (§4.1.1): the quote's CA signature and code
+// measurement are checked, and the attested key from the quote is used for
+// encoding instead of the unauthenticated PublicKey RPC — the networked
+// ModeSGX deployment. Dialing fails if the daemon serves no quote.
+func WithRemoteAttestation() RemoteOption {
+	return func(r *RemotePipeline) error {
+		r.attest = true
+		return nil
+	}
+}
+
+// newRemotePipeline applies options over the defaults.
+func newRemotePipeline(opts []RemoteOption) (*RemotePipeline, error) {
 	r := &RemotePipeline{retries: transport.DefaultSubmitRetries, retryDelay: transport.DefaultSubmitDelay}
 	for _, o := range opts {
 		if err := o(r); err != nil {
 			return nil, err
 		}
 	}
-	shuf, err := transport.Dial(shufflerAddr)
-	if err != nil {
-		return nil, fmt.Errorf("prochlo: dial shuffler: %w", err)
+	return r, nil
+}
+
+// dialParties connects the shuffler hops and the analyzer, cleaning up on
+// partial failure.
+func (r *RemotePipeline) dialParties(hopAddrs []string, analyzerAddr string) error {
+	for _, addr := range hopAddrs {
+		cl, err := transport.DialTimeout(addr, r.dialTimeout)
+		if err != nil {
+			r.Close()
+			return fmt.Errorf("prochlo: dial shuffler %s: %w", addr, err)
+		}
+		r.hops = append(r.hops, cl)
 	}
-	anlz, err := transport.DialAnalyzer(analyzerAddr)
-	if err != nil {
-		shuf.Close()
-		return nil, fmt.Errorf("prochlo: dial analyzer: %w", err)
-	}
-	r.shuf, r.anlz = shuf, anlz
-	shufKeyBytes, err := shuf.ShufflerKey()
+	anlz, err := transport.DialAnalyzerTimeout(analyzerAddr, r.dialTimeout)
 	if err != nil {
 		r.Close()
-		return nil, fmt.Errorf("prochlo: shuffler key: %w", err)
+		return fmt.Errorf("prochlo: dial analyzer: %w", err)
+	}
+	r.anlz = anlz
+	return nil
+}
+
+// baselineFailures snapshots each hop's cumulative failure counter so Flush
+// only surfaces failures that happen after this client connected.
+func (r *RemotePipeline) baselineFailures() {
+	r.failedSeen = make([]int, len(r.hops))
+	for i, hop := range r.hops {
+		if stats, err := hop.Stats(); err == nil {
+			r.failedSeen[i] = stats.EpochsFailed
+		}
+	}
+}
+
+// analyzerKey fetches and parses the analyzer daemon's public key.
+func (r *RemotePipeline) analyzerKey() (*hybrid.PublicKey, error) {
+	keyBytes, err := r.anlz.AnalyzerKey()
+	if err != nil {
+		return nil, fmt.Errorf("prochlo: analyzer key: %w", err)
+	}
+	key, err := hybrid.ParsePublicKey(keyBytes)
+	if err != nil {
+		return nil, fmt.Errorf("prochlo: analyzer key: %w", err)
+	}
+	return key, nil
+}
+
+// DialRemote connects to a single shuffler daemon and an analyzer daemon
+// and fetches their public keys, returning a pipeline handle ready to
+// encode and submit (ModePlain; add WithRemoteAttestation for ModeSGX).
+// The analyzer connection is used only for key fetch and histogram queries
+// — report data flows exclusively through the shuffler, preserving the ESA
+// trust split.
+func DialRemote(shufflerAddr, analyzerAddr string, opts ...RemoteOption) (*RemotePipeline, error) {
+	r, err := newRemotePipeline(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.dialParties([]string{shufflerAddr}, analyzerAddr); err != nil {
+		return nil, err
+	}
+	var shufKeyBytes []byte
+	if r.attest {
+		r.mode = ModeSGX
+		shufKeyBytes, err = r.hops[0].Attestation(shuffler.SGXShufflerMeasurement)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("prochlo: shuffler attestation: %w", err)
+		}
+	} else {
+		r.mode = ModePlain
+		shufKeyBytes, err = r.hops[0].ShufflerKey()
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("prochlo: shuffler key: %w", err)
+		}
 	}
 	shufKey, err := hybrid.ParsePublicKey(shufKeyBytes)
 	if err != nil {
 		r.Close()
 		return nil, fmt.Errorf("prochlo: shuffler key: %w", err)
 	}
-	anlzKeyBytes, err := anlz.AnalyzerKey()
+	anlzKey, err := r.analyzerKey()
 	if err != nil {
 		r.Close()
-		return nil, fmt.Errorf("prochlo: analyzer key: %w", err)
-	}
-	anlzKey, err := hybrid.ParsePublicKey(anlzKeyBytes)
-	if err != nil {
-		r.Close()
-		return nil, fmt.Errorf("prochlo: analyzer key: %w", err)
+		return nil, err
 	}
 	r.enc = &encoder.Client{ShufflerKey: shufKey, AnalyzerKey: anlzKey, Rand: crand.Reader}
-	// Baseline the daemon's cumulative failure counter so Flush only
-	// surfaces failures that happen after this client connected.
-	if stats, err := shuf.Stats(); err == nil {
-		r.failedSeen = stats.EpochsFailed
-	}
+	r.baselineFailures()
 	return r, nil
 }
 
-// Submit encodes one report and ships it over the single-envelope RPC (the
+// DialRemoteChain connects to the §4.3 split-shuffler chain — the Shuffler 1
+// daemon clients submit to, the Shuffler 2 daemon that serves the chain's
+// key material (its El Gamal blinding key and hybrid key; Shuffler 1 holds
+// no keys), and the analyzer — returning a ModeBlinded pipeline handle.
+// Reports enter at Shuffler 1 and flow shuffler1 -> shuffler2 -> analyzer
+// over the daemons' Forward pushes; the Shuffler 2 and analyzer connections
+// carry only key fetches, drain barriers, and histogram queries.
+func DialRemoteChain(shuffler1Addr, shuffler2Addr, analyzerAddr string, opts ...RemoteOption) (*RemotePipeline, error) {
+	r, err := newRemotePipeline(opts)
+	if err != nil {
+		return nil, err
+	}
+	if r.attest {
+		r.Close()
+		return nil, errors.New("prochlo: attestation applies to the SGX deployment, not the blinded chain")
+	}
+	r.mode = ModeBlinded
+	if err := r.dialParties([]string{shuffler1Addr, shuffler2Addr}, analyzerAddr); err != nil {
+		return nil, err
+	}
+	keys, err := r.hops[1].BlindedKeys()
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("prochlo: shuffler 2 keys: %w", err)
+	}
+	blinding, err := elgamal.ParsePoint(keys.Blinding)
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("prochlo: shuffler 2 blinding key: %w", err)
+	}
+	s2Key, err := hybrid.ParsePublicKey(keys.Key)
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("prochlo: shuffler 2 key: %w", err)
+	}
+	anlzKey, err := r.analyzerKey()
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	r.benc = &encoder.BlindedClient{
+		Shuffler2Blinding: blinding,
+		Shuffler2Key:      s2Key,
+		AnalyzerKey:       anlzKey,
+		Rand:              crand.Reader,
+	}
+	r.baselineFailures()
+	return r, nil
+}
+
+// Submit encodes one report and ships it over the single-report RPC (the
 // compatibility path; fleets should batch with SubmitBatch).
 func (r *RemotePipeline) Submit(crowdLabel string, data []byte) error {
+	if r.mode == ModeBlinded {
+		env, err := r.benc.Encode(crowdLabel, data)
+		if err != nil {
+			return err
+		}
+		return r.retry(func() error {
+			return r.hops[0].SubmitBlindedBatch([]core.BlindedEnvelope{env})
+		})
+	}
 	env, err := r.enc.Encode(core.Report{CrowdID: core.HashCrowdID(crowdLabel), Data: data})
 	if err != nil {
 		return err
 	}
-	return r.retry(func() error { return r.shuf.Submit(env) })
+	return r.retry(func() error { return r.hops[0].Submit(env) })
 }
 
 // SubmitBatch encodes a batch of reports on the worker pool and ships all
-// envelopes in one RPC round trip, retrying the shuffler's retryable
-// backpressure error with backoff.
+// envelopes in one RPC round trip to the chain's entry hop, retrying the
+// retryable backpressure error with backoff.
 func (r *RemotePipeline) SubmitBatch(labels []string, data [][]byte) error {
 	if len(labels) != len(data) {
 		return fmt.Errorf("prochlo: %d labels for %d data payloads", len(labels), len(data))
@@ -134,28 +282,40 @@ func (r *RemotePipeline) SubmitBatch(labels []string, data [][]byte) error {
 	if len(labels) == 0 {
 		return nil
 	}
-	reports := make([]core.Report, len(labels))
-	for i := range reports {
-		reports[i] = core.Report{CrowdID: core.HashCrowdID(labels[i]), Data: data[i]}
+	var n int
+	var err error
+	if r.mode == ModeBlinded {
+		var envs []core.BlindedEnvelope
+		envs, err = r.benc.EncodeBatch(labels, data, r.workers)
+		if err != nil {
+			return err
+		}
+		n, err = r.hops[0].SubmitAllBlinded(envs, r.retries, r.retryDelay)
+	} else {
+		reports := make([]core.Report, len(labels))
+		for i := range reports {
+			reports[i] = core.Report{CrowdID: core.HashCrowdID(labels[i]), Data: data[i]}
+		}
+		var envs []core.Envelope
+		envs, err = r.enc.EncodeBatch(reports, r.workers)
+		if err != nil {
+			return err
+		}
+		n, err = r.hops[0].SubmitAll(envs, r.retries, r.retryDelay)
 	}
-	envs, err := r.enc.EncodeBatch(reports, r.workers)
-	if err != nil {
-		return err
-	}
-	n, err := r.shuf.SubmitAll(envs, r.retries, r.retryDelay)
 	if err != nil && n > 0 {
 		// The accepted prefix is ingested; resubmitting the whole batch
 		// would double-count it. Tell the caller exactly where to resume.
-		return fmt.Errorf("prochlo: batch partially submitted (%d of %d reports accepted): %w", n, len(envs), err)
+		return fmt.Errorf("prochlo: batch partially submitted (%d of %d reports accepted): %w", n, len(labels), err)
 	}
 	return err
 }
 
-// retry runs submit, backing off and resubmitting while the shuffler
+// retry runs submit, backing off and resubmitting while the entry hop
 // reports epoch-full backpressure. It deliberately does not delegate to
-// Client.SubmitAll: Submit's purpose is to exercise the single-envelope
-// Shuffler.Submit RPC (the compatibility path), which SubmitAll would
-// silently replace with the batch RPC.
+// Client.SubmitAll: Submit's purpose is to exercise the single-report RPC
+// (the compatibility path), which SubmitAll would silently replace with the
+// batch RPC.
 func (r *RemotePipeline) retry(submit func() error) error {
 	err := submit()
 	for attempt := 0; transport.IsEpochFull(err) && attempt < r.retries; attempt++ {
@@ -165,35 +325,62 @@ func (r *RemotePipeline) retry(submit func() error) error {
 	return err
 }
 
-// Stats fetches the shuffler daemon's occupancy and epoch counters.
+// Stats fetches the entry hop's occupancy and epoch counters.
 func (r *RemotePipeline) Stats() (transport.ServiceStats, error) {
-	return r.shuf.Stats()
+	return r.hops[0].Stats()
 }
 
-// Flush drains the shuffler — any pending epoch is cut and every queued
-// epoch is pushed to the analyzer — then returns the analyzer's cumulative
-// result. ShufflerStats sums the selectivity over all epochs flushed so
-// far, so under auto-flush Flush reports the whole deployment's trajectory,
-// not one epoch's.
-func (r *RemotePipeline) Flush() (*Result, error) {
-	stats, err := r.shuf.Drain()
+// HopStats fetches every hop's stats in chain order — per-hop observability
+// for chained deployments.
+func (r *RemotePipeline) HopStats() ([]transport.ServiceStats, error) {
+	out := make([]transport.ServiceStats, len(r.hops))
+	for i, hop := range r.hops {
+		stats, err := hop.Stats()
+		if err != nil {
+			return nil, fmt.Errorf("prochlo: hop %d stats: %w", i+1, err)
+		}
+		out[i] = stats
+	}
+	return out, nil
+}
+
+// drainHop drains one hop and surfaces its newly failed epochs exactly once.
+func (r *RemotePipeline) drainHop(i int) (transport.ServiceStats, error) {
+	stats, err := r.hops[i].Drain()
 	if err != nil {
 		// The failed forced epoch is already in EpochsFailed; mark it seen
 		// so the next Flush does not report the same failure twice.
-		if s, serr := r.shuf.Stats(); serr == nil && s.EpochsFailed > r.failedSeen {
-			r.failedSeen = s.EpochsFailed
+		if s, serr := r.hops[i].Stats(); serr == nil && s.EpochsFailed > r.failedSeen[i] {
+			r.failedSeen[i] = s.EpochsFailed
 		}
-		return nil, err
+		return stats, err
 	}
-	if stats.EpochsFailed > r.failedSeen {
+	if stats.EpochsFailed > r.failedSeen[i] {
 		// The histogram would silently omit the failed epochs' reports;
 		// surface the loss like the in-process Pipeline.Flush surfaces
 		// processing errors — but only once per failure, so a transient
 		// outage does not poison every later Flush.
-		newly := stats.EpochsFailed - r.failedSeen
-		r.failedSeen = stats.EpochsFailed
-		return nil, fmt.Errorf("prochlo: %d epochs failed to reach the analyzer (last error: %s)",
-			newly, stats.LastError)
+		newly := stats.EpochsFailed - r.failedSeen[i]
+		r.failedSeen[i] = stats.EpochsFailed
+		return stats, fmt.Errorf("prochlo: hop %d: %d epochs failed to reach the next stage (last error: %s)",
+			i+1, newly, stats.LastError)
+	}
+	return stats, nil
+}
+
+// Flush drains the chain in hop order — each hop's pending epoch is cut and
+// every queued epoch is pushed to the next stage before the next hop is
+// drained — then returns the analyzer's cumulative result. ShufflerStats
+// sums the thresholding hop's selectivity over all epochs flushed so far,
+// so under auto-flush Flush reports the whole deployment's trajectory, not
+// one epoch's.
+func (r *RemotePipeline) Flush() (*Result, error) {
+	var stats transport.ServiceStats
+	for i := range r.hops {
+		var err error
+		if stats, err = r.drainHop(i); err != nil {
+			return nil, err
+		}
 	}
 	counts, undec, err := r.anlz.Histogram()
 	if err != nil {
@@ -206,11 +393,18 @@ func (r *RemotePipeline) Flush() (*Result, error) {
 	}, nil
 }
 
-// Close releases both daemon connections.
+// Close releases every daemon connection.
 func (r *RemotePipeline) Close() error {
-	err := r.shuf.Close()
-	if cerr := r.anlz.Close(); err == nil {
-		err = cerr
+	var err error
+	for _, hop := range r.hops {
+		if cerr := hop.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if r.anlz != nil {
+		if cerr := r.anlz.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

@@ -4,16 +4,19 @@ import (
 	"bytes"
 	crand "crypto/rand"
 	"fmt"
-	"math/rand/v2"
 	"net"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"prochlo"
 	"prochlo/internal/analyzer"
+	"prochlo/internal/crypto/elgamal"
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/dp"
+	"prochlo/internal/sgx"
 	"prochlo/internal/shuffler"
 	"prochlo/internal/transport"
 	"prochlo/internal/workload"
@@ -44,12 +47,16 @@ func newRemoteRig(t testing.TB, seed uint64, workers int, cfg transport.EpochCon
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The same seeded per-stage stream prochlo.New uses for WithSeed.
+	rng, err := shuffler.StageRand(seed, "shuffler")
+	if err != nil {
+		t.Fatal(err)
+	}
 	sh := &shuffler.Shuffler{
 		Priv:      shufPriv,
 		Threshold: shuffler.Threshold{Noise: dp.PaperThresholdNoise},
-		// The same seeded construction prochlo.New uses for WithSeed.
-		Rand:    rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5)),
-		Workers: workers,
+		Rand:      rng,
+		Workers:   workers,
 	}
 	svc, err := transport.NewStreamingShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String(), cfg)
 	if err != nil {
@@ -272,4 +279,404 @@ func TestRemoteSubmitSingleMatchesInProcess(t *testing.T) {
 	if remote.ShufflerStats != inProcess.ShufflerStats {
 		t.Errorf("stats = %+v, want %+v", remote.ShufflerStats, inProcess.ShufflerStats)
 	}
+}
+
+// chainRig runs the three daemon parties of the §4.3 split-shuffler chain
+// on loopback: a Shuffler 1 daemon forwarding blinded epochs to a Shuffler 2
+// daemon forwarding peeled payloads to the analyzer. Seeded stages use the
+// same per-stage RNG streams prochlo.WithSeed derives, so a seeded chain
+// reproduces the in-process ModeBlinded pipeline.
+type chainRig struct {
+	s1svc           *transport.BlindedShufflerService
+	s2svc           *transport.BlindedShufflerService
+	s1L, s2L, anlzL net.Listener
+}
+
+func newChainRig(t testing.TB, seed uint64, workers int, th shuffler.Threshold, s1cfg, s2cfg transport.EpochConfig) *chainRig {
+	t.Helper()
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv, Workers: workers}, anlzPriv.Public().Bytes())
+	anlzL, err := transport.Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { anlzL.Close() })
+
+	// Hop 2: thresholds on blinded pseudonyms, forwards to the analyzer.
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2Priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng2, err := shuffler.StageRand(seed, "shuffler2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := &shuffler.Shuffler2{
+		Blinding: blindKP, Priv: s2Priv, Threshold: th, Rand: rng2,
+		MinBatch: 1, Workers: workers,
+	}
+	s2svc, err := transport.NewShuffler2Service(s2, anlzL.Addr().String(), s2cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2svc.Close() })
+	s2L, err := transport.Serve("127.0.0.1:0", "Shuffler", s2svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2L.Close() })
+
+	// Hop 1: blinds and shuffles, forwards to hop 2.
+	rng1, err := shuffler.StageRand(seed, "shuffler1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := shuffler.NewShuffler1(rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.MinBatch = 1
+	s1.Workers = workers
+	s1svc, err := transport.NewShuffler1Service(s1, s2L.Addr().String(), s1cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s1svc.Close() })
+	s1L, err := transport.Serve("127.0.0.1:0", "Shuffler", s1svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s1L.Close() })
+	return &chainRig{s1svc: s1svc, s2svc: s2svc, s1L: s1L, s2L: s2L, anlzL: anlzL}
+}
+
+// dial returns a RemotePipeline entering the chain at hop 1.
+func (r *chainRig) dial(t testing.TB, workers int) *prochlo.RemotePipeline {
+	t.Helper()
+	rp, err := prochlo.DialRemoteChain(
+		r.s1L.Addr().String(), r.s2L.Addr().String(), r.anlzL.Addr().String(),
+		prochlo.WithRemoteWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rp.Close() })
+	return rp
+}
+
+// TestRemoteChainMatchesInProcess is the chain acceptance equivalence: a
+// seeded end-to-end run through the networked two-hop chain — blinded batch
+// RPC into the Shuffler 1 daemon, Forward push to the Shuffler 2 daemon,
+// analyzer ingestion, auto-flush epochs, any worker and ingestion-shard
+// count — must produce a histogram byte-identical to the in-process
+// ModeBlinded pipeline flushing the same chunks.
+func TestRemoteChainMatchesInProcess(t *testing.T) {
+	const (
+		seed    = 42
+		reports = 360
+		chunk   = 120
+	)
+	labels, data := sampleReports(reports)
+	th := shuffler.Threshold{Noise: dp.PaperThresholdNoise}
+
+	configs := []struct {
+		name      string
+		workers   int
+		shards    int
+		s2FlushAt int // 0: hop 2 cuts only on drain; chunk: auto-flush
+	}{
+		{"serial-1shard", 1, 1, 0},
+		{"workers2-3shards", 2, 3, chunk},
+		{"gomaxprocs", runtime.GOMAXPROCS(0), 0, chunk},
+	}
+	var want []byte
+	var wantStats shuffler.Stats
+	var wantUndec int
+	for ci, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			// In-process reference: same seed, same chunk boundaries.
+			p, err := prochlo.New(prochlo.WithSeed(seed), prochlo.WithMode(prochlo.ModeBlinded),
+				prochlo.WithWorkers(tc.workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inProcess := make(map[string]int)
+			var inStats shuffler.Stats
+			var inUndec int
+			for at := 0; at < reports; at += chunk {
+				if err := p.SubmitBatch(labels[at:at+chunk], data[at:at+chunk]); err != nil {
+					t.Fatal(err)
+				}
+				res, err := p.Flush()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k, v := range res.Histogram {
+					inProcess[k] += v
+				}
+				inStats.Received += res.ShufflerStats.Received
+				inStats.Undecryptable += res.ShufflerStats.Undecryptable
+				inStats.Crowds += res.ShufflerStats.Crowds
+				inStats.CrowdsForwarded += res.ShufflerStats.CrowdsForwarded
+				inStats.Forwarded += res.ShufflerStats.Forwarded
+				inUndec += res.Undecryptable
+			}
+
+			// Daemon chain: hop 1 auto-flushes an epoch per chunk; the
+			// per-chunk Flush is the drain barrier pinning the boundary at
+			// both hops.
+			rig := newChainRig(t, seed, tc.workers, th,
+				transport.EpochConfig{FlushAt: chunk, Shards: tc.shards},
+				transport.EpochConfig{FlushAt: tc.s2FlushAt, Shards: tc.shards})
+			rp := rig.dial(t, tc.workers)
+			var remote *prochlo.Result
+			for at := 0; at < reports; at += chunk {
+				if err := rp.SubmitBatch(labels[at:at+chunk], data[at:at+chunk]); err != nil {
+					t.Fatal(err)
+				}
+				if remote, err = rp.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			gotHist := canonicalHistogram(remote.Histogram)
+			wantHist := canonicalHistogram(inProcess)
+			if !bytes.Equal(gotHist, wantHist) {
+				t.Errorf("chain histogram differs from in-process pipeline:\nremote:\n%s\nin-process:\n%s", gotHist, wantHist)
+			}
+			if remote.ShufflerStats != inStats {
+				t.Errorf("chain stats = %+v, in-process = %+v", remote.ShufflerStats, inStats)
+			}
+			if remote.Undecryptable != inUndec {
+				t.Errorf("chain undecryptable = %d, in-process = %d", remote.Undecryptable, inUndec)
+			}
+			hops, err := rp.HopStats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hops) != 2 {
+				t.Fatalf("hop stats = %d entries, want 2", len(hops))
+			}
+			if hops[0].EpochsFlushed != reports/chunk || hops[1].EpochsFlushed != reports/chunk {
+				t.Errorf("epochs flushed = %d/%d, want %d at both hops",
+					hops[0].EpochsFlushed, hops[1].EpochsFlushed, reports/chunk)
+			}
+			if hops[0].Cumulative.Received != reports || hops[1].Cumulative.Received != reports {
+				t.Errorf("cumulative received = %d/%d, want %d at both hops",
+					hops[0].Cumulative.Received, hops[1].Cumulative.Received, reports)
+			}
+
+			// Every configuration must agree with the first, proving the
+			// result is independent of worker and shard counts and of hop
+			// 2's epoch trigger.
+			if ci == 0 {
+				want, wantStats, wantUndec = wantHist, inStats, inUndec
+			} else {
+				if !bytes.Equal(gotHist, want) {
+					t.Errorf("config %s histogram differs from %s", tc.name, configs[0].name)
+				}
+				if remote.ShufflerStats != wantStats || remote.Undecryptable != wantUndec {
+					t.Errorf("config %s stats differ from %s", tc.name, configs[0].name)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoteChainConcurrentSoak is the chain's -race soak: many goroutine
+// clients ship blinded batches into hop 1 while epochs auto-flush across
+// both hops underneath them, with hop 1 and hop 2 cutting at different
+// boundaries so forwarded epochs interleave with client traffic. With
+// thresholding disabled every accepted report must reach the analyzer
+// exactly once — no drops, no double counts across chained epoch
+// boundaries.
+func TestRemoteChainConcurrentSoak(t *testing.T) {
+	rig := newChainRig(t, 0, 0, shuffler.Threshold{},
+		transport.EpochConfig{FlushAt: 40, MaxPending: 60, InFlight: 2, Shards: 4},
+		transport.EpochConfig{FlushAt: 48, MaxPending: 120, InFlight: 2, Shards: 4})
+	const (
+		goroutines = 8
+		batches    = 6
+		perBatch   = 7
+		total      = goroutines * batches * perBatch
+	)
+	labels := make([]string, perBatch)
+	data := make([][]byte, perBatch)
+	for i := range labels {
+		labels[i] = "crowd:soak"
+		data[i] = []byte("soak-value")
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rp, err := prochlo.DialRemoteChain(
+				rig.s1L.Addr().String(), rig.s2L.Addr().String(), rig.anlzL.Addr().String(),
+				prochlo.WithRemoteWorkers(1),
+				prochlo.WithSubmitRetry(500, time.Millisecond))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer rp.Close()
+			for b := 0; b < batches; b++ {
+				if err := rp.SubmitBatch(labels, data); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+
+	rp := rig.dial(t, 1)
+	res, err := rp.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, err := rp.HopStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops[0].Accepted != total {
+		t.Errorf("hop 1 accepted = %d, want %d", hops[0].Accepted, total)
+	}
+	for i, h := range hops {
+		if h.Pending != 0 || h.QueuedEpochs != 0 {
+			t.Errorf("hop %d drain left pending=%d queued=%d", i+1, h.Pending, h.QueuedEpochs)
+		}
+		if h.EpochsFailed != 0 {
+			t.Errorf("hop %d epochs failed = %d (%s)", i+1, h.EpochsFailed, h.LastError)
+		}
+		if h.Dropped != 0 {
+			t.Errorf("hop %d dropped = %d", i+1, h.Dropped)
+		}
+		if h.Cumulative.Received != total || h.Cumulative.Forwarded != total {
+			t.Errorf("hop %d cumulative = %+v, want %d received and forwarded", i+1, h.Cumulative, total)
+		}
+	}
+	if res.Histogram["soak-value"] != total {
+		t.Errorf("histogram count = %d, want %d (no drops, no double counts)", res.Histogram["soak-value"], total)
+	}
+	if res.Undecryptable != 0 {
+		t.Errorf("undecryptable = %d", res.Undecryptable)
+	}
+}
+
+// TestRemoteSGXAttestation covers the networked ModeSGX deployment: the
+// daemon serves a quote over its key, DialRemote with WithRemoteAttestation
+// verifies it before encoding, and a daemon without an enclave is refused.
+func TestRemoteSGXAttestation(t *testing.T) {
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzL, err := transport.Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anlzL.Close()
+
+	ca, err := sgx.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, err := shuffler.StageRand(7, "shuffler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, quote, err := shuffler.NewSGXShuffler(ca, shuffler.Threshold{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Seed = 7
+	svc, err := transport.NewStageShufflerService(sh, quote.ReportData, anlzL.Addr().String(), transport.EpochConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.SetAttestation(quote, ca.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	shufL, err := transport.Serve("127.0.0.1:0", "Shuffler", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shufL.Close()
+
+	rp, err := prochlo.DialRemote(shufL.Addr().String(), anlzL.Addr().String(),
+		prochlo.WithRemoteAttestation(), prochlo.WithRemoteWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+	pad := func(s string) []byte { // SGX requires uniform report sizes
+		b := make([]byte, 32)
+		copy(b, s)
+		return b
+	}
+	for i := 0; i < 12; i++ {
+		if err := rp.Submit("app:attested", pad("attested")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := rp.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram[string(pad("attested"))] != 12 {
+		t.Errorf("histogram = %v, want 12 attested", res.Histogram)
+	}
+
+	// A daemon without an enclave must be refused when the client demands
+	// attestation.
+	plain := newRemoteRig(t, 1, 1, transport.EpochConfig{})
+	if _, err := prochlo.DialRemote(plain.shufL.Addr().String(), plain.anlzL.Addr().String(),
+		prochlo.WithRemoteAttestation()); err == nil {
+		t.Error("unattested daemon accepted under WithRemoteAttestation")
+	}
+}
+
+// BenchmarkRemoteChain measures the networked two-hop blinded chain end to
+// end — blinded encode, batched RPC into hop 1, Forward push to hop 2,
+// analyzer ingestion — per report, for comparison against
+// BenchmarkRemotePipeline: the difference is the second hop's transport and
+// El Gamal cost.
+func BenchmarkRemoteChain(b *testing.B) {
+	const batch = 500
+	labels, data := sampleReports(batch)
+	th := shuffler.Threshold{Noise: dp.PaperThresholdNoise}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig := newChainRig(b, 42, 0, th, transport.EpochConfig{}, transport.EpochConfig{})
+		rp, err := prochlo.DialRemoteChain(
+			rig.s1L.Addr().String(), rig.s2L.Addr().String(), rig.anlzL.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rp.SubmitBatch(labels, data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rp.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		rp.Close()
+	}
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/report")
 }

@@ -3,7 +3,9 @@
 # to BENCH_pipeline.json so future PRs can track the performance trajectory
 # of every hot path: client encode (serial vs batch), shuffler Process
 # (serial vs parallel), analyzer Open (serial vs parallel), Histogram, the
-# end-to-end pipeline, and the hybrid Seal/Open allocation counts.
+# end-to-end pipeline (in-process, single-daemon remote, and the two-hop
+# blinded daemon chain — BenchmarkRemoteChain tracks per-hop transport
+# overhead), and the hybrid Seal/Open allocation counts.
 # BENCH_shuffler.json is the PR 1 baseline and is kept for trajectory.
 #
 # Usage: scripts/capture_bench.sh [benchtime]    (default: 3x)
@@ -15,7 +17,7 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkShufflerProcess|BenchmarkEndToEndPipeline|BenchmarkRemotePipeline|BenchmarkEncodeSerial|BenchmarkEncodeBatch|BenchmarkAnalyzerOpen|BenchmarkHistogram' \
+  -bench 'BenchmarkShufflerProcess|BenchmarkEndToEndPipeline|BenchmarkRemotePipeline|BenchmarkRemoteChain|BenchmarkEncodeSerial|BenchmarkEncodeBatch|BenchmarkAnalyzerOpen|BenchmarkHistogram' \
   -benchtime "$benchtime" -benchmem . | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkSeal64B|BenchmarkSealInto64B|BenchmarkOpen64B|BenchmarkOpenInto64B' \
   -benchmem ./internal/crypto/hybrid | tee -a "$raw"
