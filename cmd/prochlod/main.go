@@ -26,7 +26,19 @@
 // its upstream, which pushes back on clients. Peer dials are bounded by
 // -dial-timeout so a daemon never hangs forever on a dead next hop, and
 // -stats-interval logs the service's health counters periodically for
-// observability without an RPC client. SIGINT or SIGTERM shuts down
+// observability without an RPC client.
+//
+// -wal-dir makes a shuffler-role daemon crash-safe: every accepted report is
+// written to a per-shard write-ahead log before the submission is acked, and
+// a restarted daemon recovers the directory — re-ingesting pending reports
+// and re-pushing in-flight epochs under the same (stream, epoch) ids so the
+// downstream dedup absorbs the replay. -wal-sync sets the fsync cadence (the
+// durability/throughput knob). Pair -wal-dir with -key-file, which persists
+// the daemon's private keys across restarts (created 0600 on first start):
+// without it a restarted daemon draws fresh keys and every recovered report
+// is undecryptable. Redials to a dead downstream back off
+// exponentially with jitter, tuned by -redial-attempts, -redial-base, and
+// -redial-jitter. SIGINT or SIGTERM shuts down
 // gracefully: the listener closes, the final epoch is drained downstream,
 // and only then does the process exit.
 //
@@ -39,12 +51,15 @@ package main
 import (
 	crand "crypto/rand"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math/big"
 	"math/rand/v2"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -78,6 +93,13 @@ func main() {
 	shards := flag.Int("shards", 0, "ingestion sub-batch shards (0 = GOMAXPROCS)")
 	dialTimeout := flag.Duration("dial-timeout", transport.DefaultDialTimeout, "TCP connect timeout for the downstream hop (constructor and redials)")
 	statsInterval := flag.Duration("stats-interval", 0, "periodically log service stats (0 disables)")
+	keyFile := flag.String("key-file", "", "persist the daemon's private keys at this path (created on first start, 0600): a restarted daemon decrypts the reports it recovers from -wal-dir; empty generates fresh keys per process")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: accepted reports are persisted before they are acked and recovered on restart (empty disables durability; pair with -key-file or recovered reports are undecryptable)")
+	walSync := flag.Int("wal-sync", 0, "fsync the WAL every N submissions (0 = every submission; larger trades crash-durability tail for throughput)")
+	walSegment := flag.Int("wal-segment-bytes", 0, "rotate WAL segments at this size (0 = default)")
+	redialAttempts := flag.Int("redial-attempts", 0, "reconnects to a dead downstream per push before the epoch fails (0 = default, negative disables)")
+	redialBase := flag.Duration("redial-base", 0, "first redial backoff, doubling per attempt (0 = default)")
+	redialJitter := flag.Float64("redial-jitter", 0, "redial backoff jitter fraction (0 = default, negative disables)")
 	flag.Parse()
 
 	if *next == "" {
@@ -87,12 +109,18 @@ func main() {
 		*next = "127.0.0.1:7101"
 	}
 	cfg := transport.EpochConfig{
-		FlushAt:     *flushAt,
-		Interval:    *epochInterval,
-		MaxPending:  *maxPending,
-		InFlight:    *inFlight,
-		Shards:      *shards,
-		DialTimeout: *dialTimeout,
+		FlushAt:         *flushAt,
+		Interval:        *epochInterval,
+		MaxPending:      *maxPending,
+		InFlight:        *inFlight,
+		Shards:          *shards,
+		DialTimeout:     *dialTimeout,
+		WALDir:          *walDir,
+		WALSync:         *walSync,
+		WALSegmentBytes: *walSegment,
+		RedialAttempts:  *redialAttempts,
+		RedialBase:      *redialBase,
+		RedialJitter:    *redialJitter,
 	}
 	o := shufflerOpts{
 		listen: *listen, next: *next,
@@ -100,12 +128,13 @@ func main() {
 		noiseD: *noiseD, noiseSigma: *noiseSigma,
 		seed: *seed, sgx: *sgxMode,
 		statsInterval: *statsInterval,
+		keyFile:       *keyFile,
 		cfg:           cfg,
 	}
 
 	switch *role {
 	case "analyzer":
-		runAnalyzer(*listen, *workers, *statsInterval)
+		runAnalyzer(*listen, *workers, *statsInterval, *keyFile)
 	case "shuffler":
 		runShuffler(o)
 	case "shuffler1":
@@ -171,8 +200,8 @@ func serviceSnapshot(svc statser) func() (string, error) {
 	}
 }
 
-func runAnalyzer(listen string, workers int, statsInterval time.Duration) {
-	priv, err := hybrid.GenerateKey(crand.Reader)
+func runAnalyzer(listen string, workers int, statsInterval time.Duration, keyFile string) {
+	priv, _, err := loadKeys(keyFile, false)
 	if err != nil {
 		fatal(err)
 	}
@@ -205,7 +234,76 @@ type shufflerOpts struct {
 	seed                          uint64
 	sgx                           bool
 	statsInterval                 time.Duration
+	keyFile                       string
 	cfg                           transport.EpochConfig
+}
+
+// loadKeys reads the daemon's long-lived secrets from path, generating and
+// persisting them (0600, atomic rename) on first start. The file holds hex
+// scalars, one per line: the hybrid decryption key, plus the El Gamal
+// blinding secret when wantBlinding (the shuffler2 role). An empty path
+// generates ephemeral keys — fine until the daemon must decrypt reports it
+// recovered from a WAL written by its predecessor.
+func loadKeys(path string, wantBlinding bool) (*hybrid.PrivateKey, *elgamal.KeyPair, error) {
+	if path != "" {
+		if raw, err := os.ReadFile(path); err == nil {
+			lines := strings.Fields(string(raw))
+			want := 1
+			if wantBlinding {
+				want = 2
+			}
+			if len(lines) != want {
+				return nil, nil, fmt.Errorf("key file %s: %d keys, want %d", path, len(lines), want)
+			}
+			kb, err := hex.DecodeString(lines[0])
+			if err != nil {
+				return nil, nil, fmt.Errorf("key file %s: %w", path, err)
+			}
+			priv, err := hybrid.ParsePrivateKey(kb)
+			if err != nil {
+				return nil, nil, fmt.Errorf("key file %s: %w", path, err)
+			}
+			var blind *elgamal.KeyPair
+			if wantBlinding {
+				xb, err := hex.DecodeString(lines[1])
+				if err != nil {
+					return nil, nil, fmt.Errorf("key file %s: %w", path, err)
+				}
+				if blind, err = elgamal.NewKeyPair(new(big.Int).SetBytes(xb)); err != nil {
+					return nil, nil, fmt.Errorf("key file %s: %w", path, err)
+				}
+			}
+			fmt.Println("loaded daemon keys from", path)
+			return priv, blind, nil
+		} else if !os.IsNotExist(err) {
+			return nil, nil, err
+		}
+	}
+	priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	var blind *elgamal.KeyPair
+	if wantBlinding {
+		if blind, err = elgamal.GenerateKeyPair(crand.Reader); err != nil {
+			return nil, nil, err
+		}
+	}
+	if path != "" {
+		body := hex.EncodeToString(priv.Bytes()) + "\n"
+		if wantBlinding {
+			body += hex.EncodeToString(blind.X.Bytes()) + "\n"
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(body), 0o600); err != nil {
+			return nil, nil, err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return nil, nil, err
+		}
+		fmt.Println("generated daemon keys at", path)
+	}
+	return priv, blind, nil
 }
 
 // threshold builds the crowd-thresholding config from the flags.
@@ -234,6 +332,13 @@ type closer interface{ Close() error }
 // serveAndWait serves svc, logs stats, and on SIGINT/SIGTERM drains it
 // gracefully: stop accepting, flush the final epoch downstream, then exit.
 func serveAndWait(role, listen string, svc any, statsInterval time.Duration) {
+	if s, ok := svc.(statser); ok {
+		var st transport.ServiceStats
+		if err := s.Stats(struct{}{}, &st); err == nil && st.RecoveredItems > 0 {
+			fmt.Printf("prochlod %s: recovered %d reports (%d in-flight epochs, %d pending) from the WAL\n",
+				role, st.RecoveredItems, st.RecoveredEpochs, st.Pending)
+		}
+	}
 	l, err := transport.Serve(listen, "Shuffler", svc)
 	if err != nil {
 		fatal(err)
@@ -270,6 +375,9 @@ func runShuffler(o shufflerOpts) {
 	var svc *transport.ShufflerService
 	var err error
 	if o.sgx {
+		if o.keyFile != "" {
+			fatal(errors.New("-key-file is incompatible with -sgx: the enclave owns its key and attests it per process"))
+		}
 		ca, cerr := sgx.NewCA()
 		if cerr != nil {
 			fatal(cerr)
@@ -290,7 +398,7 @@ func runShuffler(o shufflerOpts) {
 		}
 		fmt.Println("sgx: key attested, measurement", hex.EncodeToString(shuffler.SGXShufflerMeasurement[:8]))
 	} else {
-		priv, kerr := hybrid.GenerateKey(crand.Reader)
+		priv, _, kerr := loadKeys(o.keyFile, false)
 		if kerr != nil {
 			fatal(kerr)
 		}
@@ -328,11 +436,7 @@ func runShuffler1(o shufflerOpts) {
 }
 
 func runShuffler2(o shufflerOpts) {
-	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
-	if err != nil {
-		fatal(err)
-	}
-	priv, err := hybrid.GenerateKey(crand.Reader)
+	priv, blindKP, err := loadKeys(o.keyFile, true)
 	if err != nil {
 		fatal(err)
 	}

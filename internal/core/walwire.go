@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Compact binary (re-)serialization of the wire item types for durability
+// logs. A crash-safe stage service must persist every accepted item before
+// acknowledging it, so this encoding is built for the append path: length-
+// prefixed fields into a caller-owned buffer, no reflection, no per-item
+// type metadata (unlike gob, which re-encodes its schema per stream). The
+// sequence number is deliberately not part of the encoding — the log record
+// that wraps an item carries its global sequence stamp, and decoding
+// restores it from there — so re-encoding an item is stable across restarts.
+
+// appendBytes appends a uvarint length prefix and the bytes.
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// consumeBytes decodes one length-prefixed field, returning the field and
+// the remaining buffer. The field aliases b; callers that retain it past the
+// buffer's lifetime must copy.
+func consumeBytes(b []byte) ([]byte, []byte, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n > uint64(len(b)-k) {
+		return nil, nil, fmt.Errorf("core: corrupt length prefix")
+	}
+	return b[k : k+int(n) : k+int(n)], b[k+int(n):], nil
+}
+
+// appendTime appends an arrival timestamp: 0 for the zero time, else the
+// Unix nanosecond reading (a genuine 1970-epoch instant is indistinguishable
+// from unset, which is harmless for arrival metadata the stage strips).
+func appendTime(dst []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return binary.AppendVarint(dst, 0)
+	}
+	return binary.AppendVarint(dst, t.UnixNano())
+}
+
+// consumeTime decodes an appendTime timestamp.
+func consumeTime(b []byte) (time.Time, []byte, error) {
+	ns, k := binary.Varint(b)
+	if k <= 0 {
+		return time.Time{}, nil, fmt.Errorf("core: corrupt timestamp")
+	}
+	if ns == 0 {
+		return time.Time{}, b[k:], nil
+	}
+	return time.Unix(0, ns), b[k:], nil
+}
+
+// AppendWire appends the envelope's durable form (blob + arrival metadata,
+// excluding SeqNo; see the package comment above).
+func (e *Envelope) AppendWire(dst []byte) []byte {
+	dst = appendBytes(dst, e.Blob)
+	dst = appendBytes(dst, []byte(e.SourceIP))
+	return appendTime(dst, e.ArrivalTime)
+}
+
+// DecodeWire decodes an AppendWire encoding into e, copying every field out
+// of b. SeqNo is left untouched for the caller to restore.
+func (e *Envelope) DecodeWire(b []byte) error {
+	blob, b, err := consumeBytes(b)
+	if err != nil {
+		return fmt.Errorf("envelope blob: %w", err)
+	}
+	ip, b, err := consumeBytes(b)
+	if err != nil {
+		return fmt.Errorf("envelope source ip: %w", err)
+	}
+	at, _, err := consumeTime(b)
+	if err != nil {
+		return fmt.Errorf("envelope arrival time: %w", err)
+	}
+	e.Blob = append([]byte(nil), blob...)
+	e.SourceIP = string(ip)
+	e.ArrivalTime = at
+	return nil
+}
+
+// AppendWire appends the blinded envelope's durable form (El Gamal crowd-ID
+// points, blob, arrival metadata, excluding SeqNo).
+func (e *BlindedEnvelope) AppendWire(dst []byte) []byte {
+	dst = appendBytes(dst, e.CrowdC1)
+	dst = appendBytes(dst, e.CrowdC2)
+	dst = appendBytes(dst, e.Blob)
+	dst = appendBytes(dst, []byte(e.SourceIP))
+	return appendTime(dst, e.ArrivalTime)
+}
+
+// DecodeWire decodes an AppendWire encoding into e, copying every field out
+// of b. SeqNo is left untouched for the caller to restore.
+func (e *BlindedEnvelope) DecodeWire(b []byte) error {
+	c1, b, err := consumeBytes(b)
+	if err != nil {
+		return fmt.Errorf("blinded crowd c1: %w", err)
+	}
+	c2, b, err := consumeBytes(b)
+	if err != nil {
+		return fmt.Errorf("blinded crowd c2: %w", err)
+	}
+	blob, b, err := consumeBytes(b)
+	if err != nil {
+		return fmt.Errorf("blinded blob: %w", err)
+	}
+	ip, b, err := consumeBytes(b)
+	if err != nil {
+		return fmt.Errorf("blinded source ip: %w", err)
+	}
+	at, _, err := consumeTime(b)
+	if err != nil {
+		return fmt.Errorf("blinded arrival time: %w", err)
+	}
+	e.CrowdC1 = append([]byte(nil), c1...)
+	e.CrowdC2 = append([]byte(nil), c2...)
+	e.Blob = append([]byte(nil), blob...)
+	e.SourceIP = string(ip)
+	e.ArrivalTime = at
+	return nil
+}

@@ -162,6 +162,15 @@ func GenerateKeyPair(rng io.Reader) (*KeyPair, error) {
 	return &KeyPair{X: x, H: baseMult(x.Bytes())}, nil
 }
 
+// NewKeyPair rebuilds a key pair from a persisted private scalar, for
+// daemons whose blinding key must survive restarts.
+func NewKeyPair(x *big.Int) (*KeyPair, error) {
+	if x == nil || x.Sign() <= 0 || x.Cmp(curve.Params().N) >= 0 {
+		return nil, errors.New("elgamal: private scalar out of range")
+	}
+	return &KeyPair{X: new(big.Int).Set(x), H: baseMult(x.Bytes())}, nil
+}
+
 // Ciphertext is an El Gamal encryption (C1, C2) = (rG, rH + M).
 type Ciphertext struct {
 	C1, C2 Point

@@ -44,6 +44,33 @@ func TestEncryptDecryptRoundTrip(t *testing.T) {
 	}
 }
 
+// TestNewKeyPairRoundTrip: a key pair rebuilt from its persisted scalar
+// must decrypt ciphertexts encrypted to the original public key.
+func TestNewKeyPairRoundTrip(t *testing.T) {
+	kp, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := NewKeyPair(kp.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reloaded.H.Equal(kp.H) {
+		t.Fatal("rebuilt public point differs")
+	}
+	m := HashToPoint([]byte("persisted"))
+	ct, err := Encrypt(rand.Reader, kp.H, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reloaded.Decrypt(ct); !got.Equal(m) {
+		t.Fatal("rebuilt key pair did not decrypt")
+	}
+	if _, err := NewKeyPair(nil); err == nil {
+		t.Fatal("nil scalar accepted")
+	}
+}
+
 func TestRandomizedCiphertexts(t *testing.T) {
 	kp, _ := GenerateKeyPair(rand.Reader)
 	m := HashToPoint([]byte("m"))

@@ -116,6 +116,19 @@ func ParsePublicKey(b []byte) (*PublicKey, error) {
 	return &PublicKey{key: k}, nil
 }
 
+// Bytes returns the private scalar encoding, for persisting a long-lived
+// daemon key across restarts. Handle with care: this is the secret.
+func (p *PrivateKey) Bytes() []byte { return p.key.Bytes() }
+
+// ParsePrivateKey decodes a private key produced by (*PrivateKey).Bytes.
+func ParsePrivateKey(b []byte) (*PrivateKey, error) {
+	k, err := ecdh.P256().NewPrivateKey(b)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	return &PrivateKey{key: k}, nil
+}
+
 // hkdfInfo is the domain-separation label of the key derivation.
 var hkdfInfo = []byte("prochlo-hybrid-v1")
 

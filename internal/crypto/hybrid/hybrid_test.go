@@ -109,6 +109,31 @@ func TestParsePublicKeyRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestPrivateKeyRoundTrip is the restart-persistence contract: a daemon key
+// reloaded from its serialized scalar must decrypt envelopes sealed to the
+// original key.
+func TestPrivateKeyRoundTrip(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	reloaded, err := ParsePrivateKey(priv.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Seal(rand.Reader, priv.Public(), []byte("sealed before the restart"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reloaded.Open(ct, nil)
+	if err != nil {
+		t.Fatalf("reloaded private key cannot decrypt: %v", err)
+	}
+	if string(got) != "sealed before the restart" {
+		t.Fatalf("plaintext = %q", got)
+	}
+	if _, err := ParsePrivateKey([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage private key accepted")
+	}
+}
+
 func TestNestedTwoLayers(t *testing.T) {
 	analyzer, _ := GenerateKey(rand.Reader)
 	shuffler, _ := GenerateKey(rand.Reader)

@@ -37,26 +37,29 @@ type BlindedShufflerService struct {
 
 // newBlindedService wires either hop: the shared engine over a blinded
 // stage and the given sink.
-func newBlindedService(st shuffler.Stage, snk sink, cfg EpochConfig) (*BlindedShufflerService, error) {
-	eng, err := newEngine(cfg, st.Floor(), snk,
+func newBlindedService(st shuffler.Stage, snk sink, ab *aborter, cfg EpochConfig) (*BlindedShufflerService, error) {
+	eng, err := newEngine(cfg, st.Floor(), snk, ab,
 		func(batch []core.BlindedEnvelope) (core.Batch, shuffler.Stats, error) {
 			return st.ProcessEpoch(core.Batch{Blinded: batch})
 		},
-		stampBlinded, blindedSeq)
+		blindedOps)
 	if err != nil {
 		return nil, err
 	}
-	return &BlindedShufflerService{eng: eng}, nil
+	svc := &BlindedShufflerService{eng: eng}
+	svc.fwd.restore(eng.recMarks)
+	return svc, nil
 }
 
 // NewShuffler1Service wraps the first split-shuffler hop, forwarding each
 // blinded-and-shuffled epoch to the shuffler2-role daemon at nextAddr.
 func NewShuffler1Service(s1 *shuffler.Shuffler1, nextAddr string, cfg EpochConfig) (*BlindedShufflerService, error) {
-	snk, err := newStageSink(nextAddr, cfg.DialTimeout)
+	ab := newAborter()
+	snk, err := newStageSink(nextAddr, cfg, ab)
 	if err != nil {
 		return nil, err
 	}
-	return newBlindedService(s1, snk, cfg)
+	return newBlindedService(s1, snk, ab, cfg)
 }
 
 // NewShuffler2Service wraps the second split-shuffler hop, pushing each
@@ -67,11 +70,12 @@ func NewShuffler2Service(s2 *shuffler.Shuffler2, analyzerAddr string, cfg EpochC
 	if s2.Blinding == nil || s2.Priv == nil {
 		return nil, errors.New("transport: shuffler 2 needs blinding and hybrid keys")
 	}
-	snk, err := newAnalyzerSink(analyzerAddr, cfg.DialTimeout)
+	ab := newAborter()
+	snk, err := newAnalyzerSink(analyzerAddr, cfg, ab)
 	if err != nil {
 		return nil, err
 	}
-	svc, err := newBlindedService(s2, snk, cfg)
+	svc, err := newBlindedService(s2, snk, ab, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +118,7 @@ func (s *BlindedShufflerService) Forward(args ForwardArgs, reply *SubmitReply) e
 		return fmt.Errorf("transport: blinded shuffler ingests %v, got %v", core.KindBlinded, k)
 	}
 	return s.fwd.ingest(args.Stream, args.Epoch, len(args.Batch.Blinded), reply, func() error {
-		return s.eng.add(args.Batch.Blinded)
+		return s.eng.addForward(args.Stream, args.Epoch, args.Batch.Blinded)
 	})
 }
 
@@ -160,3 +164,7 @@ func (s *BlindedShufflerService) BatchSize(_ struct{}, n *int) error {
 // for every queued epoch to reach the next hop, and releases the downstream
 // connection.
 func (s *BlindedShufflerService) Close() error { return s.eng.close() }
+
+// Abort simulates a crash (kill -9) for the recovery test harness; see
+// ShufflerService.Abort.
+func (s *BlindedShufflerService) Abort() { s.eng.abort() }

@@ -36,6 +36,15 @@ func dialRPC(addr string, timeout time.Duration) (*rpc.Client, error) {
 	return rpc.NewClient(conn), nil
 }
 
+// dialCaller dials a downstream peer and applies the configured fault plan.
+func (cfg EpochConfig) dialCaller(addr string) (caller, error) {
+	cl, err := dialRPC(addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.Fault.wrap(cl), nil
+}
+
 // sink delivers one processed epoch to the next hop of the chain. Pushes are
 // at-least-once — implementations retry transient failures and redial broken
 // connections — so receivers dedup by the (stream, epoch) pair stamped on
@@ -48,22 +57,24 @@ type sink interface {
 }
 
 // analyzerSink pushes peeled payloads to an analyzer service, redialing a
-// broken connection: a long-lived daemon must survive an analyzer restart,
-// so a failed call is retried on a fresh connection before the epoch is
-// declared lost. Retried pushes are deduplicated analyzer-side by
-// (stream, epoch) — a reply lost after ingestion must not double-count.
+// broken connection with jittered exponential backoff: a long-lived daemon
+// must survive an analyzer restart, so a failed call is retried on a fresh
+// connection before the epoch is declared lost. Retried pushes are
+// deduplicated analyzer-side by (stream, epoch) — a reply lost after
+// ingestion must not double-count.
 type analyzerSink struct {
-	cl      *rpc.Client
-	addr    string
-	timeout time.Duration
+	cl   caller
+	addr string
+	cfg  EpochConfig
+	ab   *aborter
 }
 
-func newAnalyzerSink(addr string, timeout time.Duration) (*analyzerSink, error) {
-	cl, err := dialRPC(addr, timeout)
+func newAnalyzerSink(addr string, cfg EpochConfig, ab *aborter) (*analyzerSink, error) {
+	cl, err := cfg.dialCaller(addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial analyzer: %w", err)
 	}
-	return &analyzerSink{cl: cl, addr: addr, timeout: timeout}, nil
+	return &analyzerSink{cl: cl, addr: addr, cfg: cfg, ab: ab}, nil
 }
 
 func (s *analyzerSink) push(stream, epoch int64, out core.Batch) error {
@@ -73,9 +84,12 @@ func (s *analyzerSink) push(stream, epoch int64, out core.Batch) error {
 	args := IngestArgs{Stream: stream, Epoch: epoch, Items: out.Payloads}
 	var ack bool
 	err := s.cl.Call("Analyzer.Ingest", args, &ack)
-	for attempt := 0; err != nil && attempt < 2; attempt++ {
-		time.Sleep(200 * time.Millisecond)
-		cl, derr := dialRPC(s.addr, s.timeout)
+	pol := s.cfg.redial()
+	for attempt := 0; err != nil && attempt < pol.attempts; attempt++ {
+		if !s.ab.sleep(pol.delay(attempt)) {
+			return err
+		}
+		cl, derr := s.cfg.dialCaller(s.addr)
 		if derr != nil {
 			err = fmt.Errorf("transport: redial analyzer: %w", derr)
 			continue
@@ -104,39 +118,45 @@ const (
 // over the Shuffler.Forward RPC. Epoch-full rejections are retried with
 // backoff (downstream backpressure propagates upstream: the flusher blocks,
 // the in-flight queue fills, and this hop starts rejecting its own clients);
-// broken connections are redialed like analyzerSink. Receivers dedup by
-// (stream, epoch).
+// broken connections are redialed with jittered exponential backoff like
+// analyzerSink. Receivers dedup by (stream, epoch).
 type stageSink struct {
-	cl      *rpc.Client
-	addr    string
-	timeout time.Duration
+	cl   caller
+	addr string
+	cfg  EpochConfig
+	ab   *aborter
 }
 
-func newStageSink(addr string, timeout time.Duration) (*stageSink, error) {
-	cl, err := dialRPC(addr, timeout)
+func newStageSink(addr string, cfg EpochConfig, ab *aborter) (*stageSink, error) {
+	cl, err := cfg.dialCaller(addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial next hop: %w", err)
 	}
-	return &stageSink{cl: cl, addr: addr, timeout: timeout}, nil
+	return &stageSink{cl: cl, addr: addr, cfg: cfg, ab: ab}, nil
 }
 
 func (s *stageSink) push(stream, epoch int64, out core.Batch) error {
 	args := ForwardArgs{Stream: stream, Epoch: epoch, Batch: out}
 	var reply SubmitReply
 	err := s.cl.Call("Shuffler.Forward", args, &reply)
+	pol := s.cfg.redial()
 	redials := 0
 	for attempt := 0; err != nil && attempt < forwardRetries; attempt++ {
 		if IsEpochFull(err) {
-			time.Sleep(forwardDelay)
+			if !s.ab.sleep(forwardDelay) {
+				return err
+			}
 			err = s.cl.Call("Shuffler.Forward", args, &reply)
 			continue
 		}
-		if redials >= 2 {
+		if redials >= pol.attempts {
 			break
 		}
+		if !s.ab.sleep(pol.delay(redials)) {
+			return err
+		}
 		redials++
-		time.Sleep(200 * time.Millisecond)
-		cl, derr := dialRPC(s.addr, s.timeout)
+		cl, derr := s.cfg.dialCaller(s.addr)
 		if derr != nil {
 			err = fmt.Errorf("transport: redial next hop: %w", derr)
 			continue
@@ -160,10 +180,13 @@ type ingestShard[T any] struct {
 	items []T
 }
 
-// epoch is a cut batch traveling to the flusher. reply is non-nil for
-// forced (manual Flush / Drain) epochs.
+// epoch is a cut batch traveling to the flusher. id is assigned at cut time
+// (before the WAL cut record), so a crash between cut and push replays the
+// epoch under the same id and downstream dedup stays exact. reply is non-nil
+// for forced (manual Flush / Drain) epochs.
 type epoch[T any] struct {
 	batch      []T
+	id         int64
 	reply      chan flushResult
 	allowEmpty bool // Drain: an empty cut is a barrier, not an error
 }
@@ -179,6 +202,42 @@ type forceReq struct {
 	allowEmpty bool
 }
 
+// wireOps bundles the per-item operations an engine needs for its wire type:
+// arrival stamping, sequence extraction, and the durable (WAL) codec.
+type wireOps[T any] struct {
+	// stamp records the arrival metadata a network service inevitably sees
+	// (the stage's first processing step strips it, §3.3): item i gets
+	// sequence number base+i+1 and the arrival time.
+	stamp func(items []T, at time.Time, base int64)
+	seqOf func(item *T) int
+	enc   func(item *T, dst []byte) []byte
+	dec   func(b []byte, seq int64) (T, error)
+}
+
+var envelopeOps = wireOps[core.Envelope]{
+	stamp: stampEnvelopes,
+	seqOf: envelopeSeq,
+	enc:   func(e *core.Envelope, dst []byte) []byte { return e.AppendWire(dst) },
+	dec: func(b []byte, seq int64) (core.Envelope, error) {
+		var e core.Envelope
+		err := e.DecodeWire(b)
+		e.SeqNo = int(seq)
+		return e, err
+	},
+}
+
+var blindedOps = wireOps[core.BlindedEnvelope]{
+	stamp: stampBlinded,
+	seqOf: blindedSeq,
+	enc:   func(e *core.BlindedEnvelope, dst []byte) []byte { return e.AppendWire(dst) },
+	dec: func(b []byte, seq int64) (core.BlindedEnvelope, error) {
+		var e core.BlindedEnvelope
+		err := e.DecodeWire(b)
+		e.SeqNo = int(seq)
+		return e, err
+	},
+}
+
 // engine is the reusable epoch machinery every stage daemon runs: sharded
 // ingestion with global sequence stamping, an epoch scheduler (occupancy- and
 // timer-driven cuts, respecting the stage's anonymity floor), submission
@@ -188,18 +247,23 @@ type forceReq struct {
 // and SGX shufflers, blinded envelopes for the split-shuffler hops); the
 // stage's output travels as a core.Batch, so any stage can feed any sink.
 // See the package comment for the streaming and backpressure model.
+//
+// With EpochConfig.WALDir set, the engine is crash-safe: accepted items are
+// logged before the submission is acknowledged, cut epochs before they are
+// pushed, and a restart over the same directory resumes the same stream id,
+// re-ingests pending items (sequence stamps preserved, so the shard merge
+// is byte-identical), and re-pushes unresolved epochs under their original
+// (stream, epoch) pairs for downstream dedup to absorb.
 type engine[T any] struct {
 	process func([]T) (core.Batch, shuffler.Stats, error)
 	sink    sink
-	// stamp records the arrival metadata a network service inevitably sees
-	// (the stage's first processing step strips it, §3.3): item i gets
-	// sequence number base+i+1 and the arrival time.
-	stamp func(items []T, at time.Time, base int64)
-	seqOf func(item *T) int
-	floor int
-	cfg   EpochConfig
+	ops     wireOps[T]
+	floor   int
+	cfg     EpochConfig
+	wal     *wal
+	ab      *aborter
 
-	stream    int64 // random id naming this engine's push stream for dedup
+	stream    int64 // id naming this engine's push stream for dedup; persisted in the WAL
 	epochID   atomic.Int64
 	seq       atomic.Int64
 	shardRR   atomic.Int64
@@ -208,11 +272,13 @@ type engine[T any] struct {
 	rejected  atomic.Int64
 	dropped   atomic.Int64
 	closed    atomic.Bool
-	// closeMu serializes close against in-flight ingests: add holds the
-	// read side for the whole stamp-and-append, so once close holds the
-	// write side every accepted item is in a shard and will be seen by
-	// the scheduler's final cut — an acknowledged submission cannot race
-	// past the drain and strand.
+	// closeMu serializes close — and epoch cuts — against in-flight ingests:
+	// add holds the read side for the whole stamp-log-append, so once a cut
+	// holds the write side every stamped item is in a shard (and the WAL).
+	// That makes every cut a contiguous sequence range, which is what lets
+	// the WAL record an epoch's membership as (id, minSeq, maxSeq) and
+	// truncate segments by a stable-sequence horizon; and it means an
+	// acknowledged submission cannot race past the drain and strand.
 	closeMu sync.RWMutex
 
 	shards []ingestShard[T]
@@ -223,6 +289,13 @@ type engine[T any] struct {
 	stop   chan struct{}  // close -> scheduler
 	done   chan struct{}  // flusher exited
 
+	// recovered epochs (cut before the last crash, never resolved) are
+	// re-processed and re-pushed by the flusher before any live epoch.
+	recovered []recoveredEpoch[T]
+	recMarks  [][2]int64
+	recItems  int64
+	recEpochs int64
+
 	mu            sync.Mutex // guards the epoch counters below
 	queuedEpochs  int
 	epochsFlushed int
@@ -232,13 +305,14 @@ type engine[T any] struct {
 }
 
 // newEngine wires an engine: cfg defaults and clamps applied, stream id
-// drawn, scheduler and flusher started. floor is the stage's anonymity
-// floor; snk receives every processed epoch and is closed by close().
+// drawn (or recovered from the WAL), scheduler and flusher started. floor is
+// the stage's anonymity floor; snk receives every processed epoch and is
+// closed by close(); ab is shared with the sinks so Abort can interrupt an
+// in-flight push.
 func newEngine[T any](
-	cfg EpochConfig, floor int, snk sink,
+	cfg EpochConfig, floor int, snk sink, ab *aborter,
 	process func([]T) (core.Batch, shuffler.Stats, error),
-	stamp func(items []T, at time.Time, base int64),
-	seqOf func(item *T) int,
+	ops wireOps[T],
 ) (*engine[T], error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
@@ -271,19 +345,55 @@ func newEngine[T any](
 	if cfg.InFlight <= 0 {
 		cfg.InFlight = 2
 	}
+	if ab == nil {
+		ab = newAborter()
+	}
 	var streamID [8]byte
 	if _, err := crand.Read(streamID[:]); err != nil {
 		snk.close()
 		return nil, fmt.Errorf("transport: stream id: %w", err)
 	}
+	stream := int64(binary.LittleEndian.Uint64(streamID[:]))
+
+	var (
+		w   *wal
+		rec *walRecovery[T]
+		err error
+	)
+	if cfg.WALDir != "" {
+		if rec, err = recoverWAL[T](cfg.WALDir, ops.dec); err != nil {
+			snk.close()
+			return nil, err
+		}
+		if rec != nil {
+			// Resume the pre-crash push stream: replayed epochs must carry
+			// the same (stream, epoch) pairs for downstream dedup.
+			stream = rec.stream
+		}
+		w, err = openWAL(cfg.WALDir, cfg.Shards, cfg.WALSync,
+			int64(cfg.WALSegmentBytes), stream, walStartGen(cfg.WALDir))
+		if err != nil {
+			snk.close()
+			return nil, err
+		}
+		if rec != nil {
+			if err := migrateWAL(w, rec, ops.seqOf, ops.enc); err != nil {
+				w.closeFiles()
+				snk.close()
+				return nil, fmt.Errorf("transport: wal migrate: %w", err)
+			}
+		}
+	}
+
 	e := &engine[T]{
 		process: process,
 		sink:    snk,
-		stamp:   stamp,
-		seqOf:   seqOf,
+		ops:     ops,
 		floor:   floor,
 		cfg:     cfg,
-		stream:  int64(binary.LittleEndian.Uint64(streamID[:])),
+		wal:     w,
+		ab:      ab,
+		stream:  stream,
 		shards:  make([]ingestShard[T], cfg.Shards),
 		kick:    make(chan struct{}, 1),
 		force:   make(chan forceReq),
@@ -291,17 +401,58 @@ func newEngine[T any](
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	if rec != nil {
+		e.seq.Store(rec.seqMax)
+		e.epochID.Store(rec.epochMax)
+		if len(rec.pending) > 0 {
+			e.shards[0].items = append(e.shards[0].items, rec.pending...)
+			e.occupancy.Store(int64(len(rec.pending)))
+			e.recItems += int64(len(rec.pending))
+		}
+		for _, ep := range rec.epochs {
+			e.recItems += int64(len(ep.batch))
+		}
+		e.accepted.Store(e.recItems)
+		e.recovered = rec.epochs
+		e.recEpochs = int64(len(rec.epochs))
+		e.recMarks = rec.marks
+		e.queuedEpochs = len(rec.epochs)
+	}
 	go e.scheduler()
 	go e.flusher()
+	if e.cfg.FlushAt > 0 && e.occupancy.Load() >= int64(e.cfg.FlushAt) {
+		// Recovered pending items may already fill an epoch.
+		select {
+		case e.kick <- struct{}{}:
+		default:
+		}
+	}
 	return e, nil
 }
 
-// add stamps and ingests a submission, enforcing backpressure. The whole
-// call takes one shard lock: the shard is picked round-robin per call
-// (not from the sequence number, which advances by the batch size and
-// would park every uniform-size batch on one shard), so concurrent RPCs
-// spread across shards while each RPC stays a single append.
+func (e *engine[T]) isKilled() bool { return e.ab.aborted() }
+
+// add stamps and ingests a submission, enforcing backpressure.
 func (e *engine[T]) add(items []T) error {
+	return e.ingest(items, false, 0, 0)
+}
+
+// addForward ingests a forwarded epoch from an upstream hop. With a WAL, the
+// items and the upstream (stream, epoch) dedup mark are persisted as one
+// fsynced record before this returns — the caller must only mark the pair as
+// seen (and ack upstream) after a nil return, so a crash can never keep the
+// mark without the items or vice versa.
+func (e *engine[T]) addForward(stream, epoch int64, items []T) error {
+	return e.ingest(items, true, stream, epoch)
+}
+
+// ingest stamps and appends a submission. The whole call takes one shard
+// lock: the shard is picked round-robin per call (not from the sequence
+// number, which advances by the batch size and would park every uniform-size
+// batch on one shard), so concurrent RPCs spread across shards while each
+// RPC stays a single append. With a WAL, the items are logged under the same
+// shard lock, so "in the log" and "visible to the next cut" are atomic.
+func (e *engine[T]) ingest(items []T, fwd bool, fwdStream, fwdEpoch int64) error {
 	if len(items) == 0 {
 		return nil
 	}
@@ -320,9 +471,32 @@ func (e *engine[T]) add(items []T) error {
 	} else {
 		e.occupancy.Add(n)
 	}
-	e.stamp(items, time.Now(), e.seq.Add(n)-n)
-	shard := &e.shards[uint64(e.shardRR.Add(1))%uint64(len(e.shards))]
+	e.ops.stamp(items, time.Now(), e.seq.Add(n)-n)
+	idx := int(uint64(e.shardRR.Add(1)) % uint64(len(e.shards)))
+	shard := &e.shards[idx]
 	shard.mu.Lock()
+	if e.wal != nil {
+		seqFn := func(i int) int64 { return int64(e.ops.seqOf(&items[i])) }
+		encFn := func(i int, dst []byte) []byte { return e.ops.enc(&items[i], dst) }
+		var werr error
+		if fwd {
+			werr = e.wal.appendForward(fwdStream, fwdEpoch, len(items), seqFn, encFn)
+		} else {
+			werr = e.wal.appendItems(idx, len(items), seqFn, encFn)
+		}
+		if werr != nil {
+			shard.mu.Unlock()
+			// Durability was promised but cannot be provided: refuse the
+			// submission so the client retries (or fails loudly) rather
+			// than accepting data the log did not capture.
+			e.occupancy.Add(-n)
+			e.rejected.Add(n)
+			e.mu.Lock()
+			e.lastErr = werr
+			e.mu.Unlock()
+			return werr
+		}
+	}
 	shard.items = append(shard.items, items...)
 	shard.mu.Unlock()
 	e.accepted.Add(n)
@@ -337,9 +511,12 @@ func (e *engine[T]) add(items []T) error {
 
 // cut snapshots every shard and merges the result into one epoch batch,
 // ordered by global sequence number — a total order that, for in-order
-// submission, is independent of the shard count.
+// submission, is independent of the shard count. Holding closeMu excludes
+// in-flight ingests, so the cut is a contiguous sequence range (see the
+// closeMu comment).
 func (e *engine[T]) cut() []T {
 	var batch []T
+	e.closeMu.Lock()
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.Lock()
@@ -347,8 +524,9 @@ func (e *engine[T]) cut() []T {
 		sh.items = nil
 		sh.mu.Unlock()
 	}
+	e.closeMu.Unlock()
 	e.occupancy.Add(-int64(len(batch)))
-	sort.Slice(batch, func(i, j int) bool { return e.seqOf(&batch[i]) < e.seqOf(&batch[j]) })
+	sort.Slice(batch, func(i, j int) bool { return e.ops.seqOf(&batch[i]) < e.ops.seqOf(&batch[j]) })
 	return batch
 }
 
@@ -379,14 +557,33 @@ func (e *engine[T]) cutFloor() []T {
 	return nil
 }
 
-// sendEpoch queues a cut epoch for the flusher, blocking when the in-flight
-// queue is full (submission-side backpressure keeps occupancy bounded
-// meanwhile).
+// sendEpoch assigns the epoch its id, persists the cut (items synced, then
+// the cut record — after this the epoch replays under the same id across a
+// crash), and queues it for the flusher, blocking when the in-flight queue
+// is full (submission-side backpressure keeps occupancy bounded meanwhile).
 func (e *engine[T]) sendEpoch(ep *epoch[T]) {
+	if len(ep.batch) > 0 {
+		ep.id = e.epochID.Add(1)
+		if e.wal != nil {
+			min := int64(e.ops.seqOf(&ep.batch[0]))
+			max := int64(e.ops.seqOf(&ep.batch[len(ep.batch)-1]))
+			if err := e.wal.logCut(ep.id, min, max); err != nil {
+				e.mu.Lock()
+				e.lastErr = err
+				e.mu.Unlock()
+			}
+		}
+	}
 	e.mu.Lock()
 	e.queuedEpochs++
 	e.mu.Unlock()
-	e.epochs <- ep
+	select {
+	case e.epochs <- ep:
+	case <-e.ab.ch:
+		e.mu.Lock()
+		e.queuedEpochs--
+		e.mu.Unlock()
+	}
 }
 
 // scheduler is the only goroutine that cuts epochs, serializing occupancy
@@ -401,6 +598,10 @@ func (e *engine[T]) scheduler() {
 	}
 	for {
 		select {
+		case <-e.ab.ch:
+			// Simulated crash: no final cut, no flush — the WAL is the
+			// only survivor, exactly like a real kill -9.
+			return
 		case <-e.stop:
 			// Drain: flush whatever the final epoch holds, unless it is
 			// below the anonymity floor (a smaller batch must not be
@@ -408,8 +609,18 @@ func (e *engine[T]) scheduler() {
 			// and the loss is counted in Dropped).
 			if batch := e.cut(); len(batch) >= e.floor {
 				e.sendEpoch(&epoch[T]{batch: batch})
-			} else {
+			} else if len(batch) > 0 {
 				e.dropped.Add(int64(len(batch)))
+				if e.wal != nil {
+					// Record the drop so a restart over this directory
+					// does not resurrect reports the daemon already
+					// counted as lost.
+					id := e.epochID.Add(1)
+					min := int64(e.ops.seqOf(&batch[0]))
+					max := int64(e.ops.seqOf(&batch[len(batch)-1]))
+					e.wal.logCut(id, min, max)
+					e.wal.resolve(id, false)
+				}
 			}
 			return
 		case <-e.kick:
@@ -444,38 +655,65 @@ func (e *engine[T]) scheduler() {
 
 // flusher consumes cut epochs in order — epochs share the stage's batch
 // RNG, so processing them FIFO keeps a seeded deployment deterministic —
-// and pushes each processed epoch into the sink.
+// and pushes each processed epoch into the sink. Epochs recovered from the
+// WAL flush first, under their pre-crash ids.
 func (e *engine[T]) flusher() {
 	defer close(e.done)
+	for _, rep := range e.recovered {
+		if e.isKilled() {
+			return
+		}
+		e.flushOne(&epoch[T]{batch: rep.batch, id: rep.id})
+	}
+	e.recovered = nil
 	for ep := range e.epochs {
-		var res flushResult
-		if len(ep.batch) == 0 && ep.allowEmpty {
-			// A Drain barrier: every earlier epoch has been flushed.
-		} else {
-			var out core.Batch
-			out, res.stats, res.err = e.process(ep.batch)
-			if res.err == nil {
-				res.err = e.sink.push(e.stream, e.epochID.Add(1), out)
-			}
+		if e.isKilled() {
+			return
 		}
-		e.mu.Lock()
-		e.queuedEpochs--
-		if res.err != nil {
-			e.epochsFailed++
-			e.lastErr = res.err
-			e.dropped.Add(int64(len(ep.batch)))
-		} else if len(ep.batch) > 0 {
-			e.epochsFlushed++
-			e.cum.Received += res.stats.Received
-			e.cum.Undecryptable += res.stats.Undecryptable
-			e.cum.Crowds += res.stats.Crowds
-			e.cum.CrowdsForwarded += res.stats.CrowdsForwarded
-			e.cum.Forwarded += res.stats.Forwarded
+		e.flushOne(ep)
+	}
+}
+
+// flushOne processes and pushes a single epoch, then resolves it in the WAL
+// (ack on delivery, drop on permanent failure) and updates the counters.
+func (e *engine[T]) flushOne(ep *epoch[T]) {
+	var res flushResult
+	if len(ep.batch) == 0 && ep.allowEmpty {
+		// A Drain barrier: every earlier epoch has been flushed.
+	} else {
+		var out core.Batch
+		out, res.stats, res.err = e.process(ep.batch)
+		if res.err == nil {
+			res.err = e.sink.push(e.stream, ep.id, out)
 		}
-		e.mu.Unlock()
-		if ep.reply != nil {
-			ep.reply <- res
+		if e.isKilled() {
+			// Simulated crash mid-push: the outcome is unknowable from
+			// here (the ack may have been lost in the crash), so leave the
+			// epoch unresolved — recovery replays it and downstream dedup
+			// decides.
+			return
 		}
+		if e.wal != nil {
+			e.wal.resolve(ep.id, res.err == nil)
+		}
+	}
+	e.mu.Lock()
+	e.queuedEpochs--
+	if res.err != nil {
+		e.epochsFailed++
+		e.lastErr = res.err
+		e.dropped.Add(int64(len(ep.batch)))
+	} else if len(ep.batch) > 0 {
+		e.epochsFlushed++
+		e.cum.Received += res.stats.Received
+		e.cum.Undecryptable += res.stats.Undecryptable
+		e.cum.Crowds += res.stats.Crowds
+		e.cum.CrowdsForwarded += res.stats.CrowdsForwarded
+		e.cum.Forwarded += res.stats.Forwarded
+	}
+	e.mu.Unlock()
+	if ep.reply != nil {
+		ep.reply <- res
 	}
 }
 
@@ -490,9 +728,15 @@ func (e *engine[T]) forceFlush(allowEmpty bool) (shuffler.Stats, error) {
 	case e.force <- req:
 	case <-e.stop:
 		return shuffler.Stats{}, ErrClosed
+	case <-e.ab.ch:
+		return shuffler.Stats{}, ErrClosed
 	}
-	res := <-req.reply
-	return res.stats, res.err
+	select {
+	case res := <-req.reply:
+		return res.stats, res.err
+	case <-e.ab.ch:
+		return shuffler.Stats{}, ErrClosed
+	}
 }
 
 // stats fills the service's occupancy, epoch counters, and cumulative
@@ -511,11 +755,22 @@ func (e *engine[T]) stats(reply *ServiceStats) {
 	reply.Accepted = e.accepted.Load()
 	reply.Rejected = e.rejected.Load()
 	reply.Dropped = e.dropped.Load()
+	reply.RecoveredItems = e.recItems
+	reply.RecoveredEpochs = e.recEpochs
+	if reply.QueuedEpochs == 0 {
+		// The reconciliation invariant: with no epoch in flight, every
+		// accepted report is either counted downstream, dropped, or still
+		// pending. Nonzero at a drain barrier means the accounting leaks.
+		reply.Unaccounted = reply.Accepted -
+			int64(reply.Cumulative.Received) - reply.Dropped - int64(reply.Pending)
+	}
 }
 
 // close gracefully shuts the engine down: it stops accepting submissions,
 // cuts and flushes the final epoch (if it meets the anonymity floor), waits
-// for every queued epoch to reach the sink, and closes the sink.
+// for every queued epoch to reach the sink, closes the sink, and — when
+// nothing is left pending or unresolved — wipes the WAL so the next start
+// is fresh.
 func (e *engine[T]) close() error {
 	e.closeMu.Lock()
 	swapped := e.closed.CompareAndSwap(false, true)
@@ -540,7 +795,32 @@ func (e *engine[T]) close() error {
 	if cerr := e.sink.close(); err == nil {
 		err = cerr
 	}
+	if e.wal != nil {
+		wipe := e.occupancy.Load() == 0 && e.wal.unresolvedCount() == 0
+		if werr := e.wal.close(wipe); err == nil {
+			err = werr
+		}
+	}
 	return err
+}
+
+// abort simulates a crash (kill -9) for the recovery tests: no final cut,
+// no flush, no WAL sync — in-flight pushes are interrupted by closing the
+// sink, and the log directory is left exactly as a dead process would leave
+// it, for a successor engine to recover.
+func (e *engine[T]) abort() {
+	e.closeMu.Lock()
+	swapped := e.closed.CompareAndSwap(false, true)
+	e.closeMu.Unlock()
+	if !swapped {
+		return
+	}
+	e.ab.abort()
+	e.sink.close()
+	<-e.done
+	if e.wal != nil {
+		e.wal.closeFiles()
+	}
 }
 
 // Per-item stamping and ordering for the two wire item types the stage

@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// caller is the slice of *rpc.Client the push sinks use. Sinks dial through
+// EpochConfig.dialCaller, which wraps the client with the configured
+// FaultPlan — fault injection sits below the retry/redial logic, exactly
+// where a flaky network would, so the recovery machinery is exercised by the
+// same code paths production runs.
+type caller interface {
+	Call(serviceMethod string, args any, reply any) error
+	Close() error
+}
+
+// Redial policy defaults (see EpochConfig.RedialAttempts/RedialBase/
+// RedialJitter): a dead downstream is redialed with jittered exponential
+// backoff so a restarting hop is not hammered in lockstep by every upstream,
+// and a budget so a permanently dead hop surfaces as a failed epoch instead
+// of an unbounded stall.
+const (
+	DefaultRedialAttempts = 2
+	DefaultRedialBase     = 200 * time.Millisecond
+	DefaultRedialJitter   = 0.2
+)
+
+// redialPolicy is the resolved backoff schedule for one sink.
+type redialPolicy struct {
+	attempts int
+	base     time.Duration
+	jitter   float64
+}
+
+// redial resolves the config's redial knobs against the defaults (zero
+// selects the default; a negative attempt count or jitter disables it).
+func (cfg EpochConfig) redial() redialPolicy {
+	p := redialPolicy{attempts: cfg.RedialAttempts, base: cfg.RedialBase, jitter: cfg.RedialJitter}
+	if p.attempts == 0 {
+		p.attempts = DefaultRedialAttempts
+	} else if p.attempts < 0 {
+		p.attempts = 0
+	}
+	if p.base <= 0 {
+		p.base = DefaultRedialBase
+	}
+	if p.jitter == 0 {
+		p.jitter = DefaultRedialJitter
+	} else if p.jitter < 0 {
+		p.jitter = 0
+	}
+	return p
+}
+
+// delay computes the backoff before redial attempt (0-based), doubling from
+// the base and spreading by ±jitter.
+func (p redialPolicy) delay(attempt int) time.Duration {
+	if attempt > 16 {
+		attempt = 16
+	}
+	d := p.base << uint(attempt)
+	if p.jitter > 0 {
+		d = time.Duration(float64(d) * (1 + p.jitter*(2*rand.Float64()-1)))
+	}
+	if d < 0 {
+		d = p.base
+	}
+	return d
+}
+
+// aborter lets a simulated crash (ShufflerService.Abort) cut through the
+// sinks' retry sleeps and the engine's blocking hand-offs: everything that
+// waits selects against the channel, so an abort stops the world in
+// milliseconds instead of after a retry budget drains.
+type aborter struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func newAborter() *aborter { return &aborter{ch: make(chan struct{})} }
+
+func (a *aborter) abort() { a.once.Do(func() { close(a.ch) }) }
+
+func (a *aborter) aborted() bool {
+	select {
+	case <-a.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d, returning false if the abort fired first.
+func (a *aborter) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-a.ch:
+		return false
+	}
+}
+
+// FaultPlan injects failures into a stage's downstream pushes on a seeded
+// schedule, for crash-recovery testing (EpochConfig.Fault). Each RPC draws
+// one fault mode from the plan's deterministic stream; the plan is shared
+// across redialed connections so the schedule keeps advancing through
+// reconnects. The modes mirror the failures a real chain sees:
+//
+//   - PError: the push is dropped — nothing delivered, an error returned
+//     (a connection severed before the request landed);
+//   - PDropAck: the push is delivered but the ack is lost — the upstream
+//     retries and the receiver's (stream, epoch) dedup must absorb it;
+//   - PDup: the push is delivered twice (a retransmit raced the ack);
+//   - PDelay: the push is delayed by Delay before delivery.
+//
+// MaxFaults bounds the total injections so a soak always makes progress.
+type FaultPlan struct {
+	Seed      int64
+	PError    float64
+	PDropAck  float64
+	PDup      float64
+	PDelay    float64
+	Delay     time.Duration
+	MaxFaults int // total injection budget; 0 means unlimited
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected int
+}
+
+type faultMode int
+
+const (
+	faultNone faultMode = iota
+	faultError
+	faultDropAck
+	faultDup
+	faultDelay
+)
+
+// draw picks the next fault from the seeded stream, honoring the budget.
+func (p *FaultPlan) draw() faultMode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	u := p.rng.Float64() // always consume one draw: the schedule is positional
+	if p.MaxFaults > 0 && p.injected >= p.MaxFaults {
+		return faultNone
+	}
+	var mode faultMode
+	switch {
+	case u < p.PError:
+		mode = faultError
+	case u < p.PError+p.PDropAck:
+		mode = faultDropAck
+	case u < p.PError+p.PDropAck+p.PDup:
+		mode = faultDup
+	case u < p.PError+p.PDropAck+p.PDup+p.PDelay:
+		mode = faultDelay
+	default:
+		return faultNone
+	}
+	p.injected++
+	return mode
+}
+
+// Injected reports how many faults the plan has injected so far — tests use
+// it to assert a soak actually exercised the failure paths.
+func (p *FaultPlan) Injected() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// wrap decorates a dialed connection with the plan; a nil plan is a no-op.
+func (p *FaultPlan) wrap(c caller) caller {
+	if p == nil {
+		return c
+	}
+	return &faultCaller{plan: p, c: c}
+}
+
+var errInjectedDrop = errors.New("transport: injected fault: push dropped")
+var errInjectedAckLoss = errors.New("transport: injected fault: ack dropped")
+
+// faultCaller applies one drawn fault per Call.
+type faultCaller struct {
+	plan *FaultPlan
+	c    caller
+}
+
+func (f *faultCaller) Call(serviceMethod string, args any, reply any) error {
+	switch f.plan.draw() {
+	case faultError:
+		return errInjectedDrop
+	case faultDropAck:
+		if err := f.c.Call(serviceMethod, args, reply); err != nil {
+			return err
+		}
+		return errInjectedAckLoss
+	case faultDup:
+		if err := f.c.Call(serviceMethod, args, reply); err != nil {
+			return err
+		}
+		return f.c.Call(serviceMethod, args, reply)
+	case faultDelay:
+		time.Sleep(f.plan.Delay)
+		return f.c.Call(serviceMethod, args, reply)
+	default:
+		return f.c.Call(serviceMethod, args, reply)
+	}
+}
+
+func (f *faultCaller) Close() error { return f.c.Close() }

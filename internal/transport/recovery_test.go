@@ -1,0 +1,377 @@
+package transport
+
+import (
+	crand "crypto/rand"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"prochlo/internal/analyzer"
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/elgamal"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/encoder"
+	"prochlo/internal/shuffler"
+)
+
+// crashRig is a two-party loopback deployment whose shuffler can be crashed
+// (Abort — no final cut, no drain, WAL left as a dead process would leave
+// it) and restarted over the same WAL directory, same keys, same analyzer.
+type crashRig struct {
+	t        *testing.T
+	anlzSvc  *AnalyzerService
+	anlz     string
+	anlzPriv *hybrid.PrivateKey
+	shufPriv *hybrid.PrivateKey
+	cfg      EpochConfig
+	enc      *encoder.Client
+
+	svc *ShufflerService
+}
+
+func newCrashRig(t *testing.T, cfg EpochConfig) *crashRig {
+	t.Helper()
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlzSvc := NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzL, err := Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { anlzL.Close() })
+
+	shufPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WALDir = t.TempDir()
+	r := &crashRig{
+		t:        t,
+		anlzSvc:  anlzSvc,
+		anlz:     anlzL.Addr().String(),
+		anlzPriv: anlzPriv,
+		shufPriv: shufPriv,
+		cfg:      cfg,
+		enc:      &encoder.Client{ShufflerKey: shufPriv.Public(), AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader},
+	}
+	r.start()
+	t.Cleanup(func() { r.svc.Close() })
+	return r
+}
+
+// start builds (or rebuilds, after a crash) the shuffler service over the
+// rig's WAL directory. The stage RNG restarts from a fresh seed — without
+// thresholding the histogram is permutation-independent, which is exactly
+// the restart-determinism contract the engine promises.
+func (r *crashRig) start() {
+	r.t.Helper()
+	sh := &shuffler.Shuffler{
+		Priv:     r.shufPriv,
+		Rand:     rand.New(rand.NewPCG(5, 7)),
+		MinBatch: 1,
+	}
+	svc, err := NewStreamingShufflerService(sh, r.shufPriv.Public().Bytes(), r.anlz, r.cfg)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.svc = svc
+}
+
+func (r *crashRig) envelope(crowd, value string) core.Envelope {
+	r.t.Helper()
+	env, err := r.enc.Encode(core.Report{CrowdID: core.HashCrowdID(crowd), Data: []byte(value)})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return env
+}
+
+func (r *crashRig) submit(n int, value string) {
+	r.t.Helper()
+	batch := make([]core.Envelope, n)
+	for i := range batch {
+		batch[i] = r.envelope("c:"+value, value)
+	}
+	var reply SubmitReply
+	if err := r.svc.SubmitBatch(SubmitBatchArgs{Envelopes: batch}, &reply); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *crashRig) drain() ServiceStats {
+	r.t.Helper()
+	var stats ServiceStats
+	if err := r.svc.Drain(struct{}{}, &stats); err != nil {
+		r.t.Fatal(err)
+	}
+	return stats
+}
+
+func (r *crashRig) histogram() map[string]int {
+	r.t.Helper()
+	var reply HistogramReply
+	if err := r.anlzSvc.Histogram(struct{}{}, &reply); err != nil {
+		r.t.Fatal(err)
+	}
+	return reply.Counts
+}
+
+// checkReconciled asserts the accounting invariant at a drain barrier:
+// Accepted == Cumulative.Received + Dropped + Pending, i.e. Unaccounted 0.
+func checkReconciled(t *testing.T, stats ServiceStats) {
+	t.Helper()
+	if stats.QueuedEpochs != 0 {
+		t.Fatalf("not a barrier: %d epochs still queued", stats.QueuedEpochs)
+	}
+	if stats.Unaccounted != 0 {
+		t.Errorf("reconciliation broken: accepted=%d received=%d dropped=%d pending=%d -> unaccounted=%d",
+			stats.Accepted, stats.Cumulative.Received, stats.Dropped, stats.Pending, stats.Unaccounted)
+	}
+}
+
+// TestRestartRecoversPending crashes a daemon with accepted-but-uncut
+// reports and checks the restarted daemon recovers and delivers every one
+// of them exactly once, with the books balanced.
+func TestRestartRecoversPending(t *testing.T) {
+	rig := newCrashRig(t, EpochConfig{FlushAt: 1000}) // nothing auto-flushes
+	rig.submit(7, "pending-value")
+	rig.svc.Abort()
+
+	rig.start()
+	var stats ServiceStats
+	if err := rig.svc.Stats(struct{}{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecoveredItems != 7 || stats.Pending != 7 || stats.RecoveredEpochs != 0 {
+		t.Fatalf("post-restart stats = %+v, want 7 recovered pending items", stats)
+	}
+	drained := rig.drain()
+	checkReconciled(t, drained)
+	if drained.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", drained.Dropped)
+	}
+	if got := rig.histogram()["pending-value"]; got != 7 {
+		t.Errorf("histogram = %d, want 7 (recovered exactly once)", got)
+	}
+	if err := rig.svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The clean shutdown resolved everything; a further restart recovers
+	// nothing and must not resurrect the delivered reports.
+	rig.start()
+	if err := rig.svc.Stats(struct{}{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecoveredItems != 0 {
+		t.Errorf("recovery after clean close = %+v, want nothing", stats)
+	}
+	if got := rig.histogram()["pending-value"]; got != 7 {
+		t.Errorf("histogram after second restart = %d, want still 7", got)
+	}
+}
+
+// TestRestartResumesInFlightEpoch crashes a daemon while an epoch is cut and
+// mid-push (the push delayed by an injected fault), and checks the restarted
+// daemon re-pushes the epoch under its original (stream, epoch) id so the
+// analyzer counts each report exactly once whether or not the original push
+// landed.
+func TestRestartResumesInFlightEpoch(t *testing.T) {
+	fault := &FaultPlan{Seed: 1, PDelay: 1, Delay: 400 * time.Millisecond, MaxFaults: 1}
+	rig := newCrashRig(t, EpochConfig{FlushAt: 5, Fault: fault})
+	rig.submit(5, "inflight-value") // cuts an epoch; its push hangs in the fault delay
+	time.Sleep(100 * time.Millisecond)
+	rig.svc.Abort() // crash with the epoch cut but unresolved
+
+	rig.start()
+	var stats ServiceStats
+	if err := rig.svc.Stats(struct{}{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecoveredEpochs != 1 || stats.RecoveredItems != 5 {
+		t.Fatalf("post-restart stats = %+v, want one recovered in-flight epoch of 5", stats)
+	}
+	drained := rig.drain()
+	checkReconciled(t, drained)
+	if drained.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", drained.Dropped)
+	}
+	if got := rig.histogram()["inflight-value"]; got != 5 {
+		t.Errorf("histogram = %d, want 5 (replayed epoch deduplicated)", got)
+	}
+}
+
+// TestRestartAfterAckLost covers the other half of the in-flight window: the
+// epoch was delivered but the crash ate the ack. The restarted daemon must
+// re-push the same (stream, epoch) and the analyzer's dedup must swallow the
+// replay — delivered-then-crashed and crashed-then-delivered both end at
+// exactly-once.
+func TestRestartAfterAckLost(t *testing.T) {
+	fault := &FaultPlan{Seed: 1, PDropAck: 1, MaxFaults: 1}
+	rig := newCrashRig(t, EpochConfig{
+		FlushAt: 4,
+		Fault:   fault,
+		// A long redial backoff keeps the sink in its post-fault sleep while
+		// the crash lands, so the epoch stays unresolved.
+		RedialBase: 2 * time.Second,
+	})
+	rig.submit(4, "acklost-value")
+	// Wait until the analyzer has materialized the push (the ack was eaten).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var as AnalyzerStats
+		if err := rig.anlzSvc.Stats(struct{}{}, &as); err != nil {
+			t.Fatal(err)
+		}
+		if as.Records == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("analyzer never saw the push: %+v", as)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rig.svc.Abort() // crash during the redial backoff: delivered, unacked
+
+	rig.start()
+	var stats ServiceStats
+	if err := rig.svc.Stats(struct{}{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecoveredEpochs != 1 || stats.RecoveredItems != 4 {
+		t.Fatalf("post-restart stats = %+v, want one recovered epoch of 4", stats)
+	}
+	drained := rig.drain()
+	checkReconciled(t, drained)
+	if got := rig.histogram()["acklost-value"]; got != 4 {
+		t.Errorf("histogram = %d, want 4 (replay absorbed by analyzer dedup)", got)
+	}
+}
+
+// TestForwardDedupAcrossRestart extends TestForwardDedup across a receiver
+// crash: hop 2 ingests a forwarded epoch (persisting the dedup mark with the
+// items), crashes before flushing, restarts, and the upstream's retry of the
+// same (stream, epoch) must be acknowledged without re-ingesting — the
+// analyzer counts each report exactly once.
+func TestForwardDedupAcrossRestart(t *testing.T) {
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlzSvc := NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzL, err := Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anlzL.Close()
+
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2Priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	newHop2 := func() *BlindedShufflerService {
+		s2 := &shuffler.Shuffler2{
+			Blinding: blindKP, Priv: s2Priv,
+			Rand: rand.New(rand.NewPCG(21, 23)), MinBatch: 1,
+		}
+		svc, err := NewShuffler2Service(s2, anlzL.Addr().String(), EpochConfig{WALDir: walDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	svc := newHop2()
+
+	benc := &encoder.BlindedClient{
+		Shuffler2Blinding: blindKP.H,
+		Shuffler2Key:      s2Priv.Public(),
+		AnalyzerKey:       anlzPriv.Public(),
+		Rand:              crand.Reader,
+	}
+	envs := make([]core.BlindedEnvelope, 3)
+	for i := range envs {
+		envs[i], err = benc.Encode("c:dedup", []byte("dedup-value"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	args := ForwardArgs{Stream: 9, Epoch: 1, Batch: core.Batch{Blinded: envs}}
+	var reply SubmitReply
+	if err := svc.Forward(args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Accepted != 3 {
+		t.Fatalf("first forward accepted = %d, want 3", reply.Accepted)
+	}
+
+	// Hop 2 dies before flushing; the upstream never saw the ack and retries
+	// the same (stream, epoch) against the restarted hop.
+	svc.Abort()
+	svc = newHop2()
+	defer svc.Close()
+	var stats ServiceStats
+	if err := svc.Stats(struct{}{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecoveredItems != 3 || stats.Pending != 3 {
+		t.Fatalf("post-restart stats = %+v, want the 3 forwarded reports pending", stats)
+	}
+	if err := svc.Forward(args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Accepted != 3 {
+		t.Fatalf("retried forward accepted = %d, want 3 (idempotent ack across restart)", reply.Accepted)
+	}
+
+	var drained ServiceStats
+	if err := svc.Drain(struct{}{}, &drained); err != nil {
+		t.Fatal(err)
+	}
+	checkReconciled(t, drained)
+	var anlzStats AnalyzerStats
+	if err := anlzSvc.Stats(struct{}{}, &anlzStats); err != nil {
+		t.Fatal(err)
+	}
+	if anlzStats.Records != 3 {
+		t.Errorf("analyzer records = %d, want 3 (dedup mark survived the restart)", anlzStats.Records)
+	}
+}
+
+// TestReconciliationWithDrops checks the accounting invariant when epochs
+// genuinely fail: with every push erroring and redials disabled, the
+// accepted reports must all land in Dropped — and Unaccounted must still be
+// zero at the barrier. This is the Stats-side debug assertion the Dropped
+// field promises.
+func TestReconciliationWithDrops(t *testing.T) {
+	fault := &FaultPlan{Seed: 3, PError: 1} // every push fails
+	rig := newStreamingRig(t, EpochConfig{FlushAt: 1000, Fault: fault, RedialAttempts: -1})
+	var reply SubmitReply
+	batch := make([]core.Envelope, 6)
+	for i := range batch {
+		batch[i] = rig.envelope(t, "c:drop", "drop-value")
+	}
+	if err := rig.svc.SubmitBatch(SubmitBatchArgs{Envelopes: batch}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	var drained ServiceStats
+	if err := rig.svc.Drain(struct{}{}, &drained); err == nil {
+		t.Fatal("drain with a dead sink succeeded, want the push failure surfaced")
+	}
+	// The failed epoch is accounted; the next drain is a pure barrier.
+	if err := rig.svc.Drain(struct{}{}, &drained); err != nil {
+		t.Fatal(err)
+	}
+	if drained.Dropped != 6 || drained.EpochsFailed != 1 {
+		t.Fatalf("stats after failed epoch = %+v, want 6 dropped in 1 failed epoch", drained)
+	}
+	checkReconciled(t, drained)
+	if fault.Injected() == 0 {
+		t.Error("fault plan injected nothing")
+	}
+}

@@ -44,6 +44,19 @@
 // The error is retryable — clients back off and resubmit once an epoch
 // drains; see IsEpochFull and RemotePipeline in the root package.
 //
+// # Durability
+//
+// With EpochConfig.WALDir set, a service is crash-safe: every accepted item
+// is appended to a per-shard write-ahead log before the submission RPC is
+// acknowledged, every cut epoch's membership is persisted before it is
+// pushed, and segments are reclaimed only once their epochs are pushed and
+// acked downstream. A restarted daemon recovers the directory — same stream
+// id, pending items with their sequence stamps, unresolved epochs re-pushed
+// under their original (stream, epoch) pairs — so the at-least-once push
+// plus receiver dedup becomes exactly-once across process crashes. See
+// wal.go for the log format and EXPERIMENTS.md for a kill-and-restart
+// walkthrough.
+//
 // # Compatibility
 //
 // Submit (one envelope per round trip) and the manual Flush RPC are kept as
@@ -146,9 +159,20 @@ type ServiceStats struct {
 	// Dropped counts accepted reports that were lost anyway: the contents
 	// of failed epochs, and a below-floor final epoch discarded at
 	// shutdown (the anonymity floor forbids forwarding it). Operators
-	// reconcile Accepted against Cumulative.Received + Dropped + Pending.
+	// reconcile Accepted against Cumulative.Received + Dropped + Pending;
+	// Unaccounted reports that reconciliation directly.
 	Dropped   int64
 	LastError string
+	// Unaccounted is Accepted - Cumulative.Received - Dropped - Pending,
+	// computed only when QueuedEpochs is zero (at a drain barrier every
+	// accepted report must be counted downstream, dropped, or pending — a
+	// nonzero value there means the accounting leaks). While epochs are in
+	// flight the field is zero and meaningless.
+	Unaccounted int64
+	// RecoveredItems/RecoveredEpochs report what this service replayed from
+	// its write-ahead log at startup (zero for a fresh start or no WAL).
+	RecoveredItems  int64
+	RecoveredEpochs int64
 	// Cumulative sums the per-epoch shuffler stats (received, undecryptable,
 	// crowds, crowds forwarded, reports forwarded) — the only selectivity
 	// signal the shuffler's host is allowed to observe (§4.1.5).
@@ -204,6 +228,36 @@ type EpochConfig struct {
 	// DialTimeout bounds connecting to the downstream peer (construction
 	// and redials). 0 selects DefaultDialTimeout.
 	DialTimeout time.Duration
+	// WALDir enables the write-ahead log: accepted items are persisted to
+	// this directory before submissions are acknowledged, and a restart
+	// over the same directory recovers pending items, resumes unresolved
+	// epoch pushes under the same (stream, epoch) ids, and restores the
+	// forward dedup marks — making the at-least-once push chain
+	// exactly-once across process crashes. Empty disables durability.
+	WALDir string
+	// WALSync is the fsync cadence for item records: sync after every N
+	// append calls. 0 (the default) syncs every append — full durability;
+	// larger values trade the tail of accepted-but-unsynced submissions
+	// for throughput. Cut records and forward ingests always sync.
+	WALSync int
+	// WALSegmentBytes rotates WAL segment files at this size so resolved
+	// epochs' records can be reclaimed. 0 selects DefaultWALSegmentBytes.
+	WALSegmentBytes int
+	// RedialAttempts bounds reconnects to a dead downstream per push before
+	// the epoch is declared failed. 0 selects DefaultRedialAttempts;
+	// negative disables redialing.
+	RedialAttempts int
+	// RedialBase is the first redial backoff; each attempt doubles it.
+	// 0 selects DefaultRedialBase.
+	RedialBase time.Duration
+	// RedialJitter spreads each backoff by ±this fraction so restarting
+	// hops are not hammered in lockstep. 0 selects DefaultRedialJitter;
+	// negative disables jitter.
+	RedialJitter float64
+	// Fault, when non-nil, injects failures into this service's downstream
+	// pushes on a seeded schedule — the crash-recovery test harness. Nil in
+	// production.
+	Fault *FaultPlan
 }
 
 // forwardDedup tracks inter-hop pushes already ingested, so an at-least-once
@@ -214,6 +268,22 @@ type EpochConfig struct {
 type forwardDedup struct {
 	mu   sync.Mutex
 	seen map[[2]int64]bool
+}
+
+// restore pre-loads marks recovered from a WAL, so upstream retries of
+// pushes ingested before a crash are still absorbed after the restart.
+func (d *forwardDedup) restore(marks [][2]int64) {
+	if len(marks) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seen == nil {
+		d.seen = make(map[[2]int64]bool, len(marks))
+	}
+	for _, m := range marks {
+		d.seen[m] = true
+	}
 }
 
 // ingest runs add under the dedup lock. Pushes with a zero (stream, epoch)
@@ -276,19 +346,22 @@ func NewStreamingShufflerService(sh *shuffler.Shuffler, pub []byte, analyzerAddr
 // service at analyzerAddr according to cfg. pub is the key served to
 // clients over Shuffler.PublicKey.
 func NewStageShufflerService(st shuffler.Stage, pub []byte, analyzerAddr string, cfg EpochConfig) (*ShufflerService, error) {
-	snk, err := newAnalyzerSink(analyzerAddr, cfg.DialTimeout)
+	ab := newAborter()
+	snk, err := newAnalyzerSink(analyzerAddr, cfg, ab)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := newEngine(cfg, st.Floor(), snk,
+	eng, err := newEngine(cfg, st.Floor(), snk, ab,
 		func(batch []core.Envelope) (core.Batch, shuffler.Stats, error) {
 			return st.ProcessEpoch(core.Batch{Envelopes: batch})
 		},
-		stampEnvelopes, envelopeSeq)
+		envelopeOps)
 	if err != nil {
 		return nil, err
 	}
-	return &ShufflerService{eng: eng, pub: pub}, nil
+	svc := &ShufflerService{eng: eng, pub: pub}
+	svc.fwd.restore(eng.recMarks)
+	return svc, nil
 }
 
 // SetAttestation installs the quote served over the Shuffler.Attestation
@@ -356,7 +429,7 @@ func (s *ShufflerService) Forward(args ForwardArgs, reply *SubmitReply) error {
 		return fmt.Errorf("transport: shuffler ingests %v, got %v", core.KindEnvelopes, k)
 	}
 	return s.fwd.ingest(args.Stream, args.Epoch, len(args.Batch.Envelopes), reply, func() error {
-		return s.eng.add(args.Batch.Envelopes)
+		return s.eng.addForward(args.Stream, args.Epoch, args.Batch.Envelopes)
 	})
 }
 
@@ -403,6 +476,12 @@ func (s *ShufflerService) BatchSize(_ struct{}, n *int) error {
 // for every queued epoch to reach the analyzer, and releases the analyzer
 // connection.
 func (s *ShufflerService) Close() error { return s.eng.close() }
+
+// Abort simulates a crash (kill -9) for the recovery test harness: no final
+// cut, no flush, no WAL sync — the log directory is left exactly as a dead
+// process would leave it, for a successor service on the same WALDir to
+// recover. Production shutdown is Close.
+func (s *ShufflerService) Abort() { s.eng.abort() }
 
 // IngestArgs carries shuffled inner ciphertexts to the analyzer. Stream and
 // Epoch identify the push for dedup: the shuffler's push retry is

@@ -34,6 +34,14 @@ import (
 // at every worker and ingestion-shard count — including across the networked
 // two-hop chain (see TestRemotePipelineMatchesInProcess and
 // TestRemoteChainMatchesInProcess).
+//
+// Client resume semantics are unchanged by daemon-side durability
+// (EpochConfig.WALDir): a partially accepted SubmitBatch still reports the
+// accepted prefix so the fleet resumes at the rejection point, and a daemon
+// that crashed and restarted over its WAL redelivers every accepted report
+// exactly once — the client neither resubmits nor deduplicates. Reconnecting
+// after a daemon restart is an ordinary Dial; see
+// TestRemoteChainCrashRestartSoak for the full kill-and-restart exercise.
 type RemotePipeline struct {
 	mode        Mode
 	workers     int

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	crand "crypto/rand"
 	"fmt"
+	"hash/fnv"
 	"net"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -233,6 +235,47 @@ func BenchmarkRemotePipeline(b *testing.B) {
 		rp.Close()
 	}
 	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/report")
+}
+
+// BenchmarkRemotePipelineWAL is BenchmarkRemotePipeline with the shuffler's
+// write-ahead log enabled, so BENCH_pipeline.json tracks the durability
+// tax. Sub-benchmarks sweep the fsync cadence: the every-append default
+// (safest) against a relaxed 64-append cadence that trades a short
+// accepted-but-unsynced tail for throughput.
+func BenchmarkRemotePipelineWAL(b *testing.B) {
+	cadences := []struct {
+		name string
+		sync int
+	}{
+		{"sync-every-append", 0}, // the full-durability default
+		{"sync-every-64", 64},
+	}
+	for _, tc := range cadences {
+		b.Run(tc.name, func(b *testing.B) {
+			const batch = 500
+			labels, data := sampleReports(batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rig := newRemoteRig(b, 42, 0, transport.EpochConfig{
+					WALDir:  b.TempDir(),
+					WALSync: tc.sync,
+				})
+				rp, err := prochlo.DialRemote(rig.shufL.Addr().String(), rig.anlzL.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rp.SubmitBatch(labels, data); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rp.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				rp.Close()
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/report")
+		})
+	}
 }
 
 // TestRemoteSubmitSingleMatchesInProcess drives the single-envelope Submit
@@ -574,6 +617,240 @@ func TestRemoteChainConcurrentSoak(t *testing.T) {
 	}
 	if res.Undecryptable != 0 {
 		t.Errorf("undecryptable = %d", res.Undecryptable)
+	}
+}
+
+// faultSeed derives a deterministic fault-injection seed: def when run
+// locally, a hash of PROCHLO_FAULT_SEED (CI sets it to the commit SHA) so
+// every commit exercises a distinct but reproducible fault schedule.
+func faultSeed(t *testing.T, def int64) int64 {
+	s := os.Getenv("PROCHLO_FAULT_SEED")
+	if s == "" {
+		return def
+	}
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	seed := int64(h.Sum64())
+	t.Logf("fault seed %#x (PROCHLO_FAULT_SEED=%q)", seed, s)
+	return seed
+}
+
+// TestRemoteChainCrashRestartSoak is the crash-safety acceptance run: the
+// seeded two-hop chain runs with the WAL enabled at both hops and fault
+// injection on both inter-stage links, each shuffler hop is killed
+// (Abort — no final cut, no drain, exactly what kill -9 leaves) and
+// restarted over its WAL directory mid-epoch, and the drained histogram
+// must still be byte-identical to the uninterrupted in-process pipeline:
+// zero drops, zero double counts.
+//
+// Thresholding is disabled because a restart necessarily reseeds the stage
+// RNG mid-run — crash recovery promises exactly-once delivery, not
+// reproduction of the dead process's unspent random draws.
+func TestRemoteChainCrashRestartSoak(t *testing.T) {
+	const (
+		seed    = 42
+		reports = 240
+		chunk   = 60
+	)
+	labels, data := sampleReports(reports)
+
+	// Uninterrupted in-process reference over the same chunk boundaries.
+	p, err := prochlo.New(prochlo.WithSeed(seed), prochlo.WithMode(prochlo.ModeBlinded),
+		prochlo.WithoutThreshold(), prochlo.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inProcess := make(map[string]int)
+	for at := 0; at < reports; at += chunk {
+		if err := p.SubmitBatch(labels[at:at+chunk], data[at:at+chunk]); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range res.Histogram {
+			inProcess[k] += v
+		}
+	}
+
+	// Persistent parties: the analyzer and every key survive the crashes;
+	// only the hop processes die.
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzL, err := transport.Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anlzL.Close()
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2Priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seeded fault schedules, shared across restarts: hop 1's first two
+	// forwards are duplicated (hop 2's dedup must absorb them), hop 2's
+	// first analyzer push loses its ack (the redialed retry must be
+	// deduplicated by the analyzer). CI derives the seed from the commit
+	// SHA via PROCHLO_FAULT_SEED, so every commit soaks a fresh schedule
+	// that is still reproducible from its log.
+	fs := faultSeed(t, 0x5152)
+	s1Fault := &transport.FaultPlan{Seed: fs, PDup: 1, MaxFaults: 2}
+	s2Fault := &transport.FaultPlan{Seed: fs + 1, PDropAck: 1, MaxFaults: 1}
+	s1WAL, s2WAL := t.TempDir(), t.TempDir()
+
+	var s1svc, s2svc *transport.BlindedShufflerService
+	var s1L, s2L net.Listener
+	serveAt := func(addr, name string, svc any) net.Listener {
+		// Restarts rebind the dead hop's concrete address so the upstream
+		// sink's redial finds the successor.
+		var l net.Listener
+		var err error
+		for attempt := 0; attempt < 50; attempt++ {
+			if l, err = transport.Serve(addr, name, svc); err == nil {
+				return l
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("rebinding %s: %v", addr, err)
+		return nil
+	}
+	start2 := func(addr string) {
+		s2 := &shuffler.Shuffler2{
+			Blinding: blindKP, Priv: s2Priv,
+			Rand: workload.NewRand(2), MinBatch: 1,
+		}
+		var err error
+		s2svc, err = transport.NewShuffler2Service(s2, anlzL.Addr().String(),
+			transport.EpochConfig{WALDir: s2WAL, Fault: s2Fault})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2L = serveAt(addr, "Shuffler", s2svc)
+	}
+	start1 := func(addr string) {
+		s1, err := shuffler.NewShuffler1(workload.NewRand(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1.MinBatch = 1
+		s1svc, err = transport.NewShuffler1Service(s1, s2L.Addr().String(),
+			transport.EpochConfig{FlushAt: 1000, Shards: 3, WALDir: s1WAL, Fault: s1Fault})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1L = serveAt(addr, "Shuffler", s1svc)
+	}
+	start2("127.0.0.1:0")
+	start1("127.0.0.1:0")
+	defer func() {
+		s1L.Close()
+		s2L.Close()
+		s1svc.Close()
+		s2svc.Close()
+	}()
+	submit := func(at int) {
+		rp, err := prochlo.DialRemoteChain(
+			s1L.Addr().String(), s2L.Addr().String(), anlzL.Addr().String(),
+			prochlo.WithRemoteWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rp.Close()
+		if err := rp.SubmitBatch(labels[at:at+chunk], data[at:at+chunk]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Chunk 0 is accepted by hop 1 and still pending (FlushAt is beyond
+	// reach) when hop 1 dies; the restarted hop must recover it.
+	submit(0)
+	s1Addr := s1L.Addr().String()
+	s1L.Close()
+	s1svc.Abort()
+	start1(s1Addr)
+	var stats transport.ServiceStats
+	if err := s1svc.Stats(struct{}{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecoveredItems != chunk {
+		t.Fatalf("hop 1 recovered %d items, want %d", stats.RecoveredItems, chunk)
+	}
+
+	// Chunk 1 joins the recovered epoch; draining hop 1 forwards both
+	// chunks (duplicated by the fault plan) through hop 2 to the analyzer.
+	submit(chunk)
+	rp, err := prochlo.DialRemoteChain(
+		s1L.Addr().String(), s2L.Addr().String(), anlzL.Addr().String(),
+		prochlo.WithRemoteWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rp.Close()
+
+	// Chunk 2 is forwarded into hop 2 (which only cuts on drain) and left
+	// pending there when hop 2 dies mid-epoch; the restarted hop must
+	// recover both the reports and the forward-dedup marks.
+	submit(2 * chunk)
+	if err := s1svc.Drain(struct{}{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	s2Addr := s2L.Addr().String()
+	s2L.Close()
+	s2svc.Abort()
+	start2(s2Addr)
+	if err := s2svc.Stats(struct{}{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecoveredItems != chunk {
+		t.Fatalf("hop 2 recovered %d items, want %d", stats.RecoveredItems, chunk)
+	}
+
+	// The final chunk flows through both restarted hops; hop 1's sink
+	// redials the successor hop 2 at the old address.
+	submit(3 * chunk)
+	rp, err = prochlo.DialRemoteChain(
+		s1L.Addr().String(), s2L.Addr().String(), anlzL.Addr().String(),
+		prochlo.WithRemoteWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+	remote, err := rp.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := canonicalHistogram(remote.Histogram), canonicalHistogram(inProcess); !bytes.Equal(got, want) {
+		t.Errorf("crash-restart histogram differs from uninterrupted in-process run:\nremote:\n%s\nin-process:\n%s", got, want)
+	}
+	hops, err := rp.HopStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hops {
+		if h.Dropped != 0 || h.EpochsFailed != 0 {
+			t.Errorf("hop %d dropped=%d failed=%d (%s), want clean delivery", i+1, h.Dropped, h.EpochsFailed, h.LastError)
+		}
+		if h.Pending != 0 || h.QueuedEpochs != 0 {
+			t.Errorf("hop %d drain left pending=%d queued=%d", i+1, h.Pending, h.QueuedEpochs)
+		}
+		if h.Unaccounted != 0 {
+			t.Errorf("hop %d unaccounted = %d, want a balanced ledger", i+1, h.Unaccounted)
+		}
+	}
+	if s1Fault.Injected() == 0 || s2Fault.Injected() == 0 {
+		t.Errorf("fault plans injected %d/%d faults, want both active", s1Fault.Injected(), s2Fault.Injected())
 	}
 }
 

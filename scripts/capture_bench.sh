@@ -5,7 +5,10 @@
 # (serial vs parallel), analyzer Open (serial vs parallel), Histogram, the
 # end-to-end pipeline (in-process, single-daemon remote, and the two-hop
 # blinded daemon chain — BenchmarkRemoteChain tracks per-hop transport
-# overhead), and the hybrid Seal/Open allocation counts.
+# overhead), the WAL durability tax (BenchmarkRemotePipelineWAL, matched by
+# the BenchmarkRemotePipeline pattern, captures WAL-on vs WAL-off and the
+# fsync-cadence sweep next to the WAL-off baseline), and the hybrid
+# Seal/Open allocation counts.
 # BENCH_shuffler.json is the PR 1 baseline and is kept for trajectory.
 #
 # Usage: scripts/capture_bench.sh [benchtime]    (default: 3x)
