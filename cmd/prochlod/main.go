@@ -42,10 +42,26 @@
 // gracefully: the listener closes, the final epoch is drained downstream,
 // and only then does the process exit.
 //
+// Any hop can also run as a replicated fleet. -fleet enables fan-out mode,
+// where -next is a comma-separated list of the downstream tier's replicas
+// in partition order (the same order on every replica of this tier): a
+// shuffler1 daemon splits each epoch by the client-stamped crowd partition
+// and pushes each slice to its owning shuffler2 replica, and a thresholding
+// hop spreads its output across the analyzer partitions by content hash.
+// Replicas of a key-holding tier share keys via one -key-file. -peer lists
+// this daemon's sibling replicas and -partitions overrides the advertised
+// downstream partition count; both are topology metadata served over the
+// cheap Shuffler.Healthz liveness RPC (and logged by -stats-interval),
+// which client balancers probe without touching engine locks:
+//
+//	prochlod -role shuffler2 -listen 127.0.0.1:7102 -key-file s2.key \
+//	         -fleet -next 127.0.0.1:7110,127.0.0.1:7111 -peer 127.0.0.1:7103
+//
 // Clients connect with prochlo.DialRemote (single shuffler, optionally
-// -sgx attested) or prochlo.DialRemoteChain (split chain) and submit whole
+// -sgx attested), prochlo.DialRemoteChain (split chain), or their fleet
+// variants (DialRemoteFleet, DialRemoteChainFleet) and submit whole
 // batches per round trip; see examples/netpipeline for a loopback
-// walkthrough of both topologies.
+// walkthrough of the topologies.
 package main
 
 import (
@@ -75,8 +91,11 @@ import (
 func main() {
 	role := flag.String("role", "", "party to run: shuffler | shuffler1 | shuffler2 | analyzer")
 	listen := flag.String("listen", "127.0.0.1:0", "service listen address")
-	next := flag.String("next", "", "downstream hop address: the analyzer for shuffler/shuffler2, the shuffler2 daemon for shuffler1 (default 127.0.0.1:7101)")
+	next := flag.String("next", "", "downstream hop address: the analyzer for shuffler/shuffler2, the shuffler2 daemon for shuffler1 (default 127.0.0.1:7101); with -fleet, a comma-separated replica list in partition order")
 	analyzerAddr := flag.String("analyzer", "", "deprecated alias for -next")
+	fleetMode := flag.Bool("fleet", false, "fan out to a partitioned downstream tier: -next lists its replicas in partition order (identical on every replica of this tier)")
+	partitions := flag.Int("partitions", 0, "downstream partition count advertised over Healthz (0 = number of -next addresses)")
+	peers := flag.String("peer", "", "comma-separated sibling replicas of this daemon's tier, advertised over Healthz")
 	workers := flag.Int("workers", 0, "worker pool size per stage (0 = GOMAXPROCS, 1 = serial)")
 	sgxMode := flag.Bool("sgx", false, "shuffler role only: run inside a simulated SGX enclave (oblivious Stash Shuffle, key served with an attestation quote)")
 
@@ -108,6 +127,10 @@ func main() {
 	if *next == "" {
 		*next = "127.0.0.1:7101"
 	}
+	nexts := splitAddrs(*next)
+	if len(nexts) > 1 && !*fleetMode {
+		fatal(errors.New("multiple -next addresses require -fleet (partition order must be deliberate and identical across the tier)"))
+	}
 	cfg := transport.EpochConfig{
 		FlushAt:         *flushAt,
 		Interval:        *epochInterval,
@@ -123,10 +146,12 @@ func main() {
 		RedialJitter:    *redialJitter,
 	}
 	o := shufflerOpts{
-		listen: *listen, next: *next,
+		listen: *listen, nexts: nexts,
 		workers: *workers, thresholdT: *thresholdT, minBatch: *minBatch,
 		noiseD: *noiseD, noiseSigma: *noiseSigma,
 		seed: *seed, sgx: *sgxMode,
+		partitions:    *partitions,
+		peers:         splitAddrs(*peers),
 		statsInterval: *statsInterval,
 		keyFile:       *keyFile,
 		cfg:           cfg,
@@ -183,6 +208,26 @@ func logStats(role string, interval time.Duration, stop <-chan struct{}, snapsho
 	}()
 }
 
+// healthzer is the liveness surface shared by every stage service.
+type healthzer interface {
+	Healthz(_ struct{}, reply *transport.HealthzReply) error
+}
+
+// healthzPrefix formats a service's Healthz snapshot for logStats; empty
+// when the service serves no liveness RPC.
+func healthzPrefix(svc any) string {
+	hz, ok := svc.(healthzer)
+	if !ok {
+		return ""
+	}
+	var h transport.HealthzReply
+	if err := hz.Healthz(struct{}{}, &h); err != nil {
+		return ""
+	}
+	up := (time.Duration(h.UptimeMillis) * time.Millisecond).Round(time.Second)
+	return fmt.Sprintf("healthy=%v uptime=%v ", h.Healthy, up)
+}
+
 // serviceSnapshot formats a shuffler-role service's counters for logStats.
 func serviceSnapshot(svc statser) func() (string, error) {
 	return func() (string, error) {
@@ -190,7 +235,7 @@ func serviceSnapshot(svc statser) func() (string, error) {
 		if err := svc.Stats(struct{}{}, &s); err != nil {
 			return "", err
 		}
-		line := fmt.Sprintf("pending=%d queued=%d flushed=%d failed=%d accepted=%d rejected=%d dropped=%d forwarded=%d",
+		line := healthzPrefix(svc) + fmt.Sprintf("pending=%d queued=%d flushed=%d failed=%d accepted=%d rejected=%d dropped=%d forwarded=%d",
 			s.Pending, s.QueuedEpochs, s.EpochsFlushed, s.EpochsFailed,
 			s.Accepted, s.Rejected, s.Dropped, s.Cumulative.Forwarded)
 		if s.LastError != "" {
@@ -218,7 +263,7 @@ func runAnalyzer(listen string, workers int, statsInterval time.Duration, keyFil
 		if err := svc.Stats(struct{}{}, &s); err != nil {
 			return "", err
 		}
-		return fmt.Sprintf("records=%d undecryptable=%d ingests=%d",
+		return healthzPrefix(svc) + fmt.Sprintf("records=%d undecryptable=%d ingests=%d",
 			s.Records, s.Undecryptable, s.Ingests), nil
 	})
 	waitForSignal()
@@ -228,15 +273,40 @@ func runAnalyzer(listen string, workers int, statsInterval time.Duration, keyFil
 }
 
 type shufflerOpts struct {
-	listen, next                  string
+	listen                        string
+	nexts                         []string // downstream tier replicas in partition order
 	workers, thresholdT, minBatch int
 	noiseD, noiseSigma            float64
 	seed                          uint64
 	sgx                           bool
+	partitions                    int      // advertised downstream partition count; 0 infers len(nexts)
+	peers                         []string // sibling replicas advertised over Healthz
 	statsInterval                 time.Duration
 	keyFile                       string
 	cfg                           transport.EpochConfig
 }
+
+// splitAddrs parses a comma-separated address list, dropping empty entries.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// fleetInfo resolves the Healthz topology metadata from the flags.
+func (o shufflerOpts) fleetInfo() (partitions int, peers []string) {
+	if o.partitions > 0 {
+		return o.partitions, o.peers
+	}
+	return len(o.nexts), o.peers
+}
+
+// nextList formats the downstream tier for log lines.
+func (o shufflerOpts) nextList() string { return strings.Join(o.nexts, ",") }
 
 // loadKeys reads the daemon's long-lived secrets from path, generating and
 // persisting them (0600, atomic rename) on first start. The file holds hex
@@ -389,7 +459,7 @@ func runShuffler(o shufflerOpts) {
 		sh.Seed = o.seed
 		sh.MinBatch = o.minBatch
 		sh.Workers = o.workers
-		svc, err = transport.NewStageShufflerService(sh, quote.ReportData, o.next, o.cfg)
+		svc, err = transport.NewStageShufflerFleetService(sh, quote.ReportData, o.nexts, o.cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -409,12 +479,13 @@ func runShuffler(o shufflerOpts) {
 			MinBatch:  o.minBatch,
 			Workers:   o.workers,
 		}
-		svc, err = transport.NewStreamingShufflerService(sh, priv.Public().Bytes(), o.next, o.cfg)
+		svc, err = transport.NewStageShufflerFleetService(sh, priv.Public().Bytes(), o.nexts, o.cfg)
 		if err != nil {
 			fatal(err)
 		}
 	}
-	fmt.Println("forwarding to analyzer at", o.next)
+	svc.SetFleetInfo(o.fleetInfo())
+	fmt.Println("forwarding to analyzer at", o.nextList())
 	printEpochs(svc.Config())
 	serveAndWait("shuffler", o.listen, svc, o.statsInterval)
 }
@@ -426,11 +497,12 @@ func runShuffler1(o shufflerOpts) {
 	}
 	s1.MinBatch = o.minBatch
 	s1.Workers = o.workers
-	svc, err := transport.NewShuffler1Service(s1, o.next, o.cfg)
+	svc, err := transport.NewShuffler1FleetService(s1, o.nexts, o.cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("forwarding blinded epochs to shuffler2 at", o.next)
+	svc.SetFleetInfo(o.fleetInfo())
+	fmt.Println("forwarding blinded epochs to shuffler2 at", o.nextList())
 	printEpochs(svc.Config())
 	serveAndWait("shuffler1", o.listen, svc, o.statsInterval)
 }
@@ -450,11 +522,12 @@ func runShuffler2(o shufflerOpts) {
 		MinBatch: 1,
 		Workers:  o.workers,
 	}
-	svc, err := transport.NewShuffler2Service(s2, o.next, o.cfg)
+	svc, err := transport.NewShuffler2FleetService(s2, o.nexts, o.cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("forwarding to analyzer at", o.next)
+	svc.SetFleetInfo(o.fleetInfo())
+	fmt.Println("forwarding to analyzer at", o.nextList())
 	fmt.Println("blinding public key:", hex.EncodeToString(blindKP.H.Bytes()))
 	fmt.Println("shuffler2 public key:", hex.EncodeToString(priv.Public().Bytes()))
 	printEpochs(svc.Config())

@@ -15,6 +15,14 @@
 // thresholds on blinded pseudonyms and pushes the survivors to the
 // analyzer — three mutually distrusting services, none of which sees both
 // who reported and what was reported.
+//
+// With -fleet, every hop of the chain is a replica pair (2 shuffler1 ×
+// 2 shuffler2 × 2 analyzer partitions): submissions enter through a
+// health-checked balancer over the hop-1 replicas, each envelope carries
+// its crowd's owning hop-2 partition so the thresholding replica sees the
+// whole crowd regardless of entry replica, and the analyzer partitions'
+// histograms merge at drain. The run ends with the balancer's failover
+// counters and the fleet-wide drain barrier.
 package main
 
 import (
@@ -39,6 +47,7 @@ func main() {
 	reports := flag.Int("reports", 240, "reports to submit")
 	flushAt := flag.Int("flush-at", 100, "epoch auto-flush threshold")
 	chain := flag.Bool("chain", false, "run the §4.3 split-shuffler chain (Shuffler1 -> Shuffler2 -> analyzer) instead of the single shuffler")
+	fleet := flag.Bool("fleet", false, "run the chain as a 2x2x2 replica fleet with a balanced entry tier and partitioned fan-in")
 	flag.Parse()
 
 	// Party 1: the analyzer daemon.
@@ -54,9 +63,12 @@ func main() {
 	defer anlzL.Close()
 
 	var rp *prochlo.RemotePipeline
-	if *chain {
+	switch {
+	case *fleet:
+		rp = dialFleet(anlzPriv, anlzL, *workers, *flushAt)
+	case *chain:
 		rp = dialChain(anlzL, *workers, *flushAt)
-	} else {
+	default:
 		rp = dialSingle(anlzL, *workers, *flushAt)
 	}
 	defer rp.Close()
@@ -89,6 +101,23 @@ func main() {
 	}
 	fmt.Printf("shuffler cumulative: %+v\n", res.ShufflerStats)
 	fmt.Println("analyzer histogram:", res.Histogram)
+	if *fleet {
+		bs := rp.BalancerStats()
+		fmt.Printf("entry balancer: %d/%d replicas healthy, %d failovers, %d ejections, %d probes\n",
+			bs.Healthy, bs.Replicas, bs.Failovers, bs.Ejections, bs.Probes)
+		// DrainAll already ran under Flush; a second barrier is idempotent
+		// and shows the fleet-wide reconciliation invariant directly.
+		stats, err := rp.DrainAll(false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for t, tier := range stats {
+			for i, s := range tier {
+				fmt.Printf("hop %d replica %d: accepted=%d forwarded=%d dropped=%d unaccounted=%d\n",
+					t+1, i, s.Accepted, s.Cumulative.Forwarded, s.Dropped, s.Unaccounted)
+			}
+		}
+	}
 }
 
 // dialSingle wires the single-shuffler topology: one streaming shuffler
@@ -172,6 +201,77 @@ func dialChain(anlzL net.Listener, workers, flushAt int) *prochlo.RemotePipeline
 	fmt.Println("analyzer:", anlzL.Addr(), " shuffler2:", s2L.Addr(), " shuffler1:", s1L.Addr())
 
 	rp, err := prochlo.DialRemoteChain(s1L.Addr().String(), s2L.Addr().String(), anlzL.Addr().String(),
+		prochlo.WithRemoteWorkers(workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rp
+}
+
+// dialFleet wires the chain as a 2x2x2 replica fleet. Replicas of a
+// key-holding tier share key material (as prochlod daemons would via one
+// -key-file): both analyzer partitions decrypt with anlzPriv, both
+// shuffler2 replicas hold the same blinding and hybrid keys. Every hop-1
+// replica fans out to both hop-2 partitions, and every hop-2 replica to
+// both analyzer partitions.
+func dialFleet(anlzPriv *hybrid.PrivateKey, anlzL net.Listener, workers, flushAt int) *prochlo.RemotePipeline {
+	// Second analyzer partition, same key.
+	anlz2Svc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv, Workers: workers}, anlzPriv.Public().Bytes())
+	anlz2L, err := transport.Serve("127.0.0.1:0", "Analyzer", anlz2Svc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anlzAddrs := []string{anlzL.Addr().String(), anlz2L.Addr().String()}
+
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2Priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var s2Addrs []string
+	for i := 0; i < 2; i++ {
+		s2 := &shuffler.Shuffler2{
+			Blinding:  blindKP,
+			Priv:      s2Priv,
+			Threshold: shuffler.Threshold{Noise: dp.PaperThresholdNoise},
+			Rand:      rand.New(rand.NewPCG(23, 29+uint64(i))),
+			MinBatch:  1,
+			Workers:   workers,
+		}
+		s2Svc, err := transport.NewShuffler2FleetService(s2, anlzAddrs, transport.EpochConfig{FlushAt: flushAt})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s2L, err := transport.Serve("127.0.0.1:0", "Shuffler", s2Svc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s2Addrs = append(s2Addrs, s2L.Addr().String())
+	}
+
+	var s1Addrs []string
+	for i := 0; i < 2; i++ {
+		s1, err := shuffler.NewShuffler1(rand.New(rand.NewPCG(31, 37+uint64(i))))
+		if err != nil {
+			log.Fatal(err)
+		}
+		s1.Workers = workers
+		s1Svc, err := transport.NewShuffler1FleetService(s1, s2Addrs, transport.EpochConfig{FlushAt: flushAt})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s1L, err := transport.Serve("127.0.0.1:0", "Shuffler", s1Svc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s1Addrs = append(s1Addrs, s1L.Addr().String())
+	}
+	fmt.Println("fleet: shuffler1", s1Addrs, " shuffler2", s2Addrs, " analyzers", anlzAddrs)
+
+	rp, err := prochlo.DialRemoteChainFleet(s1Addrs, s2Addrs, anlzAddrs,
 		prochlo.WithRemoteWorkers(workers))
 	if err != nil {
 		log.Fatal(err)

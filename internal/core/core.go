@@ -7,6 +7,7 @@ package core
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"time"
 )
 
@@ -25,6 +26,18 @@ func HashCrowdID(label string) CrowdID {
 	var id CrowdID
 	copy(id[:], h[:CrowdIDSize])
 	return id
+}
+
+// PartitionOf maps a crowd ID to the partition that owns it in an M-wide
+// downstream tier: partition = HashCrowdID mod M. Every holder of the same
+// crowd label computes the same owner, so thresholding at the owning
+// partition still sees the whole crowd even when upstream replicas split
+// the traffic.
+func PartitionOf(id CrowdID, m int) int32 {
+	if m <= 1 {
+		return 0
+	}
+	return int32(binary.BigEndian.Uint64(id[:]) % uint64(m))
 }
 
 // Report is a plaintext client report before encoding: the crowd it should
@@ -55,6 +68,15 @@ type BlindedEnvelope struct {
 	CrowdC1 []byte // compressed P-256 point
 	CrowdC2 []byte // compressed P-256 point
 	Blob    []byte // Seal(shuffler2, Seal(analyzer, data))
+
+	// Partition is the owning hop-2 partition, PartitionOf(crowdID, M),
+	// stamped by the client because only the client still knows the crowd
+	// ID in the clear — downstream the ID travels El Gamal-encrypted and
+	// blinded, so no hop can recompute the owner. It is routing data, not
+	// implicit metadata: StripMetadata leaves it, and it deliberately
+	// leaks log2(M) bits of the crowd ID to hop 1 in exchange for
+	// crowd-consistent fan-in.
+	Partition int32
 
 	SourceIP    string
 	ArrivalTime time.Time

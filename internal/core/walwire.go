@@ -84,11 +84,12 @@ func (e *Envelope) DecodeWire(b []byte) error {
 }
 
 // AppendWire appends the blinded envelope's durable form (El Gamal crowd-ID
-// points, blob, arrival metadata, excluding SeqNo).
+// points, blob, owning partition, arrival metadata, excluding SeqNo).
 func (e *BlindedEnvelope) AppendWire(dst []byte) []byte {
 	dst = appendBytes(dst, e.CrowdC1)
 	dst = appendBytes(dst, e.CrowdC2)
 	dst = appendBytes(dst, e.Blob)
+	dst = binary.AppendVarint(dst, int64(e.Partition))
 	dst = appendBytes(dst, []byte(e.SourceIP))
 	return appendTime(dst, e.ArrivalTime)
 }
@@ -108,6 +109,11 @@ func (e *BlindedEnvelope) DecodeWire(b []byte) error {
 	if err != nil {
 		return fmt.Errorf("blinded blob: %w", err)
 	}
+	part, k := binary.Varint(b)
+	if k <= 0 {
+		return fmt.Errorf("blinded partition: corrupt varint")
+	}
+	b = b[k:]
 	ip, b, err := consumeBytes(b)
 	if err != nil {
 		return fmt.Errorf("blinded source ip: %w", err)
@@ -119,6 +125,7 @@ func (e *BlindedEnvelope) DecodeWire(b []byte) error {
 	e.CrowdC1 = append([]byte(nil), c1...)
 	e.CrowdC2 = append([]byte(nil), c2...)
 	e.Blob = append([]byte(nil), blob...)
+	e.Partition = int32(part)
 	e.SourceIP = string(ip)
 	e.ArrivalTime = at
 	return nil

@@ -184,6 +184,9 @@ func (s *Shuffler1) Process(batch []core.BlindedEnvelope) ([]core.BlindedEnvelop
 				CrowdC1: blinded.C1.Bytes(),
 				CrowdC2: blinded.C2.Bytes(),
 				Blob:    batch[i].Blob,
+				// Routing, not metadata: the client-stamped owning
+				// partition must survive blinding for hop-2 fan-in.
+				Partition: batch[i].Partition,
 			},
 			ok: true,
 		}

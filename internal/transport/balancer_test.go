@@ -1,0 +1,544 @@
+package transport
+
+import (
+	crand "crypto/rand"
+	"math/rand/v2"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prochlo/internal/analyzer"
+	"prochlo/internal/core"
+	"prochlo/internal/crypto/elgamal"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/encoder"
+	"prochlo/internal/shuffler"
+)
+
+// deadAddr reserves a loopback port and frees it: dialing it fails fast
+// with connection-refused, the portable dead replica.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// killableServer serves an RPC receiver while tracking accepted
+// connections, so tests can sever a replica's transport the way a process
+// kill does — either everything (kill) or just the established
+// connections (dropConns), leaving the listener up for redials.
+type killableServer struct {
+	l     net.Listener
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func serveKillable(t *testing.T, name string, rcvr any) *killableServer {
+	t.Helper()
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(name, rcvr); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &killableServer{l: l, conns: make(map[net.Conn]struct{})}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			go func() {
+				srv.ServeConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+		}
+	}()
+	t.Cleanup(func() { s.kill() })
+	return s
+}
+
+func (s *killableServer) addr() string { return s.l.Addr().String() }
+
+func (s *killableServer) dropConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *killableServer) kill() {
+	s.l.Close()
+	s.dropConns()
+}
+
+// TestBalancerDialFailover pins the safe-failover rule's clean case: a
+// replica whose dial never connects has ingested nothing, so the balancer
+// must move the slice to the next replica and the fleet must count every
+// report exactly once.
+func TestBalancerDialFailover(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{})
+	b, err := NewBalancer([]string{deadAddr(t), rig.shuf}, BalancerConfig{
+		ProbeInterval: -1, DialTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	envs := make([]core.Envelope, 5)
+	for i := range envs {
+		envs[i] = rig.envelope(t, "c:failover", "failover-value")
+	}
+	accepted, err := b.SubmitAll(envs, 0, 0)
+	if err != nil {
+		t.Fatalf("SubmitAll with a dead first replica: %v", err)
+	}
+	if accepted != len(envs) {
+		t.Fatalf("accepted = %d, want %d", accepted, len(envs))
+	}
+	bs := b.Stats()
+	if bs.Failovers != 1 || bs.Submitted != int64(len(envs)) {
+		t.Errorf("stats = %+v, want 1 failover and %d submitted", bs, len(envs))
+	}
+
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	ac, err := DialAnalyzer(rig.anlz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	counts, _, err := ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["failover-value"] != len(envs) {
+		t.Errorf("count = %d, want %d (failover must not lose or duplicate)", counts["failover-value"], len(envs))
+	}
+}
+
+// TestBalancerBreakerEjectsAndReadmits pins the half-open circuit breaker:
+// probes against a dead replica trip the breaker and eject it, submissions
+// concentrate on the survivor, and once the address answers Healthz again
+// the probe loop readmits it.
+func TestBalancerBreakerEjectsAndReadmits(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{})
+	downAddr := deadAddr(t)
+	b, err := NewBalancer([]string{downAddr, rig.shuf}, BalancerConfig{
+		ProbeInterval: 10 * time.Millisecond, BreakerThreshold: 2,
+		DialTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	waitFor := func(what string, cond func(BalancerStats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond(b.Stats()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s: %+v", what, b.Stats())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor("breaker ejection", func(s BalancerStats) bool { return s.Healthy == 1 && s.Ejections >= 1 })
+
+	// Graceful degradation: the survivor absorbs the whole stream without
+	// the rotation ever selecting the ejected replica.
+	envs := make([]core.Envelope, 4)
+	for i := range envs {
+		envs[i] = rig.envelope(t, "c:breaker", "breaker-value")
+	}
+	accepted, err := b.SubmitAll(envs, 0, 0)
+	if err != nil || accepted != len(envs) {
+		t.Fatalf("SubmitAll with one replica ejected = (%d, %v), want (%d, nil)", accepted, err, len(envs))
+	}
+
+	// Revive the address (the same service behind a second listener — any
+	// healthy Shuffler.Healthz responder readmits) and watch the probe loop
+	// close the breaker.
+	revL, err := Serve(downAddr, "Shuffler", rig.svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revL.Close()
+	waitFor("breaker readmission", func(s BalancerStats) bool { return s.Healthy == 2 && s.Readmits >= 1 })
+}
+
+// TestBalancerAmbiguousErrorSurfaces pins the other half of the safety
+// rule: when a replica dies under an established connection, the in-flight
+// slice may already sit in its write-ahead log, so after the client's own
+// same-address retries exhaust, the balancer must surface the error rather
+// than fail the slice over to a sibling (which could double-count when the
+// dead replica's WAL recovers).
+func TestBalancerAmbiguousErrorSurfaces(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{})
+	srvA := serveKillable(t, "Shuffler", rig.svc)
+	b, err := NewBalancer([]string{srvA.addr(), rig.shuf}, BalancerConfig{
+		ProbeInterval: -1, DialTimeout: 500 * time.Millisecond,
+		Redials: 1, RedialBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	env := rig.envelope(t, "c:ambiguous", "ambiguous-value")
+	// Two submissions dial both replicas.
+	for i := 0; i < 2; i++ {
+		if _, err := b.SubmitAll([]core.Envelope{env}, 0, 0); err != nil {
+			t.Fatalf("priming submission %d: %v", i, err)
+		}
+	}
+	// Replica A dies with its connections; the next rotation pick lands on
+	// it, the severed call is ambiguous, and the redial budget exhausts
+	// against the dead port.
+	srvA.kill()
+	accepted, err := b.SubmitAll([]core.Envelope{env}, 0, 0)
+	if err == nil {
+		t.Fatal("SubmitAll against a died-mid-connection replica succeeded, want a surfaced error")
+	}
+	if accepted != 0 {
+		t.Fatalf("accepted = %d, want 0 (the ambiguous slice must not be acked)", accepted)
+	}
+	if fo := b.Stats().Failovers; fo != 0 {
+		t.Errorf("failovers = %d, want 0 (an ambiguous failure must never fail over)", fo)
+	}
+}
+
+// dropOnceShuffler ingests a SubmitBatch and then severs every connection
+// before the ack can be written — a deterministic connection-drop
+// mid-SubmitAll, after the service accepted the batch.
+type dropOnceShuffler struct {
+	*ShufflerService
+	drop func()
+
+	mu      sync.Mutex
+	dropped bool
+}
+
+func (d *dropOnceShuffler) SubmitBatch(args SubmitBatchArgs, reply *SubmitReply) error {
+	err := d.ShufflerService.SubmitBatch(args, reply)
+	d.mu.Lock()
+	first := !d.dropped && err == nil
+	if first {
+		d.dropped = true
+	}
+	d.mu.Unlock()
+	if first {
+		d.drop()
+	}
+	return err
+}
+
+// TestSubmitAllResumesAfterConnDrop pins the client's transient-retry
+// contract: a connection dropped mid-SubmitAll — after the service ingested
+// the batch but before the ack arrived — must be retried on a fresh
+// connection with the same (stream, seq) stamp and absorbed by the
+// service's dedup, so the caller resumes from the accepted prefix without
+// double-submitting a single report.
+func TestSubmitAllResumesAfterConnDrop(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{})
+	wrapped := &dropOnceShuffler{ShufflerService: rig.svc}
+	srv := serveKillable(t, "Shuffler", wrapped)
+	wrapped.drop = srv.dropConns
+
+	cl, err := Dial(srv.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetRedial(5, time.Millisecond)
+
+	envs := make([]core.Envelope, 6)
+	for i := range envs {
+		envs[i] = rig.envelope(t, "c:drop", "drop-value")
+	}
+	accepted, err := cl.SubmitAll(envs, 0, 0)
+	if err != nil {
+		t.Fatalf("SubmitAll across a dropped connection: %v", err)
+	}
+	if accepted != len(envs) {
+		t.Fatalf("accepted = %d, want %d", accepted, len(envs))
+	}
+
+	var stats ServiceStats
+	if err := rig.svc.Stats(struct{}{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accepted != int64(len(envs)) {
+		t.Errorf("service accepted = %d, want %d (the stamped retry must dedup, not re-ingest)", stats.Accepted, len(envs))
+	}
+	var drained ServiceStats
+	if err := rig.svc.Drain(DrainArgs{}, &drained); err != nil {
+		t.Fatal(err)
+	}
+	ac, err := DialAnalyzer(rig.anlz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	counts, _, err := ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["drop-value"] != len(envs) {
+		t.Errorf("count = %d, want %d (no loss, no double count)", counts["drop-value"], len(envs))
+	}
+}
+
+// TestForwardDedupConcurrentRace pins the fan-in dedup under the race the
+// fleet makes routine: two upstream replicas (here, goroutines) pushing the
+// same (stream, epoch) concurrently. Exactly one push may ingest; every
+// racer must still be acked with the accepted count.
+func TestForwardDedupConcurrentRace(t *testing.T) {
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anlzSvc := NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+	anlzL, err := Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anlzL.Close()
+
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2Priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := &shuffler.Shuffler2{
+		Blinding: blindKP, Priv: s2Priv,
+		Rand: rand.New(rand.NewPCG(27, 31)), MinBatch: 1,
+	}
+	svc, err := NewShuffler2FleetService(s2, []string{anlzL.Addr().String()}, EpochConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	benc := &encoder.BlindedClient{
+		Shuffler2Blinding: blindKP.H,
+		Shuffler2Key:      s2Priv.Public(),
+		AnalyzerKey:       anlzPriv.Public(),
+		Rand:              crand.Reader,
+	}
+	envs := make([]core.BlindedEnvelope, 5)
+	for i := range envs {
+		envs[i], err = benc.Encode("c:race", []byte("race-value"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const racers = 8
+	args := ForwardArgs{Stream: 11, Epoch: 1, Batch: core.Batch{Blinded: envs}}
+	var wg sync.WaitGroup
+	errs := make([]error, racers)
+	replies := make([]SubmitReply, racers)
+	for g := 0; g < racers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = svc.Forward(args, &replies[g])
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < racers; g++ {
+		if errs[g] != nil {
+			t.Fatalf("racer %d: %v", g, errs[g])
+		}
+		if replies[g].Accepted != len(envs) {
+			t.Errorf("racer %d accepted = %d, want %d (idempotent ack)", g, replies[g].Accepted, len(envs))
+		}
+	}
+	var pending int
+	if err := svc.BatchSize(struct{}{}, &pending); err != nil {
+		t.Fatal(err)
+	}
+	if pending != len(envs) {
+		t.Fatalf("pending after %d racing forwards = %d, want %d", racers, pending, len(envs))
+	}
+	var drained ServiceStats
+	if err := svc.Drain(DrainArgs{}, &drained); err != nil {
+		t.Fatal(err)
+	}
+	var anlzStats AnalyzerStats
+	if err := anlzSvc.Stats(struct{}{}, &anlzStats); err != nil {
+		t.Fatal(err)
+	}
+	if anlzStats.Records != len(envs) {
+		t.Errorf("analyzer records = %d, want %d (exactly-once under the race)", anlzStats.Records, len(envs))
+	}
+}
+
+// TestDrainForceReleasesBelowFloor pins the final-drain contract: a plain
+// drain must preserve a below-floor epoch (the anonymity floor holds), and
+// a forced drain must release it as Dropped — counted, reconciled, and
+// never delivered — so a fleet shutting down for good leaves no report in
+// limbo. A second forced drain is an empty barrier.
+func TestDrainForceReleasesBelowFloor(t *testing.T) {
+	rig := newStreamingRigMin(t, EpochConfig{}, 5)
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	env := rig.envelope(t, "c:floor", "floor-value")
+	if err := cl.SubmitBatch([]core.Envelope{env, env, env}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cl.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pending != 3 || stats.Dropped != 0 {
+		t.Fatalf("plain drain stats = %+v, want the below-floor epoch preserved", stats)
+	}
+
+	stats, err = cl.DrainMode(true)
+	if err != nil {
+		t.Fatalf("forced drain: %v", err)
+	}
+	if stats.Pending != 0 || stats.Dropped != 3 || stats.EpochsFlushed != 0 {
+		t.Fatalf("forced drain stats = %+v, want 0 pending, 3 dropped, nothing flushed", stats)
+	}
+	if stats.Unaccounted != 0 {
+		t.Fatalf("forced drain unaccounted = %d, want the dropped reports reconciled", stats.Unaccounted)
+	}
+
+	stats, err = cl.DrainMode(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pending != 0 || stats.Dropped != 3 {
+		t.Fatalf("second forced drain stats = %+v, want an idempotent barrier", stats)
+	}
+
+	ac, err := DialAnalyzer(rig.anlz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	counts, _, err := ac.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["floor-value"] != 0 {
+		t.Errorf("count = %d, want 0 (a force-dropped epoch must never be delivered)", counts["floor-value"])
+	}
+}
+
+// TestHealthzLiveness pins the cheap liveness RPC: it answers without
+// touching the ingestion path and carries the installed fleet topology.
+func TestHealthzLiveness(t *testing.T) {
+	rig := newStreamingRig(t, EpochConfig{})
+	rig.svc.SetFleetInfo(4, []string{"10.0.0.1:9000", "10.0.0.2:9000"})
+
+	var reply HealthzReply
+	if err := rig.svc.Healthz(struct{}{}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Healthy {
+		t.Error("Healthz on a live service reports unhealthy")
+	}
+	if reply.Partitions != 4 || len(reply.Peers) != 2 {
+		t.Errorf("fleet info = partitions %d, peers %v, want 4 and 2 peers", reply.Partitions, reply.Peers)
+	}
+	rig.svc.Abort()
+	if err := rig.svc.Healthz(struct{}{}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Healthy {
+		t.Error("Healthz on an aborted service still reports healthy")
+	}
+}
+
+// countCaller records pass-through calls for fault-plan tests.
+type countCaller struct{ calls int }
+
+func (c *countCaller) Call(m string, a, r any) error { c.calls++; return nil }
+func (c *countCaller) Close() error                  { return nil }
+
+// TestFaultPlanKillAndPartition pins the fleet fault modes: a drawn kill
+// invokes the harness hook exactly once and fails the call without
+// delivering it; a drawn partition opens a window that fails every call
+// fast without consuming positional draws; and a kill draw with no hook
+// installed injects nothing.
+func TestFaultPlanKillAndPartition(t *testing.T) {
+	killed := 0
+	kp := &FaultPlan{Seed: 1, PKill: 1, MaxFaults: 1, Kill: func() { killed++ }}
+	under := &countCaller{}
+	fc := kp.wrap(under)
+	if err := fc.Call("X.Y", nil, nil); err == nil || !strings.Contains(err.Error(), "replica killed") {
+		t.Fatalf("first call = %v, want the injected kill error", err)
+	}
+	if killed != 1 || under.calls != 0 {
+		t.Fatalf("killed=%d delivered=%d, want the hook invoked once and nothing delivered", killed, under.calls)
+	}
+	if err := fc.Call("X.Y", nil, nil); err != nil {
+		t.Fatalf("post-budget call = %v, want pass-through", err)
+	}
+	if killed != 1 || under.calls != 1 || kp.Injected() != 1 {
+		t.Fatalf("killed=%d delivered=%d injected=%d, want budget respected", killed, under.calls, kp.Injected())
+	}
+
+	// A kill draw with no hook installed is a no-op, not a stuck schedule.
+	np := &FaultPlan{Seed: 1, PKill: 1, MaxFaults: 1}
+	nunder := &countCaller{}
+	nfc := np.wrap(nunder)
+	if err := nfc.Call("X.Y", nil, nil); err != nil || np.Injected() != 0 {
+		t.Fatalf("hookless kill draw = (%v, %d injected), want pass-through and nothing injected", err, np.Injected())
+	}
+
+	pp := &FaultPlan{Seed: 3, PPartition: 1, PartitionFor: 60 * time.Millisecond, MaxFaults: 1}
+	punder := &countCaller{}
+	pfc := pp.wrap(punder)
+	if err := pfc.Call("X.Y", nil, nil); err == nil || !strings.Contains(err.Error(), "partitioned") {
+		t.Fatalf("first call = %v, want the injected partition error", err)
+	}
+	if err := pfc.Call("X.Y", nil, nil); err == nil {
+		t.Fatal("call inside the partition window succeeded")
+	}
+	if pp.Injected() != 1 || punder.calls != 0 {
+		t.Fatalf("injected=%d delivered=%d, want the window to blanket calls without new draws", pp.Injected(), punder.calls)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if err := pfc.Call("X.Y", nil, nil); err != nil {
+		t.Fatalf("call after the window closed = %v, want pass-through", err)
+	}
+	if punder.calls != 1 {
+		t.Fatalf("delivered = %d, want the post-window call through", punder.calls)
+	}
+}

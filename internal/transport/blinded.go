@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"prochlo/internal/core"
 	"prochlo/internal/shuffler"
@@ -33,6 +34,10 @@ type BlindedShufflerService struct {
 	// Key material served to clients; nil at hop 1, which holds no keys.
 	blindingPub []byte
 	hybridPub   []byte
+
+	fleetMu    sync.Mutex
+	partitions int
+	peers      []string
 }
 
 // newBlindedService wires either hop: the shared engine over a blinded
@@ -54,8 +59,18 @@ func newBlindedService(st shuffler.Stage, snk sink, ab *aborter, cfg EpochConfig
 // NewShuffler1Service wraps the first split-shuffler hop, forwarding each
 // blinded-and-shuffled epoch to the shuffler2-role daemon at nextAddr.
 func NewShuffler1Service(s1 *shuffler.Shuffler1, nextAddr string, cfg EpochConfig) (*BlindedShufflerService, error) {
+	return NewShuffler1FleetService(s1, []string{nextAddr}, cfg)
+}
+
+// NewShuffler1FleetService is NewShuffler1Service for a partitioned hop-2
+// tier: each blinded-and-shuffled epoch is split by the client-stamped
+// owning partition (PartitionOf over the crowd ID, which blinding preserves)
+// and pushed to the owning shuffler2 replica, so the partition that
+// thresholds a crowd sees all of it no matter which hop-1 replica the
+// reports entered through.
+func NewShuffler1FleetService(s1 *shuffler.Shuffler1, nextAddrs []string, cfg EpochConfig) (*BlindedShufflerService, error) {
 	ab := newAborter()
-	snk, err := newStageSink(nextAddr, cfg, ab)
+	snk, err := newStageTier(nextAddrs, cfg, ab)
 	if err != nil {
 		return nil, err
 	}
@@ -67,11 +82,20 @@ func NewShuffler1Service(s1 *shuffler.Shuffler1, nextAddr string, cfg EpochConfi
 // analyzerAddr. The service serves s2's blinding and hybrid public keys to
 // clients over Shuffler.Keys.
 func NewShuffler2Service(s2 *shuffler.Shuffler2, analyzerAddr string, cfg EpochConfig) (*BlindedShufflerService, error) {
+	return NewShuffler2FleetService(s2, []string{analyzerAddr}, cfg)
+}
+
+// NewShuffler2FleetService is NewShuffler2Service for a partitioned analyzer
+// tier: surviving inner ciphertexts are spread across analyzerAddrs by
+// content hash (the analyzer merge is commutative, so any deterministic
+// spread is correct), with per-partition (stream, epoch) dedup keeping the
+// fan-in exactly-once.
+func NewShuffler2FleetService(s2 *shuffler.Shuffler2, analyzerAddrs []string, cfg EpochConfig) (*BlindedShufflerService, error) {
 	if s2.Blinding == nil || s2.Priv == nil {
 		return nil, errors.New("transport: shuffler 2 needs blinding and hybrid keys")
 	}
 	ab := newAborter()
-	snk, err := newAnalyzerSink(analyzerAddr, cfg, ab)
+	snk, err := newAnalyzerTier(analyzerAddrs, cfg, ab)
 	if err != nil {
 		return nil, err
 	}
@@ -102,13 +126,20 @@ func (s *BlindedShufflerService) Keys(_ struct{}, reply *BlindedKeysReply) error
 
 // SubmitBlindedBatch queues many blinded envelopes in one round trip. The
 // batch is accepted or rejected atomically: on ErrEpochFull nothing is
-// ingested.
+// ingested. A stamped batch (nonzero Stream/Seq) is deduplicated like a
+// forward push, so a client's retry after an ambiguous connection error
+// cannot double-ingest; with a WAL the mark persists with the items.
 func (s *BlindedShufflerService) SubmitBlindedBatch(args SubmitBlindedBatchArgs, reply *SubmitReply) error {
-	if err := s.eng.add(args.Envelopes); err != nil {
-		return err
+	if args.Stream == 0 && args.Seq == 0 {
+		if err := s.eng.add(args.Envelopes); err != nil {
+			return err
+		}
+		reply.Accepted = len(args.Envelopes)
+		return nil
 	}
-	reply.Accepted = len(args.Envelopes)
-	return nil
+	return s.fwd.ingest(args.Stream, args.Seq, len(args.Envelopes), reply, func() error {
+		return s.eng.addForward(args.Stream, args.Seq, args.Envelopes)
+	})
 }
 
 // Forward ingests an epoch pushed by the upstream hop, deduplicating
@@ -126,7 +157,7 @@ func (s *BlindedShufflerService) Forward(args ForwardArgs, reply *SubmitReply) e
 // empty or below-floor epoch fails with shuffler.ErrBatchTooSmall and is
 // left pending; use Drain for a tolerant barrier.
 func (s *BlindedShufflerService) Flush(_ struct{}, reply *FlushReply) error {
-	stats, err := s.eng.forceFlush(false)
+	stats, err := s.eng.forceFlush(false, false)
 	if err != nil {
 		return err
 	}
@@ -138,12 +169,31 @@ func (s *BlindedShufflerService) Flush(_ struct{}, reply *FlushReply) error {
 // below-floor epoch is left pending, where it can still grow — waits for
 // every queued epoch to reach the next hop, and returns the service stats.
 // Chains drain in hop order: hop 1 first (its final epoch must reach hop
-// 2's ingestion before hop 2's drain cuts), then hop 2.
-func (s *BlindedShufflerService) Drain(_ struct{}, reply *ServiceStats) error {
-	if _, err := s.eng.forceFlush(true); err != nil {
+// 2's ingestion before hop 2's drain cuts), then hop 2. With DrainArgs.Force
+// a below-floor epoch is released as Dropped instead of left pending.
+func (s *BlindedShufflerService) Drain(args DrainArgs, reply *ServiceStats) error {
+	if _, err := s.eng.forceFlush(true, args.Force); err != nil {
 		return err
 	}
 	return s.Stats(struct{}{}, reply)
+}
+
+// SetFleetInfo installs the fleet-topology metadata served over Healthz.
+func (s *BlindedShufflerService) SetFleetInfo(partitions int, peers []string) {
+	s.fleetMu.Lock()
+	s.partitions = partitions
+	s.peers = append([]string(nil), peers...)
+	s.fleetMu.Unlock()
+}
+
+// Healthz serves the cheap liveness probe; see HealthzReply.
+func (s *BlindedShufflerService) Healthz(_ struct{}, reply *HealthzReply) error {
+	s.eng.healthz(reply)
+	s.fleetMu.Lock()
+	reply.Partitions = s.partitions
+	reply.Peers = s.peers
+	s.fleetMu.Unlock()
+	return nil
 }
 
 // Stats reports the service's occupancy, epoch counters, and cumulative

@@ -244,7 +244,7 @@ func TestForwardDedup(t *testing.T) {
 	}
 
 	var drained ServiceStats
-	if err := svc.Drain(struct{}{}, &drained); err != nil {
+	if err := svc.Drain(DrainArgs{}, &drained); err != nil {
 		t.Fatal(err)
 	}
 	var anlzStats AnalyzerStats

@@ -45,6 +45,22 @@ func (cfg EpochConfig) dialCaller(addr string) (caller, error) {
 	return cfg.Fault.wrap(cl), nil
 }
 
+// newStreamID draws a random 63-bit stream id. Stream ids name a pusher's
+// (stream, epoch)/(stream, seq) dedup space; randomness keeps independent
+// pushers (engines, clients, restarted successors without a WAL) from
+// colliding.
+func newStreamID() (int64, error) {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	id := int64(binary.LittleEndian.Uint64(b[:]) >> 1)
+	if id == 0 {
+		id = 1 // zero means "no dedup" on the wire
+	}
+	return id, nil
+}
+
 // sink delivers one processed epoch to the next hop of the chain. Pushes are
 // at-least-once — implementations retry transient failures and redial broken
 // connections — so receivers dedup by the (stream, epoch) pair stamped on
@@ -174,6 +190,115 @@ func (s *stageSink) push(stream, epoch int64, out core.Batch) error {
 
 func (s *stageSink) close() error { return s.cl.Close() }
 
+// fanoutSink splits each processed epoch across a partitioned downstream
+// tier. Blinded envelopes route by the client-stamped owning partition
+// (core.PartitionOf over the crowd ID — consistent, so the partition that
+// thresholds a crowd sees all of it no matter which upstream replica the
+// reports entered through); payloads and plain envelopes route by content
+// hash, which is deterministic and sufficient because their downstream
+// merge is commutative. Every partition receives at most one push per
+// (stream, epoch), so per-partition dedup keeps the fan-in exactly-once:
+// when a multi-partition push fails halfway and is retried (same epoch id,
+// possibly by a WAL-recovered successor), the partitions that already
+// ingested absorb the replay and only the missing ones ingest.
+type fanoutSink struct {
+	parts []sink
+}
+
+func (f *fanoutSink) push(stream, epoch int64, out core.Batch) error {
+	split := partitionBatch(out, len(f.parts))
+	for i, sub := range split {
+		if sub.Len() == 0 {
+			continue
+		}
+		if err := f.parts[i].push(stream, epoch, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *fanoutSink) close() error {
+	var first error
+	for _, p := range f.parts {
+		if err := p.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// contentPartition spreads a blob over m partitions by FNV-1a hash.
+func contentPartition(b []byte, m int) int {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return int(h % uint32(m))
+}
+
+// partitionBatch splits one epoch's output batch into per-partition
+// sub-batches, preserving the within-partition order.
+func partitionBatch(out core.Batch, m int) []core.Batch {
+	split := make([]core.Batch, m)
+	switch out.Kind() {
+	case core.KindBlinded:
+		for _, env := range out.Blinded {
+			i := int(uint32(env.Partition)) % m
+			split[i].Blinded = append(split[i].Blinded, env)
+		}
+	case core.KindEnvelopes:
+		for _, env := range out.Envelopes {
+			i := contentPartition(env.Blob, m)
+			split[i].Envelopes = append(split[i].Envelopes, env)
+		}
+	case core.KindPayloads:
+		for _, p := range out.Payloads {
+			i := contentPartition(p, m)
+			split[i].Payloads = append(split[i].Payloads, p)
+		}
+	}
+	return split
+}
+
+// newAnalyzerTier builds the sink for a partitioned analyzer tier: a plain
+// analyzerSink for one address, a fanout over one analyzerSink per
+// partition otherwise.
+func newAnalyzerTier(addrs []string, cfg EpochConfig, ab *aborter) (sink, error) {
+	return newTier(addrs, func(addr string) (sink, error) {
+		return newAnalyzerSink(addr, cfg, ab)
+	})
+}
+
+// newStageTier builds the sink for a partitioned next-hop shuffler tier.
+func newStageTier(addrs []string, cfg EpochConfig, ab *aborter) (sink, error) {
+	return newTier(addrs, func(addr string) (sink, error) {
+		return newStageSink(addr, cfg, ab)
+	})
+}
+
+func newTier(addrs []string, dial func(string) (sink, error)) (sink, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("transport: downstream tier needs at least one address")
+	}
+	if len(addrs) == 1 {
+		return dial(addrs[0])
+	}
+	parts := make([]sink, len(addrs))
+	for i, addr := range addrs {
+		s, err := dial(addr)
+		if err != nil {
+			for _, p := range parts[:i] {
+				p.close()
+			}
+			return nil, err
+		}
+		parts[i] = s
+	}
+	return &fanoutSink{parts: parts}, nil
+}
+
 // ingestShard is one independently locked ingestion sub-batch.
 type ingestShard[T any] struct {
 	mu    sync.Mutex
@@ -200,6 +325,11 @@ type flushResult struct {
 type forceReq struct {
 	reply      chan flushResult
 	allowEmpty bool
+	// forceDrop releases a below-floor epoch as Dropped (counted and
+	// WAL-resolved) instead of leaving it pending — the final-drain path
+	// for a deployment shutting down for good, where "pending forever" is
+	// a leak, not patience.
+	forceDrop bool
 }
 
 // wireOps bundles the per-item operations an engine needs for its wire type:
@@ -272,6 +402,7 @@ type engine[T any] struct {
 	rejected  atomic.Int64
 	dropped   atomic.Int64
 	closed    atomic.Bool
+	start     time.Time
 	// closeMu serializes close — and epoch cuts — against in-flight ingests:
 	// add holds the read side for the whole stamp-log-append, so once a cut
 	// holds the write side every stamped item is in a shard (and the WAL).
@@ -348,17 +479,15 @@ func newEngine[T any](
 	if ab == nil {
 		ab = newAborter()
 	}
-	var streamID [8]byte
-	if _, err := crand.Read(streamID[:]); err != nil {
+	stream, err := newStreamID()
+	if err != nil {
 		snk.close()
 		return nil, fmt.Errorf("transport: stream id: %w", err)
 	}
-	stream := int64(binary.LittleEndian.Uint64(streamID[:]))
 
 	var (
 		w   *wal
 		rec *walRecovery[T]
-		err error
 	)
 	if cfg.WALDir != "" {
 		if rec, err = recoverWAL[T](cfg.WALDir, ops.dec); err != nil {
@@ -394,6 +523,7 @@ func newEngine[T any](
 		wal:     w,
 		ab:      ab,
 		stream:  stream,
+		start:   time.Now(),
 		shards:  make([]ingestShard[T], cfg.Shards),
 		kick:    make(chan struct{}, 1),
 		force:   make(chan forceReq),
@@ -609,18 +739,8 @@ func (e *engine[T]) scheduler() {
 			// and the loss is counted in Dropped).
 			if batch := e.cut(); len(batch) >= e.floor {
 				e.sendEpoch(&epoch[T]{batch: batch})
-			} else if len(batch) > 0 {
-				e.dropped.Add(int64(len(batch)))
-				if e.wal != nil {
-					// Record the drop so a restart over this directory
-					// does not resurrect reports the daemon already
-					// counted as lost.
-					id := e.epochID.Add(1)
-					min := int64(e.ops.seqOf(&batch[0]))
-					max := int64(e.ops.seqOf(&batch[len(batch)-1]))
-					e.wal.logCut(id, min, max)
-					e.wal.resolve(id, false)
-				}
+			} else {
+				e.dropCut(batch)
 			}
 			return
 		case <-e.kick:
@@ -639,6 +759,14 @@ func (e *engine[T]) scheduler() {
 			switch batch := e.cutFloor(); {
 			case batch != nil:
 				e.sendEpoch(&epoch[T]{batch: batch, reply: req.reply, allowEmpty: req.allowEmpty})
+			case req.forceDrop:
+				// Final drain: the anonymity floor forbids forwarding a
+				// below-floor epoch, and the caller has declared no more
+				// traffic is coming to grow it — release it as Dropped
+				// (counted, WAL-resolved) instead of leaking it as
+				// pending forever, then barrier.
+				e.dropCut(e.cut())
+				e.sendEpoch(&epoch[T]{reply: req.reply, allowEmpty: true})
 			case req.allowEmpty:
 				// Drain of a below-floor epoch: leave it pending (it may
 				// yet grow past the floor) and send a pure barrier.
@@ -650,6 +778,23 @@ func (e *engine[T]) scheduler() {
 					shuffler.ErrBatchTooSmall, e.occupancy.Load(), e.floor)}
 			}
 		}
+	}
+}
+
+// dropCut counts a cut batch as dropped and records the loss in the WAL so
+// a restart over this directory does not resurrect reports the daemon
+// already counted as lost. The batch must be cut()-sorted.
+func (e *engine[T]) dropCut(batch []T) {
+	if len(batch) == 0 {
+		return
+	}
+	e.dropped.Add(int64(len(batch)))
+	if e.wal != nil {
+		id := e.epochID.Add(1)
+		min := int64(e.ops.seqOf(&batch[0]))
+		max := int64(e.ops.seqOf(&batch[len(batch)-1]))
+		e.wal.logCut(id, min, max)
+		e.wal.resolve(id, false)
 	}
 }
 
@@ -718,12 +863,13 @@ func (e *engine[T]) flushOne(ep *epoch[T]) {
 }
 
 // forceFlush cuts the current epoch immediately and waits for it (and every
-// earlier queued epoch) to be flushed.
-func (e *engine[T]) forceFlush(allowEmpty bool) (shuffler.Stats, error) {
+// earlier queued epoch) to be flushed. forceDrop additionally releases a
+// below-floor cut as Dropped instead of leaving it pending (final drain).
+func (e *engine[T]) forceFlush(allowEmpty, forceDrop bool) (shuffler.Stats, error) {
 	if e.closed.Load() {
 		return shuffler.Stats{}, ErrClosed
 	}
-	req := forceReq{reply: make(chan flushResult, 1), allowEmpty: allowEmpty}
+	req := forceReq{reply: make(chan flushResult, 1), allowEmpty: allowEmpty, forceDrop: forceDrop}
 	select {
 	case e.force <- req:
 	case <-e.stop:
@@ -764,6 +910,16 @@ func (e *engine[T]) stats(reply *ServiceStats) {
 		reply.Unaccounted = reply.Accepted -
 			int64(reply.Cumulative.Received) - reply.Dropped - int64(reply.Pending)
 	}
+}
+
+// healthz fills the cheap liveness snapshot. Unlike stats it takes no
+// engine locks — only atomics — so a probe cannot block behind an epoch cut
+// (closeMu), a slow drain, or a wedged flusher.
+func (e *engine[T]) healthz(reply *HealthzReply) {
+	reply.Healthy = !e.closed.Load() && !e.ab.aborted()
+	reply.UptimeMillis = time.Since(e.start).Milliseconds()
+	reply.Pending = int(e.occupancy.Load())
+	reply.Accepted = e.accepted.Load()
 }
 
 // close gracefully shuts the engine down: it stops accepting submissions,

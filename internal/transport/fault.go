@@ -118,6 +118,16 @@ func (a *aborter) sleep(d time.Duration) bool {
 //   - PDup: the push is delivered twice (a retransmit raced the ack);
 //   - PDelay: the push is delayed by Delay before delivery.
 //
+// Fleet soaks add two whole-replica failures:
+//
+//   - PKill: the Kill hook is invoked (the harness crash-kills a replica
+//     process) and the call fails — the balancer must fail over while the
+//     victim's WAL recovery replays what it had accepted;
+//   - PPartition: a partition window opens for PartitionFor — every call
+//     through this plan fails fast until the window closes, without
+//     consuming schedule draws, modeling a network partition rather than
+//     independent per-call losses.
+//
 // MaxFaults bounds the total injections so a soak always makes progress.
 type FaultPlan struct {
 	Seed      int64
@@ -128,9 +138,16 @@ type FaultPlan struct {
 	Delay     time.Duration
 	MaxFaults int // total injection budget; 0 means unlimited
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	injected int
+	// Whole-replica failure injection for fleet soaks.
+	PKill        float64       // probability a call kills the replica via Kill
+	Kill         func()        // harness hook invoked on a drawn kill; nil ignores the draw
+	PPartition   float64       // probability a call opens a partition window
+	PartitionFor time.Duration // partition window length
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	injected  int
+	partUntil time.Time
 }
 
 type faultMode int
@@ -141,6 +158,8 @@ const (
 	faultDropAck
 	faultDup
 	faultDelay
+	faultKill
+	faultPartition
 )
 
 // draw picks the next fault from the seeded stream, honoring the budget.
@@ -155,20 +174,57 @@ func (p *FaultPlan) draw() faultMode {
 		return faultNone
 	}
 	var mode faultMode
+	c := p.PError
 	switch {
-	case u < p.PError:
+	case u < c:
 		mode = faultError
-	case u < p.PError+p.PDropAck:
+	case u < c+p.PDropAck:
 		mode = faultDropAck
-	case u < p.PError+p.PDropAck+p.PDup:
+	case u < c+p.PDropAck+p.PDup:
 		mode = faultDup
-	case u < p.PError+p.PDropAck+p.PDup+p.PDelay:
+	case u < c+p.PDropAck+p.PDup+p.PDelay:
 		mode = faultDelay
+	case u < c+p.PDropAck+p.PDup+p.PDelay+p.PKill:
+		if p.Kill == nil {
+			return faultNone
+		}
+		mode = faultKill
+	case u < c+p.PDropAck+p.PDup+p.PDelay+p.PKill+p.PPartition:
+		if p.PartitionFor <= 0 {
+			return faultNone
+		}
+		mode = faultPartition
 	default:
 		return faultNone
 	}
 	p.injected++
 	return mode
+}
+
+// partitioned reports whether a partition window is open. Checked before a
+// draw, so a window blankets calls without consuming positional draws.
+func (p *FaultPlan) partitioned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.partUntil.IsZero() && time.Now().Before(p.partUntil)
+}
+
+// openPartition starts (or extends) the partition window.
+func (p *FaultPlan) openPartition() {
+	p.mu.Lock()
+	p.partUntil = time.Now().Add(p.PartitionFor)
+	p.mu.Unlock()
+}
+
+// invokeKill runs the Kill hook outside the plan lock (the hook typically
+// aborts an engine, which must not re-enter the plan under its mutex).
+func (p *FaultPlan) invokeKill() {
+	p.mu.Lock()
+	kill := p.Kill
+	p.mu.Unlock()
+	if kill != nil {
+		kill()
+	}
 }
 
 // Injected reports how many faults the plan has injected so far — tests use
@@ -189,6 +245,8 @@ func (p *FaultPlan) wrap(c caller) caller {
 
 var errInjectedDrop = errors.New("transport: injected fault: push dropped")
 var errInjectedAckLoss = errors.New("transport: injected fault: ack dropped")
+var errInjectedKill = errors.New("transport: injected fault: replica killed")
+var errInjectedPartition = errors.New("transport: injected fault: network partitioned")
 
 // faultCaller applies one drawn fault per Call.
 type faultCaller struct {
@@ -197,7 +255,16 @@ type faultCaller struct {
 }
 
 func (f *faultCaller) Call(serviceMethod string, args any, reply any) error {
+	if f.plan.partitioned() {
+		return errInjectedPartition
+	}
 	switch f.plan.draw() {
+	case faultKill:
+		f.plan.invokeKill()
+		return errInjectedKill
+	case faultPartition:
+		f.plan.openPartition()
+		return errInjectedPartition
 	case faultError:
 		return errInjectedDrop
 	case faultDropAck:

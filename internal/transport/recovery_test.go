@@ -103,7 +103,7 @@ func (r *crashRig) submit(n int, value string) {
 func (r *crashRig) drain() ServiceStats {
 	r.t.Helper()
 	var stats ServiceStats
-	if err := r.svc.Drain(struct{}{}, &stats); err != nil {
+	if err := r.svc.Drain(DrainArgs{}, &stats); err != nil {
 		r.t.Fatal(err)
 	}
 	return stats
@@ -330,7 +330,7 @@ func TestForwardDedupAcrossRestart(t *testing.T) {
 	}
 
 	var drained ServiceStats
-	if err := svc.Drain(struct{}{}, &drained); err != nil {
+	if err := svc.Drain(DrainArgs{}, &drained); err != nil {
 		t.Fatal(err)
 	}
 	checkReconciled(t, drained)
@@ -360,11 +360,11 @@ func TestReconciliationWithDrops(t *testing.T) {
 		t.Fatal(err)
 	}
 	var drained ServiceStats
-	if err := rig.svc.Drain(struct{}{}, &drained); err == nil {
+	if err := rig.svc.Drain(DrainArgs{}, &drained); err == nil {
 		t.Fatal("drain with a dead sink succeeded, want the push failure surfaced")
 	}
 	// The failed epoch is accounted; the next drain is a pure barrier.
-	if err := rig.svc.Drain(struct{}{}, &drained); err != nil {
+	if err := rig.svc.Drain(DrainArgs{}, &drained); err != nil {
 		t.Fatal(err)
 	}
 	if drained.Dropped != 6 || drained.EpochsFailed != 1 {

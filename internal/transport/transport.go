@@ -72,10 +72,12 @@ import (
 	"crypto/x509"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prochlo/internal/analyzer"
@@ -93,14 +95,26 @@ type SubmitArgs struct {
 // SubmitBatchArgs ships many envelopes in one RPC round trip. The slice is
 // gob-encoded as-is, so a client can hand over encoder.EncodeBatch output
 // (all blobs carved from one backing buffer) without copying.
+//
+// Stream and Seq identify the submission for dedup, exactly like
+// ForwardArgs: a client that retries a batch after an ambiguous connection
+// error (the ack may have been lost after the service ingested) stamps the
+// retry with the same pair, and the service acknowledges it without
+// re-ingesting. With a WAL the mark is persisted atomically with the items,
+// so the dedup survives a service restart. Zero values skip dedup.
 type SubmitBatchArgs struct {
 	Envelopes []core.Envelope
+	Stream    int64
+	Seq       int64
 }
 
 // SubmitBlindedBatchArgs ships many split-shuffler envelopes in one RPC
 // round trip (the client entry of the §4.3 chain, ingested by Shuffler 1).
+// Stream/Seq dedup retried submissions; see SubmitBatchArgs.
 type SubmitBlindedBatchArgs struct {
 	Envelopes []core.BlindedEnvelope
+	Stream    int64
+	Seq       int64
 }
 
 // SubmitReply acknowledges accepted submissions.
@@ -124,6 +138,31 @@ type ForwardArgs struct {
 // FlushReply reports a processed epoch's selectivity.
 type FlushReply struct {
 	Stats shuffler.Stats
+}
+
+// DrainArgs selects the drain mode. Force releases a below-floor final
+// epoch as Dropped (counted in ServiceStats.Dropped and WAL-resolved, so
+// the reconciliation invariant still closes) instead of leaving it pending
+// — the final-drain path for a fleet shutting down for good, where a
+// sub-floor epoch would otherwise stay pending forever.
+type DrainArgs struct {
+	Force bool
+}
+
+// HealthzReply is the cheap liveness snapshot served by Shuffler.Healthz
+// and Analyzer.Healthz. Unlike Stats it takes no engine locks — it reads
+// only atomics — so a balancer probe cannot block behind an epoch cut or a
+// slow drain.
+type HealthzReply struct {
+	Healthy      bool
+	UptimeMillis int64
+	Pending      int
+	Accepted     int64
+	// Partitions and Peers are fleet-topology metadata installed with
+	// SetFleetInfo: the downstream partition count this replica fans out
+	// to, and the sibling replica addresses of its own tier.
+	Partitions int
+	Peers      []string
 }
 
 // KeyReply carries a service's public key bytes.
@@ -260,14 +299,20 @@ type EpochConfig struct {
 	Fault *FaultPlan
 }
 
-// forwardDedup tracks inter-hop pushes already ingested, so an at-least-once
-// Forward retry (the pusher's reply was lost) is acknowledged without
-// re-ingesting. The lock is held across the whole check-ingest-mark
-// sequence: two concurrent retries of the same epoch must not both ingest,
-// and a push rejected by backpressure must not be marked seen.
+// forwardDedup tracks inter-hop pushes (and stamped client submissions)
+// already ingested, so an at-least-once retry (the pusher's reply was lost)
+// is acknowledged without re-ingesting. Two concurrent deliveries of the
+// same key — e.g. a dead replica's in-flight push racing its WAL-recovered
+// successor's replay of the same (stream, epoch) — must not both ingest, and
+// a push rejected by backpressure must not be marked seen. Rather than
+// holding one lock across the whole check-ingest-mark sequence (which would
+// serialize every concurrent submission), a per-key busy set makes same-key
+// deliveries wait on each other while distinct keys ingest in parallel.
 type forwardDedup struct {
 	mu   sync.Mutex
+	cond *sync.Cond
 	seen map[[2]int64]bool
+	busy map[[2]int64]bool
 }
 
 // restore pre-loads marks recovered from a WAL, so upstream retries of
@@ -286,8 +331,10 @@ func (d *forwardDedup) restore(marks [][2]int64) {
 	}
 }
 
-// ingest runs add under the dedup lock. Pushes with a zero (stream, epoch)
-// skip dedup entirely.
+// ingest runs add once per (stream, epoch) key: a key already seen is
+// acknowledged without re-ingesting, a key mid-ingest by a concurrent
+// delivery is waited out, and only a successful add marks the key. Pushes
+// with a zero (stream, epoch) skip dedup entirely.
 func (d *forwardDedup) ingest(stream, epoch int64, n int, reply *SubmitReply, add func() error) error {
 	if stream == 0 && epoch == 0 {
 		if err := add(); err != nil {
@@ -298,18 +345,38 @@ func (d *forwardDedup) ingest(stream, epoch int64, n int, reply *SubmitReply, ad
 	}
 	key := [2]int64{stream, epoch}
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	if d.cond == nil {
+		d.cond = sync.NewCond(&d.mu)
+	}
+	for d.busy[key] {
+		d.cond.Wait()
+	}
 	if d.seen[key] {
+		d.mu.Unlock()
 		reply.Accepted = n
 		return nil
 	}
-	if err := add(); err != nil {
+	if d.busy == nil {
+		d.busy = make(map[[2]int64]bool)
+	}
+	d.busy[key] = true
+	d.mu.Unlock()
+
+	err := add()
+
+	d.mu.Lock()
+	delete(d.busy, key)
+	if err == nil {
+		if d.seen == nil {
+			d.seen = make(map[[2]int64]bool)
+		}
+		d.seen[key] = true
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	if d.seen == nil {
-		d.seen = make(map[[2]int64]bool)
-	}
-	d.seen[key] = true
 	reply.Accepted = n
 	return nil
 }
@@ -325,6 +392,10 @@ type ShufflerService struct {
 
 	attMu sync.Mutex
 	att   *AttestationReply
+
+	fleetMu    sync.Mutex
+	partitions int
+	peers      []string
 }
 
 // NewShufflerService wraps a shuffler whose output is pushed to the
@@ -346,8 +417,16 @@ func NewStreamingShufflerService(sh *shuffler.Shuffler, pub []byte, analyzerAddr
 // service at analyzerAddr according to cfg. pub is the key served to
 // clients over Shuffler.PublicKey.
 func NewStageShufflerService(st shuffler.Stage, pub []byte, analyzerAddr string, cfg EpochConfig) (*ShufflerService, error) {
+	return NewStageShufflerFleetService(st, pub, []string{analyzerAddr}, cfg)
+}
+
+// NewStageShufflerFleetService is NewStageShufflerService for a partitioned
+// analyzer tier: each processed epoch is split across analyzerAddrs by
+// content hash and pushed to every non-empty partition, with per-partition
+// (stream, epoch) dedup keeping the fan-in exactly-once.
+func NewStageShufflerFleetService(st shuffler.Stage, pub []byte, analyzerAddrs []string, cfg EpochConfig) (*ShufflerService, error) {
 	ab := newAborter()
-	snk, err := newAnalyzerSink(analyzerAddr, cfg, ab)
+	snk, err := newAnalyzerTier(analyzerAddrs, cfg, ab)
 	if err != nil {
 		return nil, err
 	}
@@ -395,6 +474,27 @@ func (s *ShufflerService) Attestation(_ struct{}, reply *AttestationReply) error
 // default and clamp applied.
 func (s *ShufflerService) Config() EpochConfig { return s.eng.cfg }
 
+// SetFleetInfo installs the fleet-topology metadata served over Healthz:
+// the downstream partition count this replica fans out to and the sibling
+// replicas of its own tier. Purely informational — routing is configured at
+// construction.
+func (s *ShufflerService) SetFleetInfo(partitions int, peers []string) {
+	s.fleetMu.Lock()
+	s.partitions = partitions
+	s.peers = append([]string(nil), peers...)
+	s.fleetMu.Unlock()
+}
+
+// Healthz serves the cheap liveness probe; see HealthzReply.
+func (s *ShufflerService) Healthz(_ struct{}, reply *HealthzReply) error {
+	s.eng.healthz(reply)
+	s.fleetMu.Lock()
+	reply.Partitions = s.partitions
+	reply.Peers = s.peers
+	s.fleetMu.Unlock()
+	return nil
+}
+
 // PublicKey returns the shuffler's encryption key. (An SGX deployment
 // additionally serves the quote over it; see Attestation.)
 func (s *ShufflerService) PublicKey(_ struct{}, reply *KeyReply) error {
@@ -413,12 +513,20 @@ func (s *ShufflerService) Submit(args SubmitArgs, ack *bool) error {
 
 // SubmitBatch queues many envelopes in one round trip. The batch is
 // accepted or rejected atomically: on ErrEpochFull no envelope is ingested.
+// A stamped batch (nonzero Stream/Seq) is deduplicated like a forward push,
+// so a client's retry after an ambiguous connection error cannot
+// double-ingest; with a WAL the mark persists with the items.
 func (s *ShufflerService) SubmitBatch(args SubmitBatchArgs, reply *SubmitReply) error {
-	if err := s.eng.add(args.Envelopes); err != nil {
-		return err
+	if args.Stream == 0 && args.Seq == 0 {
+		if err := s.eng.add(args.Envelopes); err != nil {
+			return err
+		}
+		reply.Accepted = len(args.Envelopes)
+		return nil
 	}
-	reply.Accepted = len(args.Envelopes)
-	return nil
+	return s.fwd.ingest(args.Stream, args.Seq, len(args.Envelopes), reply, func() error {
+		return s.eng.addForward(args.Stream, args.Seq, args.Envelopes)
+	})
 }
 
 // Forward ingests an epoch pushed by an upstream stage daemon, deduplicating
@@ -437,7 +545,7 @@ func (s *ShufflerService) Forward(args ForwardArgs, reply *SubmitReply) error {
 // empty or below-minimum epoch fails with shuffler.ErrBatchTooSmall (the
 // anonymity floor) and is left pending; use Drain for a tolerant barrier.
 func (s *ShufflerService) Flush(_ struct{}, reply *FlushReply) error {
-	stats, err := s.eng.forceFlush(false)
+	stats, err := s.eng.forceFlush(false, false)
 	if err != nil {
 		return err
 	}
@@ -449,9 +557,10 @@ func (s *ShufflerService) Flush(_ struct{}, reply *FlushReply) error {
 // below-floor epoch is left pending, where it can still grow — waits for
 // every queued epoch to reach the analyzer, and returns the service stats.
 // Unlike Flush it succeeds when nothing is pending, so clients use it as a
-// barrier before querying the analyzer.
-func (s *ShufflerService) Drain(_ struct{}, reply *ServiceStats) error {
-	if _, err := s.eng.forceFlush(true); err != nil {
+// barrier before querying the analyzer. With DrainArgs.Force a below-floor
+// epoch is released as Dropped instead of left pending (final drain).
+func (s *ShufflerService) Drain(args DrainArgs, reply *ServiceStats) error {
+	if _, err := s.eng.forceFlush(true, args.Force); err != nil {
 		return err
 	}
 	return s.Stats(struct{}{}, reply)
@@ -509,6 +618,8 @@ type AnalyzerStats struct {
 
 // AnalyzerService exposes an analyzer over RPC.
 type AnalyzerService struct {
+	start time.Time
+
 	mu            sync.Mutex
 	an            *analyzer.Analyzer
 	pub           []byte
@@ -521,7 +632,14 @@ type AnalyzerService struct {
 
 // NewAnalyzerService wraps an analyzer.
 func NewAnalyzerService(an *analyzer.Analyzer, pub []byte) *AnalyzerService {
-	return &AnalyzerService{an: an, pub: pub, seen: make(map[[2]int64]bool)}
+	return &AnalyzerService{start: time.Now(), an: an, pub: pub, seen: make(map[[2]int64]bool)}
+}
+
+// Healthz serves the cheap liveness probe (lock-free; see HealthzReply).
+func (a *AnalyzerService) Healthz(_ struct{}, reply *HealthzReply) error {
+	reply.Healthy = true
+	reply.UptimeMillis = time.Since(a.start).Milliseconds()
+	return nil
 }
 
 // PublicKey returns the analyzer's encryption key.
@@ -606,9 +724,51 @@ func Serve(addr, name string, rcvr any) (net.Listener, error) {
 	return l, nil
 }
 
+// IsTransient reports whether err looks like a connection-level failure —
+// the RPC may or may not have reached the service — rather than an error
+// the service itself returned. Transient errors are worth retrying on a
+// fresh connection to the same address; with a stamped (stream, seq) the
+// service's dedup absorbs the ambiguous redelivery.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se rpc.ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// Client-side transient-retry policy for SubmitAll: how many fresh
+// connections to attempt after a connection-level failure, starting from
+// this backoff (doubled and jittered per redialPolicy).
+const (
+	DefaultClientRedials    = 8
+	DefaultClientRedialBase = 25 * time.Millisecond
+)
+
 // Client is a convenience handle for submitting reports to a shuffler-role
 // service — a plain/SGX shuffler daemon or either hop of the blinded chain.
+// It remembers the address it dialed: SubmitAll/SubmitAllBlinded transparently
+// redial it on connection-level failures, and every batch submission carries
+// a (stream, seq) stamp so such a retry is deduplicated service-side even
+// when the original attempt was ingested but its ack was lost.
 type Client struct {
+	addr    string
+	timeout time.Duration
+	stream  int64
+	seq     atomic.Int64
+
+	// Transient-redial budget for SubmitAll; see SetRedial.
+	redials    int
+	redialBase time.Duration
+
+	mu  sync.Mutex
 	rpc *rpc.Client
 }
 
@@ -624,13 +784,82 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{rpc: c}, nil
+	stream, err := newStreamID()
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("transport: client stream id: %w", err)
+	}
+	return &Client{
+		addr:       addr,
+		timeout:    timeout,
+		stream:     stream,
+		redials:    DefaultClientRedials,
+		redialBase: DefaultClientRedialBase,
+		rpc:        c,
+	}, nil
+}
+
+// SetRedial tunes the transient-failure retry budget of SubmitAll and
+// SubmitAllBlinded: up to attempts fresh connections, with jittered
+// exponential backoff from base. attempts < 0 disables transient retries;
+// base <= 0 keeps the default.
+func (c *Client) SetRedial(attempts int, base time.Duration) {
+	if attempts < 0 {
+		attempts = 0
+	}
+	c.redials = attempts
+	if base > 0 {
+		c.redialBase = base
+	}
+}
+
+// Addr returns the address the client dialed.
+func (c *Client) Addr() string { return c.addr }
+
+// call issues one RPC on the current connection.
+func (c *Client) call(method string, args, reply any) error {
+	c.mu.Lock()
+	cl := c.rpc
+	c.mu.Unlock()
+	return cl.Call(method, args, reply)
+}
+
+// redial replaces the connection with a fresh one to the same address.
+func (c *Client) redial() error {
+	cl, err := dialRPC(c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	old := c.rpc
+	c.rpc = cl
+	c.mu.Unlock()
+	old.Close()
+	return nil
+}
+
+// callRetryTransient issues one RPC, retrying connection-level failures on
+// fresh connections under the client's redial budget. The args must carry a
+// dedup stamp when the call is not idempotent: an attempt that died mid-call
+// may have been ingested, and only the stamp makes the retry safe.
+func (c *Client) callRetryTransient(method string, args, reply any) error {
+	err := c.call(method, args, reply)
+	pol := redialPolicy{attempts: c.redials, base: c.redialBase, jitter: DefaultRedialJitter}
+	for attempt := 0; IsTransient(err) && attempt < pol.attempts; attempt++ {
+		time.Sleep(pol.delay(attempt))
+		if derr := c.redial(); derr != nil {
+			err = derr
+			continue
+		}
+		err = c.call(method, args, reply)
+	}
+	return err
 }
 
 // ShufflerKey fetches the shuffler's public key.
 func (c *Client) ShufflerKey() ([]byte, error) {
 	var reply KeyReply
-	if err := c.rpc.Call("Shuffler.PublicKey", struct{}{}, &reply); err != nil {
+	if err := c.call("Shuffler.PublicKey", struct{}{}, &reply); err != nil {
 		return nil, err
 	}
 	if len(reply.Key) == 0 {
@@ -645,7 +874,7 @@ func (c *Client) ShufflerKey() ([]byte, error) {
 // (the quote's report data) only when verification succeeds.
 func (c *Client) Attestation(measurement [32]byte) ([]byte, error) {
 	var reply AttestationReply
-	if err := c.rpc.Call("Shuffler.Attestation", struct{}{}, &reply); err != nil {
+	if err := c.call("Shuffler.Attestation", struct{}{}, &reply); err != nil {
 		return nil, err
 	}
 	caAny, err := x509.ParsePKIXPublicKey(reply.CAKey)
@@ -666,7 +895,7 @@ func (c *Client) Attestation(measurement [32]byte) ([]byte, error) {
 // blinding and hybrid keys). Only the shuffler2 role serves it.
 func (c *Client) BlindedKeys() (BlindedKeysReply, error) {
 	var reply BlindedKeysReply
-	if err := c.rpc.Call("Shuffler.Keys", struct{}{}, &reply); err != nil {
+	if err := c.call("Shuffler.Keys", struct{}{}, &reply); err != nil {
 		return BlindedKeysReply{}, err
 	}
 	if len(reply.Blinding) == 0 || len(reply.Key) == 0 {
@@ -678,22 +907,32 @@ func (c *Client) BlindedKeys() (BlindedKeysReply, error) {
 // Submit sends one envelope (the reference path; see SubmitBatch).
 func (c *Client) Submit(env core.Envelope) error {
 	var ack bool
-	return c.rpc.Call("Shuffler.Submit", SubmitArgs{Envelope: env}, &ack)
+	return c.call("Shuffler.Submit", SubmitArgs{Envelope: env}, &ack)
 }
 
 // SubmitBatch ships a whole batch of envelopes in one RPC round trip. The
 // batch is accepted atomically; on an IsEpochFull error nothing was
-// ingested and the caller should back off and resubmit.
+// ingested and the caller should back off and resubmit. The batch carries a
+// fresh (stream, seq) stamp, so a later retry of the same call's args would
+// be deduplicated — SubmitAll relies on this for its transient retries.
 func (c *Client) SubmitBatch(envs []core.Envelope) error {
 	var reply SubmitReply
-	return c.rpc.Call("Shuffler.SubmitBatch", SubmitBatchArgs{Envelopes: envs}, &reply)
+	return c.call("Shuffler.SubmitBatch", c.stampEnvelopes(envs), &reply)
 }
 
 // SubmitBlindedBatch ships a batch of split-shuffler envelopes in one RPC
-// round trip (accepted atomically, like SubmitBatch).
+// round trip (accepted atomically and stamped, like SubmitBatch).
 func (c *Client) SubmitBlindedBatch(envs []core.BlindedEnvelope) error {
 	var reply SubmitReply
-	return c.rpc.Call("Shuffler.SubmitBlindedBatch", SubmitBlindedBatchArgs{Envelopes: envs}, &reply)
+	return c.call("Shuffler.SubmitBlindedBatch", c.stampBlinded(envs), &reply)
+}
+
+func (c *Client) stampEnvelopes(envs []core.Envelope) SubmitBatchArgs {
+	return SubmitBatchArgs{Envelopes: envs, Stream: c.stream, Seq: c.seq.Add(1)}
+}
+
+func (c *Client) stampBlinded(envs []core.BlindedEnvelope) SubmitBlindedBatchArgs {
+	return SubmitBlindedBatchArgs{Envelopes: envs, Stream: c.stream, Seq: c.seq.Add(1)}
 }
 
 // Default epoch-full retry policy shared by SubmitAll callers.
@@ -744,20 +983,34 @@ func submitAll[T any](submit func([]T) error, envs []T, retries int, delay time.
 // accepted envelopes are exactly the prefix envs[:accepted]: on error a
 // caller resumes from envs[accepted:] rather than resubmitting the whole
 // batch (which would double-count the accepted prefix).
+//
+// Connection-level failures are also retried, on fresh connections to the
+// same address under the client's SetRedial budget. Each slice is stamped
+// with a (stream, seq) pair before its first attempt, and the retry resends
+// the identical args, so a slice whose original attempt was ingested but
+// whose ack was lost is absorbed by the service's dedup — the retry cannot
+// double-submit. Only after the redial budget is exhausted does the error
+// surface, with the accepted-prefix contract intact.
 func (c *Client) SubmitAll(envs []core.Envelope, retries int, delay time.Duration) (accepted int, err error) {
-	return submitAll(c.SubmitBatch, envs, retries, delay)
+	return submitAll(func(slice []core.Envelope) error {
+		var reply SubmitReply
+		return c.callRetryTransient("Shuffler.SubmitBatch", c.stampEnvelopes(slice), &reply)
+	}, envs, retries, delay)
 }
 
 // SubmitAllBlinded is SubmitAll for split-shuffler envelopes: same
-// splitting, backoff, and accepted-prefix contract.
+// splitting, backoff, transient-redial, and accepted-prefix contract.
 func (c *Client) SubmitAllBlinded(envs []core.BlindedEnvelope, retries int, delay time.Duration) (accepted int, err error) {
-	return submitAll(c.SubmitBlindedBatch, envs, retries, delay)
+	return submitAll(func(slice []core.BlindedEnvelope) error {
+		var reply SubmitReply
+		return c.callRetryTransient("Shuffler.SubmitBlindedBatch", c.stampBlinded(slice), &reply)
+	}, envs, retries, delay)
 }
 
 // Flush asks the shuffler to process its current epoch.
 func (c *Client) Flush() (shuffler.Stats, error) {
 	var reply FlushReply
-	err := c.rpc.Call("Shuffler.Flush", struct{}{}, &reply)
+	err := c.call("Shuffler.Flush", struct{}{}, &reply)
 	return reply.Stats, err
 }
 
@@ -767,20 +1020,45 @@ func (c *Client) Flush() (shuffler.Stats, error) {
 // its final epoch reaches Shuffler 2, then drain Shuffler 2 so it reaches
 // the analyzer.
 func (c *Client) Drain() (ServiceStats, error) {
+	return c.DrainMode(false)
+}
+
+// DrainMode is Drain with an explicit mode: force additionally releases a
+// below-floor final epoch as Dropped instead of leaving it pending — the
+// final drain of a deployment that is shutting down for good.
+//
+// Draining is idempotent (a second drain of a drained service is an empty
+// barrier), so connection-level failures are retried on fresh connections
+// under the client's redial budget: a fleet drain tolerates a replica that
+// crashed and is restarting over its WAL, surfacing the recovered
+// successor's stats instead of failing the barrier.
+func (c *Client) DrainMode(force bool) (ServiceStats, error) {
 	var reply ServiceStats
-	err := c.rpc.Call("Shuffler.Drain", struct{}{}, &reply)
+	err := c.callRetryTransient("Shuffler.Drain", DrainArgs{Force: force}, &reply)
 	return reply, err
 }
 
 // Stats fetches the shuffler service's health snapshot.
 func (c *Client) Stats() (ServiceStats, error) {
 	var reply ServiceStats
-	err := c.rpc.Call("Shuffler.Stats", struct{}{}, &reply)
+	err := c.call("Shuffler.Stats", struct{}{}, &reply)
+	return reply, err
+}
+
+// Healthz fetches the cheap liveness snapshot (no engine locks server-side;
+// see HealthzReply). Balancer probes use it.
+func (c *Client) Healthz() (HealthzReply, error) {
+	var reply HealthzReply
+	err := c.call("Shuffler.Healthz", struct{}{}, &reply)
 	return reply, err
 }
 
 // Close releases the connection.
-func (c *Client) Close() error { return c.rpc.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rpc.Close()
+}
 
 // AnalyzerClient is a convenience handle for querying an analyzer service.
 type AnalyzerClient struct {

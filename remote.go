@@ -28,6 +28,17 @@ import (
 // before trusting its key (ModeSGX), and DialRemoteChain enters the §4.3
 // split-shuffler chain at the Shuffler 1 daemon (ModeBlinded).
 //
+// Each hop may also be a replicated fleet (DialRemoteFleet,
+// DialRemoteChainFleet): submissions enter through a health-checked
+// balancer that spreads batches across the entry replicas and fails over
+// on provably non-ingesting errors; blinded envelopes are stamped with
+// their crowd's owning hop-2 partition so every replica of a crowd meets
+// at the partition that thresholds it; and the analyzer tier is sharded by
+// content hash, its partition histograms merged at query time. Replicas of
+// a tier must share key material (start them from one key file) — except
+// the SGX deployment, whose attestation binds the key to a single enclave
+// and therefore forbids replication of the attested tier.
+//
 // A seeded daemon deployment is equivalent to the in-process pipeline: for
 // the same reports submitted in the same order and epochs cut at the same
 // boundaries, the analyzer's histogram is byte-identical to Pipeline.Flush's
@@ -49,18 +60,31 @@ type RemotePipeline struct {
 	retryDelay  time.Duration
 	dialTimeout time.Duration
 	attest      bool
-	// failedSeen is each hop's EpochsFailed count already surfaced to the
-	// caller, so a transient failure errors one Flush instead of every
-	// later one.
-	failedSeen []int
+	balCfg      transport.BalancerConfig
+	// redialAttempts/redialBase (when redialSet) tune every hop client's
+	// transient-retry budget; see WithRemoteRedial.
+	redialSet      bool
+	redialAttempts int
+	redialBase     time.Duration
+	// partitions is the hop-2 replica count of a chain fleet; blinded
+	// envelopes are stamped with PartitionOf(crowd, partitions) so hop-1
+	// replicas route each crowd to its owning thresholding partition.
+	partitions int
+	// failedSeen is each replica's EpochsFailed count already surfaced to
+	// the caller, so a transient failure errors one Flush instead of every
+	// later one. Indexed [tier][replica], like tiers.
+	failedSeen [][]int
 
 	enc  *encoder.Client        // ModePlain / ModeSGX
 	benc *encoder.BlindedClient // ModeBlinded
-	// hops are the shuffler daemons in chain order; hops[0] is the
-	// submission entry, and Flush drains them front to back so each hop's
-	// final epoch reaches the next before that hop is drained.
-	hops []*transport.Client
-	anlz *transport.AnalyzerClient
+	// tiers are the shuffler daemons in chain order — tiers[0] is the entry
+	// hop's replica set — and Flush drains them front to back so each
+	// tier's final epochs reach the next before that tier is drained.
+	tiers [][]*transport.Client
+	// entry balances submissions across tiers[0]; see transport.Balancer
+	// for the failover safety rule.
+	entry *transport.Balancer
+	anlzs []*transport.AnalyzerClient
 }
 
 // RemoteOption configures a RemotePipeline.
@@ -103,10 +127,46 @@ func WithRemoteDialTimeout(d time.Duration) RemoteOption {
 // daemon's SGX quote (§4.1.1): the quote's CA signature and code
 // measurement are checked, and the attested key from the quote is used for
 // encoding instead of the unauthenticated PublicKey RPC — the networked
-// ModeSGX deployment. Dialing fails if the daemon serves no quote.
+// ModeSGX deployment. Dialing fails if the daemon serves no quote, and a
+// fleet dial fails if the attested tier has more than one replica (the
+// quote binds the key to one enclave).
 func WithRemoteAttestation() RemoteOption {
 	return func(r *RemotePipeline) error {
 		r.attest = true
+		return nil
+	}
+}
+
+// BalancerConfig, BalancerStats, and ServiceStats alias their
+// internal/transport definitions so that importers of this module can
+// construct a WithBalancer configuration and name the stats types returned
+// by Stats, FleetStats, and DrainAll (the transport package itself is not
+// importable from outside the module).
+type (
+	BalancerConfig = transport.BalancerConfig
+	BalancerStats  = transport.BalancerStats
+	ServiceStats   = transport.ServiceStats
+)
+
+// WithBalancer overrides the entry balancer's configuration (probe cadence,
+// breaker threshold, per-replica redial budget).
+func WithBalancer(cfg BalancerConfig) RemoteOption {
+	return func(r *RemotePipeline) error {
+		r.balCfg = cfg
+		return nil
+	}
+}
+
+// WithRemoteRedial tunes every hop client's transient-failure retry budget
+// (see transport.Client.SetRedial): drain barriers and stamped submissions
+// redial a crashed replica up to attempts times with jittered backoff from
+// base, which bounds how long a restart may take before a fleet operation
+// gives up on the replica.
+func WithRemoteRedial(attempts int, base time.Duration) RemoteOption {
+	return func(r *RemotePipeline) error {
+		r.redialSet = true
+		r.redialAttempts = attempts
+		r.redialBase = base
 		return nil
 	}
 }
@@ -122,40 +182,94 @@ func newRemotePipeline(opts []RemoteOption) (*RemotePipeline, error) {
 	return r, nil
 }
 
-// dialParties connects the shuffler hops and the analyzer, cleaning up on
-// partial failure.
-func (r *RemotePipeline) dialParties(hopAddrs []string, analyzerAddr string) error {
-	for _, addr := range hopAddrs {
-		cl, err := transport.DialTimeout(addr, r.dialTimeout)
+// dialTiers connects every shuffler replica tier by tier, the analyzer
+// partitions, and the entry balancer, cleaning up on partial failure.
+func (r *RemotePipeline) dialTiers(tierAddrs [][]string, analyzerAddrs []string) error {
+	for t, addrs := range tierAddrs {
+		if len(addrs) == 0 {
+			r.Close()
+			return fmt.Errorf("prochlo: hop %d has no replica addresses", t+1)
+		}
+		r.tiers = append(r.tiers, nil)
+		for _, addr := range addrs {
+			cl, err := transport.DialTimeout(addr, r.dialTimeout)
+			if err != nil {
+				r.Close()
+				return fmt.Errorf("prochlo: dial shuffler %s: %w", addr, err)
+			}
+			if r.redialSet {
+				cl.SetRedial(r.redialAttempts, r.redialBase)
+			}
+			r.tiers[t] = append(r.tiers[t], cl)
+		}
+	}
+	if len(analyzerAddrs) == 0 {
+		r.Close()
+		return errors.New("prochlo: no analyzer addresses")
+	}
+	for _, addr := range analyzerAddrs {
+		anlz, err := transport.DialAnalyzerTimeout(addr, r.dialTimeout)
 		if err != nil {
 			r.Close()
-			return fmt.Errorf("prochlo: dial shuffler %s: %w", addr, err)
+			return fmt.Errorf("prochlo: dial analyzer %s: %w", addr, err)
 		}
-		r.hops = append(r.hops, cl)
+		r.anlzs = append(r.anlzs, anlz)
 	}
-	anlz, err := transport.DialAnalyzerTimeout(analyzerAddr, r.dialTimeout)
+	bcfg := r.balCfg
+	if bcfg.DialTimeout == 0 {
+		bcfg.DialTimeout = r.dialTimeout
+	}
+	if r.redialSet && bcfg.Redials == 0 {
+		bcfg.Redials = r.redialAttempts
+		bcfg.RedialBase = r.redialBase
+	}
+	entry, err := transport.NewBalancer(tierAddrs[0], bcfg)
 	if err != nil {
 		r.Close()
-		return fmt.Errorf("prochlo: dial analyzer: %w", err)
+		return fmt.Errorf("prochlo: entry balancer: %w", err)
 	}
-	r.anlz = anlz
+	r.entry = entry
 	return nil
 }
 
-// baselineFailures snapshots each hop's cumulative failure counter so Flush
-// only surfaces failures that happen after this client connected.
+// baselineFailures snapshots each replica's cumulative failure counter so
+// Flush only surfaces failures that happen after this client connected.
 func (r *RemotePipeline) baselineFailures() {
-	r.failedSeen = make([]int, len(r.hops))
-	for i, hop := range r.hops {
-		if stats, err := hop.Stats(); err == nil {
-			r.failedSeen[i] = stats.EpochsFailed
+	r.failedSeen = make([][]int, len(r.tiers))
+	for t, tier := range r.tiers {
+		r.failedSeen[t] = make([]int, len(tier))
+		for i, cl := range tier {
+			if stats, err := cl.Stats(); err == nil {
+				r.failedSeen[t][i] = stats.EpochsFailed
+			}
 		}
 	}
 }
 
-// analyzerKey fetches and parses the analyzer daemon's public key.
+// firstOf runs fetch against each replica of a tier until one answers —
+// replicas of a tier share key material, so any reachable one is
+// authoritative — returning the last error if none does.
+func firstOf[T any](tier []*transport.Client, fetch func(*transport.Client) (T, error)) (T, error) {
+	var out T
+	var err error
+	for _, cl := range tier {
+		if out, err = fetch(cl); err == nil {
+			return out, nil
+		}
+	}
+	return out, err
+}
+
+// analyzerKey fetches and parses the analyzer fleet's public key from the
+// first reachable partition (partitions share the key).
 func (r *RemotePipeline) analyzerKey() (*hybrid.PublicKey, error) {
-	keyBytes, err := r.anlz.AnalyzerKey()
+	var keyBytes []byte
+	var err error
+	for _, anlz := range r.anlzs {
+		if keyBytes, err = anlz.AnalyzerKey(); err == nil {
+			break
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("prochlo: analyzer key: %w", err)
 	}
@@ -173,24 +287,36 @@ func (r *RemotePipeline) analyzerKey() (*hybrid.PublicKey, error) {
 // — report data flows exclusively through the shuffler, preserving the ESA
 // trust split.
 func DialRemote(shufflerAddr, analyzerAddr string, opts ...RemoteOption) (*RemotePipeline, error) {
+	return DialRemoteFleet([]string{shufflerAddr}, []string{analyzerAddr}, opts...)
+}
+
+// DialRemoteFleet is DialRemote for a replicated deployment: submissions
+// are balanced across the shuffler replicas with health-checked failover,
+// and the analyzer partitions' histograms are merged at query time. The
+// shuffler replicas must share one key pair and push to the same analyzer
+// partition list (cmd/prochlod: -key-file and a comma-separated -next).
+func DialRemoteFleet(shufflerAddrs, analyzerAddrs []string, opts ...RemoteOption) (*RemotePipeline, error) {
 	r, err := newRemotePipeline(opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.dialParties([]string{shufflerAddr}, analyzerAddr); err != nil {
+	if r.attest && len(shufflerAddrs) != 1 {
+		return nil, errors.New("prochlo: an attested SGX tier cannot be replicated (the quote binds the key to one enclave)")
+	}
+	if err := r.dialTiers([][]string{shufflerAddrs}, analyzerAddrs); err != nil {
 		return nil, err
 	}
 	var shufKeyBytes []byte
 	if r.attest {
 		r.mode = ModeSGX
-		shufKeyBytes, err = r.hops[0].Attestation(shuffler.SGXShufflerMeasurement)
+		shufKeyBytes, err = r.tiers[0][0].Attestation(shuffler.SGXShufflerMeasurement)
 		if err != nil {
 			r.Close()
 			return nil, fmt.Errorf("prochlo: shuffler attestation: %w", err)
 		}
 	} else {
 		r.mode = ModePlain
-		shufKeyBytes, err = r.hops[0].ShufflerKey()
+		shufKeyBytes, err = firstOf(r.tiers[0], (*transport.Client).ShufflerKey)
 		if err != nil {
 			r.Close()
 			return nil, fmt.Errorf("prochlo: shuffler key: %w", err)
@@ -219,6 +345,18 @@ func DialRemote(shufflerAddr, analyzerAddr string, opts ...RemoteOption) (*Remot
 // over the daemons' Forward pushes; the Shuffler 2 and analyzer connections
 // carry only key fetches, drain barriers, and histogram queries.
 func DialRemoteChain(shuffler1Addr, shuffler2Addr, analyzerAddr string, opts ...RemoteOption) (*RemotePipeline, error) {
+	return DialRemoteChainFleet([]string{shuffler1Addr}, []string{shuffler2Addr}, []string{analyzerAddr}, opts...)
+}
+
+// DialRemoteChainFleet is DialRemoteChain for a replicated chain: clients
+// enter through a balancer over the hop-1 replicas, each blinded envelope
+// is stamped with its crowd's owning hop-2 partition
+// (core.PartitionOf(crowd, len(shuffler2Addrs))) so a crowd's reports meet
+// at the replica that thresholds them no matter which hop-1 replica they
+// entered through, and the analyzer partitions' histograms are merged at
+// query time. The hop-2 replicas must share one key pair (cmd/prochlod:
+// -key-file); hop-1 replicas hold no keys and need none.
+func DialRemoteChainFleet(shuffler1Addrs, shuffler2Addrs, analyzerAddrs []string, opts ...RemoteOption) (*RemotePipeline, error) {
 	r, err := newRemotePipeline(opts)
 	if err != nil {
 		return nil, err
@@ -228,10 +366,11 @@ func DialRemoteChain(shuffler1Addr, shuffler2Addr, analyzerAddr string, opts ...
 		return nil, errors.New("prochlo: attestation applies to the SGX deployment, not the blinded chain")
 	}
 	r.mode = ModeBlinded
-	if err := r.dialParties([]string{shuffler1Addr, shuffler2Addr}, analyzerAddr); err != nil {
+	r.partitions = len(shuffler2Addrs)
+	if err := r.dialTiers([][]string{shuffler1Addrs, shuffler2Addrs}, analyzerAddrs); err != nil {
 		return nil, err
 	}
-	keys, err := r.hops[1].BlindedKeys()
+	keys, err := firstOf(r.tiers[1], (*transport.Client).BlindedKeys)
 	if err != nil {
 		r.Close()
 		return nil, fmt.Errorf("prochlo: shuffler 2 keys: %w", err)
@@ -261,28 +400,46 @@ func DialRemoteChain(shuffler1Addr, shuffler2Addr, analyzerAddr string, opts ...
 	return r, nil
 }
 
+// stampPartitions routes each blinded envelope to its crowd's owning hop-2
+// partition. Only the client knows the crowd label in the clear, so the
+// stamp must be applied before submission; it deliberately leaks the
+// partition index (log2(partitions) bits of the crowd hash) to the chain,
+// the price of partitioned fan-in.
+func (r *RemotePipeline) stampPartitions(envs []core.BlindedEnvelope, labels []string) {
+	if r.partitions <= 1 {
+		return
+	}
+	for i := range envs {
+		envs[i].Partition = core.PartitionOf(core.HashCrowdID(labels[i]), r.partitions)
+	}
+}
+
 // Submit encodes one report and ships it over the single-report RPC (the
-// compatibility path; fleets should batch with SubmitBatch).
+// compatibility path; fleets should batch with SubmitBatch). It pins the
+// first entry replica rather than balancing.
 func (r *RemotePipeline) Submit(crowdLabel string, data []byte) error {
 	if r.mode == ModeBlinded {
 		env, err := r.benc.Encode(crowdLabel, data)
 		if err != nil {
 			return err
 		}
+		envs := []core.BlindedEnvelope{env}
+		r.stampPartitions(envs, []string{crowdLabel})
 		return r.retry(func() error {
-			return r.hops[0].SubmitBlindedBatch([]core.BlindedEnvelope{env})
+			return r.tiers[0][0].SubmitBlindedBatch(envs)
 		})
 	}
 	env, err := r.enc.Encode(core.Report{CrowdID: core.HashCrowdID(crowdLabel), Data: data})
 	if err != nil {
 		return err
 	}
-	return r.retry(func() error { return r.hops[0].Submit(env) })
+	return r.retry(func() error { return r.tiers[0][0].Submit(env) })
 }
 
-// SubmitBatch encodes a batch of reports on the worker pool and ships all
-// envelopes in one RPC round trip to the chain's entry hop, retrying the
-// retryable backpressure error with backoff.
+// SubmitBatch encodes a batch of reports on the worker pool and ships the
+// envelopes to the chain's entry tier through the balancer, retrying the
+// retryable backpressure error with backoff and failing over between entry
+// replicas on provably non-ingesting errors.
 func (r *RemotePipeline) SubmitBatch(labels []string, data [][]byte) error {
 	if len(labels) != len(data) {
 		return fmt.Errorf("prochlo: %d labels for %d data payloads", len(labels), len(data))
@@ -298,7 +455,8 @@ func (r *RemotePipeline) SubmitBatch(labels []string, data [][]byte) error {
 		if err != nil {
 			return err
 		}
-		n, err = r.hops[0].SubmitAllBlinded(envs, r.retries, r.retryDelay)
+		r.stampPartitions(envs, labels)
+		n, err = r.entry.SubmitAllBlinded(envs, r.retries, r.retryDelay)
 	} else {
 		reports := make([]core.Report, len(labels))
 		for i := range reports {
@@ -309,7 +467,7 @@ func (r *RemotePipeline) SubmitBatch(labels []string, data [][]byte) error {
 		if err != nil {
 			return err
 		}
-		n, err = r.hops[0].SubmitAll(envs, r.retries, r.retryDelay)
+		n, err = r.entry.SubmitAll(envs, r.retries, r.retryDelay)
 	}
 	if err != nil && n > 0 {
 		// The accepted prefix is ingested; resubmitting the whole batch
@@ -333,84 +491,219 @@ func (r *RemotePipeline) retry(submit func() error) error {
 	return err
 }
 
-// Stats fetches the entry hop's occupancy and epoch counters.
-func (r *RemotePipeline) Stats() (transport.ServiceStats, error) {
-	return r.hops[0].Stats()
+// aggregateStats sums a tier's per-replica stats into one tier-level view:
+// counters add, LastError keeps the first non-empty replica error.
+func aggregateStats(tier []transport.ServiceStats) transport.ServiceStats {
+	var agg transport.ServiceStats
+	for _, s := range tier {
+		agg.Pending += s.Pending
+		agg.QueuedEpochs += s.QueuedEpochs
+		agg.EpochsFlushed += s.EpochsFlushed
+		agg.EpochsFailed += s.EpochsFailed
+		agg.Accepted += s.Accepted
+		agg.Rejected += s.Rejected
+		agg.Dropped += s.Dropped
+		agg.Unaccounted += s.Unaccounted
+		agg.RecoveredItems += s.RecoveredItems
+		agg.RecoveredEpochs += s.RecoveredEpochs
+		agg.Cumulative.Received += s.Cumulative.Received
+		agg.Cumulative.Undecryptable += s.Cumulative.Undecryptable
+		agg.Cumulative.Crowds += s.Cumulative.Crowds
+		agg.Cumulative.CrowdsForwarded += s.Cumulative.CrowdsForwarded
+		agg.Cumulative.Forwarded += s.Cumulative.Forwarded
+		if agg.LastError == "" {
+			agg.LastError = s.LastError
+		}
+	}
+	return agg
 }
 
-// HopStats fetches every hop's stats in chain order — per-hop observability
-// for chained deployments.
-func (r *RemotePipeline) HopStats() ([]transport.ServiceStats, error) {
-	out := make([]transport.ServiceStats, len(r.hops))
-	for i, hop := range r.hops {
-		stats, err := hop.Stats()
+// Stats fetches the entry tier's aggregate occupancy and epoch counters.
+func (r *RemotePipeline) Stats() (transport.ServiceStats, error) {
+	stats := make([]transport.ServiceStats, 0, len(r.tiers[0]))
+	for i, cl := range r.tiers[0] {
+		s, err := cl.Stats()
 		if err != nil {
-			return nil, fmt.Errorf("prochlo: hop %d stats: %w", i+1, err)
+			return transport.ServiceStats{}, fmt.Errorf("prochlo: entry replica %d stats: %w", i, err)
 		}
-		out[i] = stats
+		stats = append(stats, s)
+	}
+	return aggregateStats(stats), nil
+}
+
+// BalancerStats snapshots the entry balancer's failover and breaker
+// counters.
+func (r *RemotePipeline) BalancerStats() transport.BalancerStats {
+	return r.entry.Stats()
+}
+
+// HopStats fetches every hop's aggregate stats in chain order — per-hop
+// observability for chained deployments. Replicated tiers are summed; use
+// FleetStats for the per-replica view.
+func (r *RemotePipeline) HopStats() ([]transport.ServiceStats, error) {
+	out := make([]transport.ServiceStats, len(r.tiers))
+	for t, tier := range r.tiers {
+		stats := make([]transport.ServiceStats, 0, len(tier))
+		for i, cl := range tier {
+			s, err := cl.Stats()
+			if err != nil {
+				return nil, fmt.Errorf("prochlo: hop %d replica %d stats: %w", t+1, i, err)
+			}
+			stats = append(stats, s)
+		}
+		out[t] = aggregateStats(stats)
 	}
 	return out, nil
 }
 
-// drainHop drains one hop and surfaces its newly failed epochs exactly once.
-func (r *RemotePipeline) drainHop(i int) (transport.ServiceStats, error) {
-	stats, err := r.hops[i].Drain()
+// FleetStats fetches every replica's stats, indexed [tier][replica].
+func (r *RemotePipeline) FleetStats() ([][]transport.ServiceStats, error) {
+	out := make([][]transport.ServiceStats, len(r.tiers))
+	for t, tier := range r.tiers {
+		out[t] = make([]transport.ServiceStats, len(tier))
+		for i, cl := range tier {
+			s, err := cl.Stats()
+			if err != nil {
+				return nil, fmt.Errorf("prochlo: hop %d replica %d stats: %w", t+1, i, err)
+			}
+			out[t][i] = s
+		}
+	}
+	return out, nil
+}
+
+// drainReplica drains one replica and surfaces its newly failed epochs and
+// accounting leaks exactly once.
+func (r *RemotePipeline) drainReplica(t, i int, force bool) (transport.ServiceStats, error) {
+	stats, err := r.tiers[t][i].DrainMode(force)
 	if err != nil {
 		// The failed forced epoch is already in EpochsFailed; mark it seen
 		// so the next Flush does not report the same failure twice.
-		if s, serr := r.hops[i].Stats(); serr == nil && s.EpochsFailed > r.failedSeen[i] {
-			r.failedSeen[i] = s.EpochsFailed
+		if s, serr := r.tiers[t][i].Stats(); serr == nil && s.EpochsFailed > r.failedSeen[t][i] {
+			r.failedSeen[t][i] = s.EpochsFailed
 		}
 		return stats, err
 	}
-	if stats.EpochsFailed > r.failedSeen[i] {
+	if stats.EpochsFailed > r.failedSeen[t][i] {
 		// The histogram would silently omit the failed epochs' reports;
 		// surface the loss like the in-process Pipeline.Flush surfaces
 		// processing errors — but only once per failure, so a transient
 		// outage does not poison every later Flush.
-		newly := stats.EpochsFailed - r.failedSeen[i]
-		r.failedSeen[i] = stats.EpochsFailed
-		return stats, fmt.Errorf("prochlo: hop %d: %d epochs failed to reach the next stage (last error: %s)",
-			i+1, newly, stats.LastError)
+		newly := stats.EpochsFailed - r.failedSeen[t][i]
+		r.failedSeen[t][i] = stats.EpochsFailed
+		return stats, fmt.Errorf("prochlo: hop %d replica %d: %d epochs failed to reach the next stage (last error: %s)",
+			t+1, i, newly, stats.LastError)
+	}
+	if stats.Unaccounted != 0 {
+		// At a drain barrier every accepted report must be counted
+		// downstream, dropped, or pending — anything else is a leak in the
+		// exactly-once machinery, worth failing loudly over.
+		return stats, fmt.Errorf("prochlo: hop %d replica %d: %d accepted reports unaccounted for after drain",
+			t+1, i, stats.Unaccounted)
 	}
 	return stats, nil
 }
 
-// Flush drains the chain in hop order — each hop's pending epoch is cut and
-// every queued epoch is pushed to the next stage before the next hop is
-// drained — then returns the analyzer's cumulative result. ShufflerStats
-// sums the thresholding hop's selectivity over all epochs flushed so far,
-// so under auto-flush Flush reports the whole deployment's trajectory, not
-// one epoch's.
-func (r *RemotePipeline) Flush() (*Result, error) {
-	var stats transport.ServiceStats
-	for i := range r.hops {
-		var err error
-		if stats, err = r.drainHop(i); err != nil {
-			return nil, err
+// DrainAll drains the whole fleet in chain order — every replica of a tier
+// is drained before the next tier, so each tier's final epochs reach the
+// next tier's ingestion before that tier cuts — and returns every
+// replica's post-drain stats, indexed [tier][replica]. A replica that is
+// mid-restart is retried under the hop client's redial budget (drains are
+// idempotent), so a crash-recovering fleet still reaches the barrier; the
+// recovered replica's stats appear in its slot. Force additionally
+// releases below-floor final epochs as Dropped (counted, reconciled)
+// instead of leaving them pending — the final drain of a deployment
+// shutting down for good.
+//
+// Every replica is drained even when one fails; the first error is
+// returned alongside the full stats. A successful DrainAll guarantees
+// fleet-wide Unaccounted == 0: each replica's accepted reports are all
+// either counted downstream, dropped, or pending.
+func (r *RemotePipeline) DrainAll(force bool) ([][]transport.ServiceStats, error) {
+	out := make([][]transport.ServiceStats, len(r.tiers))
+	var firstErr error
+	for t := range r.tiers {
+		out[t] = make([]transport.ServiceStats, len(r.tiers[t]))
+		for i := range r.tiers[t] {
+			stats, err := r.drainReplica(t, i, force)
+			out[t][i] = stats
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-	counts, undec, err := r.anlz.Histogram()
+	return out, firstErr
+}
+
+// histogram merges the analyzer partitions' histograms; counts sum, so the
+// merge is deterministic regardless of how the fleet spread the records.
+func (r *RemotePipeline) histogram() (map[string]int, int, error) {
+	counts := make(map[string]int)
+	undec := 0
+	for i, anlz := range r.anlzs {
+		c, u, err := anlz.Histogram()
+		if err != nil {
+			return nil, 0, fmt.Errorf("prochlo: analyzer partition %d histogram: %w", i, err)
+		}
+		for k, v := range c {
+			counts[k] += v
+		}
+		undec += u
+	}
+	return counts, undec, nil
+}
+
+// Flush drains the fleet in chain order (DrainAll) and returns the
+// analyzer partitions' merged cumulative result. ShufflerStats sums the
+// thresholding tier's selectivity over all epochs flushed so far, so under
+// auto-flush Flush reports the whole deployment's trajectory, not one
+// epoch's.
+func (r *RemotePipeline) Flush() (*Result, error) {
+	return r.flush(false)
+}
+
+// FlushFinal is Flush for a deployment shutting down for good: below-floor
+// final epochs are released as Dropped (the anonymity floor forbids
+// forwarding them) instead of left pending forever, and the loss is
+// visible in the drained stats' Dropped counters.
+func (r *RemotePipeline) FlushFinal() (*Result, error) {
+	return r.flush(true)
+}
+
+func (r *RemotePipeline) flush(force bool) (*Result, error) {
+	stats, err := r.DrainAll(force)
 	if err != nil {
 		return nil, err
 	}
+	counts, undec, err := r.histogram()
+	if err != nil {
+		return nil, err
+	}
+	last := aggregateStats(stats[len(stats)-1])
 	return &Result{
 		Histogram:     counts,
-		ShufflerStats: stats.Cumulative,
+		ShufflerStats: last.Cumulative,
 		Undecryptable: undec,
 	}, nil
 }
 
-// Close releases every daemon connection.
+// Close releases every daemon connection and stops the entry balancer.
 func (r *RemotePipeline) Close() error {
 	var err error
-	for _, hop := range r.hops {
-		if cerr := hop.Close(); err == nil {
+	if r.entry != nil {
+		if cerr := r.entry.Close(); err == nil {
 			err = cerr
 		}
 	}
-	if r.anlz != nil {
-		if cerr := r.anlz.Close(); err == nil {
+	for _, tier := range r.tiers {
+		for _, cl := range tier {
+			if cerr := cl.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	for _, anlz := range r.anlzs {
+		if cerr := anlz.Close(); err == nil {
 			err = cerr
 		}
 	}

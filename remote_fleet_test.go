@@ -1,0 +1,492 @@
+package prochlo_test
+
+import (
+	"bytes"
+	crand "crypto/rand"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"testing"
+	"time"
+
+	"prochlo"
+	"prochlo/internal/analyzer"
+	"prochlo/internal/crypto/elgamal"
+	"prochlo/internal/crypto/hybrid"
+	"prochlo/internal/dp"
+	"prochlo/internal/shuffler"
+	"prochlo/internal/transport"
+	"prochlo/internal/workload"
+)
+
+// trackedServer serves one RPC receiver while tracking every accepted
+// connection, so a test can kill a replica the way kill -9 does: the
+// listener and all established sockets die together. transport.Serve only
+// closes the listener, which leaves old connections pointing at the dead
+// service — fine when each phase re-dials, but a fleet's long-lived balancer
+// and drain clients must instead see the connection sever and redial the
+// WAL-recovered successor at the same address.
+type trackedServer struct {
+	l     net.Listener
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func serveTracked(addr, name string, rcvr any) (*trackedServer, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(name, rcvr); err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &trackedServer{l: l, conns: make(map[net.Conn]struct{})}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			go func() {
+				srv.ServeConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+		}
+	}()
+	return s, nil
+}
+
+func (s *trackedServer) addr() string { return s.l.Addr().String() }
+
+// kill severs the listener and every established connection at once.
+func (s *trackedServer) kill() {
+	s.l.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// serveTrackedAt binds rcvr at a concrete address, retrying briefly: a
+// restarted replica must reclaim its predecessor's address so redialing
+// peers find the successor.
+func serveTrackedAt(addr, name string, rcvr any) (*trackedServer, error) {
+	var srv *trackedServer
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		if srv, err = serveTracked(addr, name, rcvr); err == nil {
+			return srv, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("rebinding %s: %w", addr, err)
+}
+
+// TestRemoteChainFleetCrashRestartSoak is the fleet acceptance run: the
+// blinded chain deployed as 2 shuffler-1 replicas x 2 shuffler-2 partitions
+// x 2 analyzer partitions, with the WAL enabled at every shuffler replica
+// and seeded fault injection on the inter-tier links. Mid-run, a hop-1
+// replica is crash-killed with an epoch pending and restarted over its WAL
+// (the balancer must eject it, concentrate load on the survivor, and
+// readmit the recovered successor), and the seeded fault plan crash-kills a
+// hop-2 partition out from under an in-flight fan-out push (the upstream
+// sink must redial the WAL-recovered successor and the partition's dedup
+// must absorb any replay). The fleet-wide drain must still produce a
+// histogram byte-identical to the uninterrupted in-process pipeline with
+// zero drops and a balanced ledger at every replica.
+//
+// Thresholding is disabled for the same reason as the single-chain crash
+// soak: a restart reseeds the stage RNG, and here partitioning additionally
+// splits crowds across replicas — exactly-once delivery is the promise
+// under test, not reproduction of random threshold draws.
+func TestRemoteChainFleetCrashRestartSoak(t *testing.T) {
+	const (
+		seed    = 43
+		reports = 240
+		chunk   = 60
+	)
+	labels, data := sampleReports(reports)
+
+	// Uninterrupted in-process reference. Without thresholding the
+	// histogram is a pure multiset of the submitted reports, so epoch and
+	// partition boundaries cannot change it — one flush suffices.
+	p, err := prochlo.New(prochlo.WithSeed(seed), prochlo.WithMode(prochlo.ModeBlinded),
+		prochlo.WithoutThreshold(), prochlo.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitBatch(labels, data); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inProcess := ref.Histogram
+
+	// Persistent parties and key material: both analyzer partitions share
+	// one key, both shuffler-2 replicas share the blinding and hybrid keys
+	// (as daemons sharing a key file would); only shuffler processes die.
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anlzAddrs []string
+	for i := 0; i < 2; i++ {
+		anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+		anlzL, err := transport.Serve("127.0.0.1:0", "Analyzer", anlzSvc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer anlzL.Close()
+		anlzAddrs = append(anlzAddrs, anlzL.Addr().String())
+	}
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2Priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replica state, guarded by mu: the seeded kill hook mutates it from a
+	// hop-1 flusher goroutine while the test goroutine reads it.
+	var mu sync.Mutex
+	s1svcs := make([]*transport.BlindedShufflerService, 2)
+	s2svcs := make([]*transport.BlindedShufflerService, 2)
+	s1Srvs := make([]*trackedServer, 2)
+	s2Srvs := make([]*trackedServer, 2)
+	s1WALs := [2]string{t.TempDir(), t.TempDir()}
+	s2WALs := [2]string{t.TempDir(), t.TempDir()}
+
+	// Seeded fault schedules, shared across restarts. CI derives the seed
+	// from the commit SHA via PROCHLO_FAULT_SEED.
+	fs := faultSeed(t, 0x7F17)
+	s2Faults := [2]*transport.FaultPlan{
+		// Replica 0's first analyzer push loses its ack: the redialed retry
+		// must be absorbed by the analyzer's (stream, epoch) dedup.
+		{Seed: fs + 2, PDropAck: 1, MaxFaults: 1},
+		// Replica 1's first analyzer push opens a 100ms partition window;
+		// the sink's backoff outlasts it and the retry goes through.
+		{Seed: fs + 3, PPartition: 1, PartitionFor: 100 * time.Millisecond, MaxFaults: 1},
+	}
+	start2 := func(i int, addr string) error {
+		s2 := &shuffler.Shuffler2{
+			Blinding: blindKP, Priv: s2Priv,
+			Rand: workload.NewRand(uint64(20 + i)), MinBatch: 1,
+		}
+		svc, err := transport.NewShuffler2FleetService(s2, anlzAddrs,
+			transport.EpochConfig{WALDir: s2WALs[i], Fault: s2Faults[i]})
+		if err != nil {
+			return err
+		}
+		svc.SetFleetInfo(2, nil)
+		srv, err := serveTrackedAt(addr, "Shuffler", svc)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		s2svcs[i], s2Srvs[i] = svc, srv
+		mu.Unlock()
+		return nil
+	}
+	for i := range s2svcs {
+		if err := start2(i, "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2Addrs := []string{s2Srvs[0].addr(), s2Srvs[1].addr()}
+
+	// The seeded whole-replica kill: the first fan-out push from hop-1
+	// replica 0 crash-kills hop-2 partition 0 (listener and sockets sever,
+	// engine aborts mid-epoch — kill -9) and restarts it over its WAL at
+	// the same address. The failed push redials and lands on the successor.
+	killS2 := func() {
+		mu.Lock()
+		srv, svc := s2Srvs[0], s2svcs[0]
+		mu.Unlock()
+		addr := srv.addr()
+		srv.kill()
+		svc.Abort()
+		if err := start2(0, addr); err != nil {
+			t.Errorf("restarting killed shuffler2 replica: %v", err)
+		}
+	}
+	s1Faults := [2]*transport.FaultPlan{
+		{Seed: fs, PKill: 1, MaxFaults: 1, Kill: killS2},
+		// Replica 1's first two partition pushes are duplicated: the
+		// per-partition (stream, epoch) dedup must absorb the replays.
+		{Seed: fs + 1, PDup: 1, MaxFaults: 2},
+	}
+	start1 := func(i int, addr string) error {
+		s1, err := shuffler.NewShuffler1(workload.NewRand(uint64(10 + i)))
+		if err != nil {
+			return err
+		}
+		s1.MinBatch = 1
+		svc, err := transport.NewShuffler1FleetService(s1, s2Addrs,
+			transport.EpochConfig{FlushAt: 1000, Shards: 3, WALDir: s1WALs[i], Fault: s1Faults[i]})
+		if err != nil {
+			return err
+		}
+		svc.SetFleetInfo(2, nil)
+		srv, err := serveTrackedAt(addr, "Shuffler", svc)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		s1svcs[i], s1Srvs[i] = svc, srv
+		mu.Unlock()
+		return nil
+	}
+	for i := range s1svcs {
+		if err := start1(i, "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1Addrs := []string{s1Srvs[0].addr(), s1Srvs[1].addr()}
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, srv := range append(s1Srvs, s2Srvs...) {
+			if srv != nil {
+				srv.kill()
+			}
+		}
+		for _, svc := range append(s1svcs, s2svcs...) {
+			if svc != nil {
+				svc.Close()
+			}
+		}
+	}()
+
+	// One long-lived fleet pipeline for the whole run — the clients, the
+	// balancer, and the drain barrier all live through the replica deaths.
+	rp, err := prochlo.DialRemoteChainFleet(s1Addrs, s2Addrs, anlzAddrs,
+		prochlo.WithRemoteWorkers(1),
+		prochlo.WithBalancer(transport.BalancerConfig{
+			ProbeInterval:    15 * time.Millisecond,
+			BreakerThreshold: 2,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+
+	submit := func(at int) {
+		t.Helper()
+		if err := rp.SubmitBatch(labels[at:at+chunk], data[at:at+chunk]); err != nil {
+			t.Fatalf("submitting chunk at %d: %v", at, err)
+		}
+	}
+	waitBalancer := func(what string, cond func(transport.BalancerStats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond(rp.BalancerStats()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s: %+v", what, rp.BalancerStats())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Chunk 0 enters through hop-1 replica 0 (round-robin starts there) and
+	// stays pending (FlushAt is beyond reach). Crash-kill the replica
+	// mid-epoch; the health probes must trip the breaker and eject it.
+	submit(0)
+	mu.Lock()
+	srv0, svc0 := s1Srvs[0], s1svcs[0]
+	mu.Unlock()
+	s1Addr0 := srv0.addr()
+	srv0.kill()
+	svc0.Abort()
+	waitBalancer("ejection of the dead replica", func(bs transport.BalancerStats) bool {
+		return bs.Healthy == 1
+	})
+
+	// Graceful degradation: with replica 0 ejected the survivor absorbs the
+	// whole submission stream.
+	submit(chunk)
+
+	// Restart replica 0 over its WAL at the same address: it must recover
+	// the killed epoch, and the probes must readmit it.
+	if err := start1(0, s1Addr0); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	svc0 = s1svcs[0]
+	mu.Unlock()
+	var st transport.ServiceStats
+	if err := svc0.Stats(struct{}{}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RecoveredItems != chunk {
+		t.Fatalf("restarted hop-1 replica recovered %d items, want %d", st.RecoveredItems, chunk)
+	}
+	waitBalancer("readmission of the recovered replica", func(bs transport.BalancerStats) bool {
+		return bs.Healthy == 2
+	})
+
+	// Chunk 2 lands back on the readmitted replica (its client redials the
+	// severed connection transparently) and joins the recovered epoch;
+	// chunk 3 goes to replica 1.
+	submit(2 * chunk)
+	submit(3 * chunk)
+
+	// Fleet-wide drain in chain order. Hop-1 replica 0's first push draws
+	// the seeded kill of hop-2 partition 0; the drain barrier must ride out
+	// the restart and still reconcile every replica's ledger.
+	res, err := rp.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := canonicalHistogram(res.Histogram), canonicalHistogram(inProcess); !bytes.Equal(got, want) {
+		t.Errorf("fleet histogram differs from uninterrupted in-process run:\nfleet:\n%s\nin-process:\n%s", got, want)
+	}
+	if res.Undecryptable != 0 {
+		t.Errorf("undecryptable = %d, want 0", res.Undecryptable)
+	}
+
+	fleet, err := rp.FleetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, tier := range fleet {
+		for ri, s := range tier {
+			if s.Dropped != 0 || s.EpochsFailed != 0 {
+				t.Errorf("hop %d replica %d: dropped=%d failed=%d (%s), want clean delivery",
+					ti+1, ri, s.Dropped, s.EpochsFailed, s.LastError)
+			}
+			if s.Pending != 0 || s.QueuedEpochs != 0 {
+				t.Errorf("hop %d replica %d: drain left pending=%d queued=%d", ti+1, ri, s.Pending, s.QueuedEpochs)
+			}
+			if s.Unaccounted != 0 {
+				t.Errorf("hop %d replica %d: unaccounted = %d, want a balanced ledger", ti+1, ri, s.Unaccounted)
+			}
+		}
+	}
+
+	bs := rp.BalancerStats()
+	if bs.Submitted != reports {
+		t.Errorf("balancer submitted = %d, want %d", bs.Submitted, reports)
+	}
+	if bs.Ejections == 0 || bs.Readmits == 0 || bs.Healthy != 2 || bs.Probes == 0 {
+		t.Errorf("balancer stats = %+v, want >=1 ejection, >=1 readmit, 2 healthy, probes running", bs)
+	}
+	for i, f := range append(s1Faults[:], s2Faults[:]...) {
+		if f.Injected() == 0 {
+			t.Errorf("fault plan %d injected no faults, want every link exercised", i)
+		}
+	}
+}
+
+// fleetRig is an R x R x R blinded-chain fleet for benchmarks: R analyzer
+// partitions sharing one key, R shuffler-2 replicas sharing the blinding
+// and hybrid keys, R shuffler-1 replicas fanning out to every partition.
+type fleetRig struct {
+	s1Addrs, s2Addrs, anlzAddrs []string
+}
+
+func newFleetRig(tb testing.TB, replicas int) *fleetRig {
+	tb.Helper()
+	rig := &fleetRig{}
+	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < replicas; i++ {
+		svc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv}, anlzPriv.Public().Bytes())
+		l, err := transport.Serve("127.0.0.1:0", "Analyzer", svc)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { l.Close() })
+		rig.anlzAddrs = append(rig.anlzAddrs, l.Addr().String())
+	}
+	blindKP, err := elgamal.GenerateKeyPair(crand.Reader)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s2Priv, err := hybrid.GenerateKey(crand.Reader)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < replicas; i++ {
+		s2 := &shuffler.Shuffler2{
+			Blinding: blindKP, Priv: s2Priv,
+			Threshold: shuffler.Threshold{Noise: dp.PaperThresholdNoise},
+			Rand:      workload.NewRand(uint64(40 + i)), MinBatch: 1,
+		}
+		svc, err := transport.NewShuffler2FleetService(s2, rig.anlzAddrs, transport.EpochConfig{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { svc.Close() })
+		l, err := transport.Serve("127.0.0.1:0", "Shuffler", svc)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { l.Close() })
+		rig.s2Addrs = append(rig.s2Addrs, l.Addr().String())
+	}
+	for i := 0; i < replicas; i++ {
+		s1, err := shuffler.NewShuffler1(workload.NewRand(uint64(50 + i)))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		s1.MinBatch = 1
+		svc, err := transport.NewShuffler1FleetService(s1, rig.s2Addrs, transport.EpochConfig{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { svc.Close() })
+		l, err := transport.Serve("127.0.0.1:0", "Shuffler", svc)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { l.Close() })
+		rig.s1Addrs = append(rig.s1Addrs, l.Addr().String())
+	}
+	return rig
+}
+
+// BenchmarkRemoteChainFleet measures the replicated chain end to end —
+// balanced entry, partitioned fan-in, fleet drain — against the
+// single-replica chain baseline (replicas=1 runs the same fleet code over
+// one replica per tier).
+func BenchmarkRemoteChainFleet(b *testing.B) {
+	const batch = 500
+	labels, data := sampleReports(batch)
+	for _, replicas := range []int{1, 2} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rig := newFleetRig(b, replicas)
+				rp, err := prochlo.DialRemoteChainFleet(rig.s1Addrs, rig.s2Addrs, rig.anlzAddrs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rp.SubmitBatch(labels, data); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rp.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				rp.Close()
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/report")
+		})
+	}
+}

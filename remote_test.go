@@ -802,7 +802,7 @@ func TestRemoteChainCrashRestartSoak(t *testing.T) {
 	// pending there when hop 2 dies mid-epoch; the restarted hop must
 	// recover both the reports and the forward-dedup marks.
 	submit(2 * chunk)
-	if err := s1svc.Drain(struct{}{}, &stats); err != nil {
+	if err := s1svc.Drain(transport.DrainArgs{}, &stats); err != nil {
 		t.Fatal(err)
 	}
 	s2Addr := s2L.Addr().String()

@@ -5,7 +5,10 @@
 # (serial vs parallel), analyzer Open (serial vs parallel), Histogram, the
 # end-to-end pipeline (in-process, single-daemon remote, and the two-hop
 # blinded daemon chain — BenchmarkRemoteChain tracks per-hop transport
-# overhead), the WAL durability tax (BenchmarkRemotePipelineWAL, matched by
+# overhead, and BenchmarkRemoteChainFleet, matched by the same pattern,
+# tracks the replicated chain with its balanced entry tier and partitioned
+# fan-in against the one-replica-per-tier baseline), the WAL durability tax
+# (BenchmarkRemotePipelineWAL, matched by
 # the BenchmarkRemotePipeline pattern, captures WAL-on vs WAL-off and the
 # fsync-cadence sweep next to the WAL-off baseline), and the hybrid
 # Seal/Open allocation counts.
