@@ -83,6 +83,7 @@ import (
 	"prochlo/internal/crypto/elgamal"
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/dp"
+	"prochlo/internal/metrics"
 	"prochlo/internal/sgx"
 	"prochlo/internal/shuffler"
 	"prochlo/internal/transport"
@@ -119,6 +120,7 @@ func main() {
 	redialAttempts := flag.Int("redial-attempts", 0, "reconnects to a dead downstream per push before the epoch fails (0 = default, negative disables)")
 	redialBase := flag.Duration("redial-base", 0, "first redial backoff, doubling per attempt (0 = default)")
 	redialJitter := flag.Float64("redial-jitter", 0, "redial backoff jitter fraction (0 = default, negative disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics at /metrics and a liveness probe at /healthz on this address (empty disables; see docs/OPERATIONS.md for the catalog)")
 	flag.Parse()
 
 	if *next == "" {
@@ -130,6 +132,10 @@ func main() {
 	nexts := splitAddrs(*next)
 	if len(nexts) > 1 && !*fleetMode {
 		fatal(errors.New("multiple -next addresses require -fleet (partition order must be deliberate and identical across the tier)"))
+	}
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
 	}
 	cfg := transport.EpochConfig{
 		FlushAt:         *flushAt,
@@ -144,6 +150,8 @@ func main() {
 		RedialAttempts:  *redialAttempts,
 		RedialBase:      *redialBase,
 		RedialJitter:    *redialJitter,
+		Metrics:         reg,
+		MetricsLabels:   metrics.Labels{"role": *role},
 	}
 	o := shufflerOpts{
 		listen: *listen, nexts: nexts,
@@ -155,11 +163,13 @@ func main() {
 		statsInterval: *statsInterval,
 		keyFile:       *keyFile,
 		cfg:           cfg,
+		metricsAddr:   *metricsAddr,
+		metricsReg:    reg,
 	}
 
 	switch *role {
 	case "analyzer":
-		runAnalyzer(*listen, *workers, *statsInterval, *keyFile)
+		runAnalyzer(*listen, *workers, *statsInterval, *keyFile, *metricsAddr, reg)
 	case "shuffler":
 		runShuffler(o)
 	case "shuffler1":
@@ -213,6 +223,29 @@ type healthzer interface {
 	Healthz(_ struct{}, reply *transport.HealthzReply) error
 }
 
+// serveMetrics starts the /metrics + /healthz endpoint when -metrics-addr
+// is set. The /healthz status is driven by the same Healthz RPC the
+// balancers probe, so an HTTP liveness check and an RPC liveness check
+// never disagree. Returns a nil server when disabled.
+func serveMetrics(addr string, reg *metrics.Registry, svc any) *metrics.Server {
+	if addr == "" || reg == nil {
+		return nil
+	}
+	var healthy func() bool
+	if hz, ok := svc.(healthzer); ok {
+		healthy = func() bool {
+			var h transport.HealthzReply
+			return hz.Healthz(struct{}{}, &h) == nil && h.Healthy
+		}
+	}
+	ms, err := metrics.Serve(addr, reg, healthy)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics on http://%s/metrics (liveness at /healthz)\n", ms.Addr())
+	return ms
+}
+
 // healthzPrefix formats a service's Healthz snapshot for logStats; empty
 // when the service serves no liveness RPC.
 func healthzPrefix(svc any) string {
@@ -245,12 +278,16 @@ func serviceSnapshot(svc statser) func() (string, error) {
 	}
 }
 
-func runAnalyzer(listen string, workers int, statsInterval time.Duration, keyFile string) {
+func runAnalyzer(listen string, workers int, statsInterval time.Duration, keyFile, metricsAddr string, reg *metrics.Registry) {
 	priv, _, err := loadKeys(keyFile, false)
 	if err != nil {
 		fatal(err)
 	}
 	svc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: priv, Workers: workers}, priv.Public().Bytes())
+	if reg != nil {
+		svc.RegisterMetrics(reg, metrics.Labels{"role": "analyzer"})
+	}
+	ms := serveMetrics(metricsAddr, reg, svc)
 	l, err := transport.Serve(listen, "Analyzer", svc)
 	if err != nil {
 		fatal(err)
@@ -269,6 +306,9 @@ func runAnalyzer(listen string, workers int, statsInterval time.Duration, keyFil
 	waitForSignal()
 	close(stop)
 	l.Close()
+	if ms != nil {
+		ms.Close()
+	}
 	fmt.Println("prochlod analyzer: shut down")
 }
 
@@ -284,6 +324,8 @@ type shufflerOpts struct {
 	statsInterval                 time.Duration
 	keyFile                       string
 	cfg                           transport.EpochConfig
+	metricsAddr                   string
+	metricsReg                    *metrics.Registry
 }
 
 // splitAddrs parses a comma-separated address list, dropping empty entries.
@@ -399,9 +441,10 @@ func stageRand(seed uint64, stage string) *rand.Rand {
 // closer is the graceful-shutdown surface shared by every stage service.
 type closer interface{ Close() error }
 
-// serveAndWait serves svc, logs stats, and on SIGINT/SIGTERM drains it
-// gracefully: stop accepting, flush the final epoch downstream, then exit.
-func serveAndWait(role, listen string, svc any, statsInterval time.Duration) {
+// serveAndWait serves svc, logs stats, exposes /metrics when -metrics-addr
+// is set, and on SIGINT/SIGTERM drains it gracefully: stop accepting, flush
+// the final epoch downstream, then exit.
+func serveAndWait(role string, o shufflerOpts, svc any) {
 	if s, ok := svc.(statser); ok {
 		var st transport.ServiceStats
 		if err := s.Stats(struct{}{}, &st); err == nil && st.RecoveredItems > 0 {
@@ -409,18 +452,22 @@ func serveAndWait(role, listen string, svc any, statsInterval time.Duration) {
 				role, st.RecoveredItems, st.RecoveredEpochs, st.Pending)
 		}
 	}
-	l, err := transport.Serve(listen, "Shuffler", svc)
+	ms := serveMetrics(o.metricsAddr, o.metricsReg, svc)
+	l, err := transport.Serve(o.listen, "Shuffler", svc)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("prochlod %s listening on %v\n", role, l.Addr())
 	stop := make(chan struct{})
 	if s, ok := svc.(statser); ok {
-		logStats(role, statsInterval, stop, serviceSnapshot(s))
+		logStats(role, o.statsInterval, stop, serviceSnapshot(s))
 	}
 	waitForSignal()
 	close(stop)
 	l.Close()
+	if ms != nil {
+		defer ms.Close()
+	}
 	if c, ok := svc.(closer); ok {
 		if err := c.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "prochlod %s: drain: %v\n", role, err)
@@ -487,7 +534,7 @@ func runShuffler(o shufflerOpts) {
 	svc.SetFleetInfo(o.fleetInfo())
 	fmt.Println("forwarding to analyzer at", o.nextList())
 	printEpochs(svc.Config())
-	serveAndWait("shuffler", o.listen, svc, o.statsInterval)
+	serveAndWait("shuffler", o, svc)
 }
 
 func runShuffler1(o shufflerOpts) {
@@ -504,7 +551,7 @@ func runShuffler1(o shufflerOpts) {
 	svc.SetFleetInfo(o.fleetInfo())
 	fmt.Println("forwarding blinded epochs to shuffler2 at", o.nextList())
 	printEpochs(svc.Config())
-	serveAndWait("shuffler1", o.listen, svc, o.statsInterval)
+	serveAndWait("shuffler1", o, svc)
 }
 
 func runShuffler2(o shufflerOpts) {
@@ -531,7 +578,7 @@ func runShuffler2(o shufflerOpts) {
 	fmt.Println("blinding public key:", hex.EncodeToString(blindKP.H.Bytes()))
 	fmt.Println("shuffler2 public key:", hex.EncodeToString(priv.Public().Bytes()))
 	printEpochs(svc.Config())
-	serveAndWait("shuffler2", o.listen, svc, o.statsInterval)
+	serveAndWait("shuffler2", o, svc)
 }
 
 func waitForSignal() {

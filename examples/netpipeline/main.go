@@ -26,21 +26,42 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	crand "crypto/rand"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand/v2"
 	"net"
+	"strconv"
+	"strings"
 
 	"prochlo"
 	"prochlo/internal/analyzer"
 	"prochlo/internal/crypto/elgamal"
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/dp"
+	"prochlo/internal/metrics"
 	"prochlo/internal/shuffler"
 	"prochlo/internal/transport"
 )
+
+// reg is the shared metrics registry when -metrics-addr is set; nil
+// disables instrumentation everywhere it is threaded (the zero-cost path).
+var reg *metrics.Registry
+
+// epochCfg builds a stage's epoch config, carrying the shared registry and
+// a role/replica label pair the way cmd/prochlod labels its own series.
+func epochCfg(role string, replica, flushAt int) transport.EpochConfig {
+	return transport.EpochConfig{
+		FlushAt: flushAt,
+		Metrics: reg,
+		MetricsLabels: metrics.Labels{
+			"role": role, "replica": strconv.Itoa(replica),
+		},
+	}
+}
 
 func main() {
 	workers := flag.Int("workers", 0, "worker pool size per stage (0 = GOMAXPROCS, 1 = serial)")
@@ -48,7 +69,18 @@ func main() {
 	flushAt := flag.Int("flush-at", 100, "epoch auto-flush threshold")
 	chain := flag.Bool("chain", false, "run the §4.3 split-shuffler chain (Shuffler1 -> Shuffler2 -> analyzer) instead of the single shuffler")
 	fleet := flag.Bool("fleet", false, "run the chain as a 2x2x2 replica fleet with a balanced entry tier and partitioned fan-in")
+	metricsAddr := flag.String("metrics-addr", "", "serve every party's metrics at /metrics on this address and print a gauge sample after the drain (empty disables)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		ms, err := metrics.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	// Party 1: the analyzer daemon.
 	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
@@ -56,6 +88,9 @@ func main() {
 		log.Fatal(err)
 	}
 	anlzSvc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv, Workers: *workers}, anlzPriv.Public().Bytes())
+	if reg != nil {
+		anlzSvc.RegisterMetrics(reg, metrics.Labels{"role": "analyzer", "replica": "0"})
+	}
 	anlzL, err := transport.Serve("127.0.0.1:0", "Analyzer", anlzSvc)
 	if err != nil {
 		log.Fatal(err)
@@ -118,6 +153,22 @@ func main() {
 			}
 		}
 	}
+	if reg != nil {
+		fmt.Println("post-drain gauge sample:")
+		var buf bytes.Buffer
+		if _, err := reg.WriteTo(&buf); err != nil {
+			log.Fatal(err)
+		}
+		for sc := bufio.NewScanner(&buf); sc.Scan(); {
+			line := sc.Text()
+			if strings.HasPrefix(line, "prochlo_epoch_occupancy") ||
+				strings.HasPrefix(line, "prochlo_unaccounted_reports") ||
+				strings.HasPrefix(line, "prochlo_balancer_healthy_replicas") ||
+				strings.HasPrefix(line, "prochlo_analyzer_records") {
+				fmt.Println(" ", line)
+			}
+		}
+	}
 }
 
 // dialSingle wires the single-shuffler topology: one streaming shuffler
@@ -135,7 +186,7 @@ func dialSingle(anlzL net.Listener, workers, flushAt int) *prochlo.RemotePipelin
 		Workers:   workers,
 	}
 	shufSvc, err := transport.NewStreamingShufflerService(sh, shufPriv.Public().Bytes(), anlzL.Addr().String(),
-		transport.EpochConfig{FlushAt: flushAt})
+		epochCfg("shuffler", 0, flushAt))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -175,7 +226,7 @@ func dialChain(anlzL net.Listener, workers, flushAt int) *prochlo.RemotePipeline
 		Workers:   workers,
 	}
 	s2Svc, err := transport.NewShuffler2Service(s2, anlzL.Addr().String(),
-		transport.EpochConfig{FlushAt: flushAt})
+		epochCfg("shuffler2", 0, flushAt))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -190,7 +241,7 @@ func dialChain(anlzL net.Listener, workers, flushAt int) *prochlo.RemotePipeline
 	}
 	s1.Workers = workers
 	s1Svc, err := transport.NewShuffler1Service(s1, s2L.Addr().String(),
-		transport.EpochConfig{FlushAt: flushAt})
+		epochCfg("shuffler1", 0, flushAt))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -217,6 +268,9 @@ func dialChain(anlzL net.Listener, workers, flushAt int) *prochlo.RemotePipeline
 func dialFleet(anlzPriv *hybrid.PrivateKey, anlzL net.Listener, workers, flushAt int) *prochlo.RemotePipeline {
 	// Second analyzer partition, same key.
 	anlz2Svc := transport.NewAnalyzerService(&analyzer.Analyzer{Priv: anlzPriv, Workers: workers}, anlzPriv.Public().Bytes())
+	if reg != nil {
+		anlz2Svc.RegisterMetrics(reg, metrics.Labels{"role": "analyzer", "replica": "1"})
+	}
 	anlz2L, err := transport.Serve("127.0.0.1:0", "Analyzer", anlz2Svc)
 	if err != nil {
 		log.Fatal(err)
@@ -241,7 +295,7 @@ func dialFleet(anlzPriv *hybrid.PrivateKey, anlzL net.Listener, workers, flushAt
 			MinBatch:  1,
 			Workers:   workers,
 		}
-		s2Svc, err := transport.NewShuffler2FleetService(s2, anlzAddrs, transport.EpochConfig{FlushAt: flushAt})
+		s2Svc, err := transport.NewShuffler2FleetService(s2, anlzAddrs, epochCfg("shuffler2", i, flushAt))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -259,7 +313,7 @@ func dialFleet(anlzPriv *hybrid.PrivateKey, anlzL net.Listener, workers, flushAt
 			log.Fatal(err)
 		}
 		s1.Workers = workers
-		s1Svc, err := transport.NewShuffler1FleetService(s1, s2Addrs, transport.EpochConfig{FlushAt: flushAt})
+		s1Svc, err := transport.NewShuffler1FleetService(s1, s2Addrs, epochCfg("shuffler1", i, flushAt))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -272,7 +326,8 @@ func dialFleet(anlzPriv *hybrid.PrivateKey, anlzL net.Listener, workers, flushAt
 	fmt.Println("fleet: shuffler1", s1Addrs, " shuffler2", s2Addrs, " analyzers", anlzAddrs)
 
 	rp, err := prochlo.DialRemoteChainFleet(s1Addrs, s2Addrs, anlzAddrs,
-		prochlo.WithRemoteWorkers(workers))
+		prochlo.WithRemoteWorkers(workers),
+		prochlo.WithRemoteMetrics(reg, map[string]string{"tier": "entry"}))
 	if err != nil {
 		log.Fatal(err)
 	}

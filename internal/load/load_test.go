@@ -1,0 +1,181 @@
+package load
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQuantileKnownStream asserts the percentile math against a synthetic
+// latency stream with known answers: 1..100 shuffled, where nearest-rank
+// quantiles are exactly the rank values.
+func TestQuantileKnownStream(t *testing.T) {
+	stream := make([]float64, 100)
+	for i := range stream {
+		// A deterministic shuffle: stride 37 is coprime with 100, so
+		// every value 1..100 appears exactly once, out of order.
+		stream[i] = float64((i*37)%100 + 1)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.00, 100}, {0.01, 1},
+	}
+	for _, c := range cases {
+		if got := Quantile(stream, c.q); got != c.want {
+			t.Errorf("Quantile(1..100, %v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(empty) must be NaN")
+	}
+	if !math.IsNaN(Quantile(stream, 0)) || !math.IsNaN(Quantile(stream, 1.1)) {
+		t.Error("Quantile with q out of (0,1] must be NaN")
+	}
+	if got := Quantile([]float64{42}, 0.5); got != 42 {
+		t.Errorf("Quantile(single) = %v, want 42", got)
+	}
+}
+
+// fakeSubmitter counts reports and optionally injects a fixed delay or
+// per-batch errors.
+type fakeSubmitter struct {
+	reports atomic.Int64
+	batches atomic.Int64
+	delay   time.Duration
+	failAll bool
+
+	mu     sync.Mutex
+	crowds map[string]int
+}
+
+func (f *fakeSubmitter) SubmitBatch(labels []string, data [][]byte) error {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.failAll {
+		return errors.New("injected failure")
+	}
+	f.batches.Add(1)
+	f.reports.Add(int64(len(labels)))
+	if f.crowds != nil {
+		f.mu.Lock()
+		for _, l := range labels {
+			f.crowds[l]++
+		}
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// TestRunClosedLoop checks the accounting of a closed-loop run: measured
+// reports exclude warmup, every batch lands, and the percentile fields are
+// populated from real latencies.
+func TestRunClosedLoop(t *testing.T) {
+	f := &fakeSubmitter{delay: time.Millisecond}
+	res, err := Run(f, Config{Clients: 4, Batches: 10, BatchSize: 25, Seed: 1, Warmup: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.reports.Load() != 4*10*25 {
+		t.Errorf("submitted reports = %d, want %d", f.reports.Load(), 4*10*25)
+	}
+	// Warmup 0.2 of 10 batches = 2 per client excluded.
+	if want := int64(4 * 8 * 25); res.Reports != want {
+		t.Errorf("measured reports = %d, want %d", res.Reports, want)
+	}
+	if res.Errors != 0 || res.OpenLoop {
+		t.Errorf("unexpected result %+v", res)
+	}
+	if res.P50Ms < 1 || res.MaxMs < res.P50Ms || res.P99Ms < res.P50Ms {
+		t.Errorf("implausible percentiles %+v", res)
+	}
+	if res.Throughput <= 0 || res.DurationSec <= 0 {
+		t.Errorf("missing throughput/duration %+v", res)
+	}
+}
+
+// TestRunOpenLoopSchedule checks that open-loop pacing stretches the run to
+// at least the scheduled span (batches cannot launch early).
+func TestRunOpenLoopSchedule(t *testing.T) {
+	f := &fakeSubmitter{}
+	// 2 clients x 5 batches x 10 reports at 500 rps: 100 reports total,
+	// scheduled span 200ms.
+	start := time.Now()
+	res, err := Run(f, Config{Clients: 2, Batches: 5, BatchSize: 10, Rate: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("open-loop run finished in %v, want >= ~160ms of schedule", elapsed)
+	}
+	if !res.OpenLoop || res.TargetRate != 500 {
+		t.Errorf("result not marked open-loop: %+v", res)
+	}
+	if res.Reports != 100 {
+		t.Errorf("reports = %d, want 100", res.Reports)
+	}
+}
+
+// TestRunDeterministicWorkload pins that the same seed offers the same
+// value stream (the crowd histogram of the offered load is identical), and
+// a different seed does not.
+func TestRunDeterministicWorkload(t *testing.T) {
+	offered := func(seed uint64, dist string) map[string]int {
+		f := &fakeSubmitter{crowds: map[string]int{}}
+		if _, err := Run(f, Config{Clients: 3, Batches: 4, BatchSize: 20, Seed: seed, Dist: dist, Values: 8}); err != nil {
+			t.Fatal(err)
+		}
+		return f.crowds
+	}
+	for _, dist := range []string{DistUniform, DistZipf} {
+		a, b := offered(7, dist), offered(7, dist)
+		if len(a) == 0 {
+			t.Fatalf("%s: empty offered histogram", dist)
+		}
+		for k, v := range a {
+			if b[k] != v {
+				t.Errorf("%s: seed 7 not reproducible: %s %d vs %d", dist, k, v, b[k])
+			}
+		}
+	}
+	if zipf := offered(7, DistZipf); zipf["crowd:000"] <= zipf["crowd:007"] {
+		t.Errorf("zipf head not heavier than tail: %v", zipf)
+	}
+}
+
+// TestRunAllFailed: a run in which nothing succeeds must error rather than
+// report empty percentiles.
+func TestRunAllFailed(t *testing.T) {
+	if _, err := Run(&fakeSubmitter{failAll: true}, Config{Clients: 2, Batches: 2, BatchSize: 5}); err == nil {
+		t.Fatal("want error when every batch fails")
+	}
+}
+
+// TestConfigValidation pins the config error surface.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Clients: 1, Batches: 1, BatchSize: 1, Dist: "pareto"},
+		{Clients: 1, Batches: 1, BatchSize: 1, Dist: DistZipf, ZipfS: 0.5},
+		{Clients: 1, Batches: 1, BatchSize: 1, Warmup: 1},
+		{Clients: 1, Batches: 1, BatchSize: 1, Rate: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(&fakeSubmitter{}, cfg); err == nil {
+			t.Errorf("config %d: want validation error", i)
+		}
+	}
+}
+
+// TestCSVShape keeps the CSV row aligned with its header.
+func TestCSVShape(t *testing.T) {
+	if len(CSVHeader()) != len(Result{}.CSVRecord()) {
+		t.Fatalf("CSV header has %d columns, record has %d", len(CSVHeader()), len(Result{}.CSVRecord()))
+	}
+	if h := strings.Join(CSVHeader(), ","); !strings.Contains(h, "p99_ms") || !strings.Contains(h, "throughput_rps") {
+		t.Errorf("unexpected header %q", h)
+	}
+}

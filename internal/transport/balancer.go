@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"prochlo/internal/core"
+	"prochlo/internal/metrics"
 )
 
 // Balancer defaults; see BalancerConfig.
@@ -32,6 +33,11 @@ type BalancerConfig struct {
 	// disables transient retries.
 	Redials    int
 	RedialBase time.Duration
+	// Metrics, when non-nil, registers the balancer's health gauges and
+	// failover counters (the prochlo_balancer_* series) on the given
+	// registry; MetricsLabels is attached to every series.
+	Metrics       *metrics.Registry
+	MetricsLabels metrics.Labels
 }
 
 // BalancerStats is a point-in-time snapshot of a Balancer's counters.
@@ -103,6 +109,7 @@ func NewBalancer(addrs []string, cfg BalancerConfig) (*Balancer, error) {
 	for _, a := range addrs {
 		b.replicas = append(b.replicas, &balancerReplica{addr: a})
 	}
+	b.registerMetrics()
 	interval := cfg.ProbeInterval
 	if interval == 0 {
 		interval = DefaultProbeInterval

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"prochlo/internal/core"
+	"prochlo/internal/metrics"
 	"prochlo/internal/shuffler"
 )
 
@@ -433,6 +434,12 @@ type engine[T any] struct {
 	epochsFailed  int
 	lastErr       error
 	cum           shuffler.Stats
+
+	// Scrape instruments (nil without EpochConfig.Metrics; Observe on a
+	// nil histogram is a no-op). Set in registerMetrics before the
+	// scheduler/flusher goroutines start.
+	procSeconds *metrics.Histogram
+	pushSeconds *metrics.Histogram
 }
 
 // newEngine wires an engine: cfg defaults and clamps applied, stream id
@@ -548,6 +555,7 @@ func newEngine[T any](
 		e.recMarks = rec.marks
 		e.queuedEpochs = len(rec.epochs)
 	}
+	e.registerMetrics()
 	go e.scheduler()
 	go e.flusher()
 	if e.cfg.FlushAt > 0 && e.occupancy.Load() >= int64(e.cfg.FlushAt) {
@@ -827,9 +835,13 @@ func (e *engine[T]) flushOne(ep *epoch[T]) {
 		// A Drain barrier: every earlier epoch has been flushed.
 	} else {
 		var out core.Batch
+		procStart := time.Now()
 		out, res.stats, res.err = e.process(ep.batch)
+		observeSeconds(e.procSeconds, procStart)
 		if res.err == nil {
+			pushStart := time.Now()
 			res.err = e.sink.push(e.stream, ep.id, out)
+			observeSeconds(e.pushSeconds, pushStart)
 		}
 		if e.isKilled() {
 			// Simulated crash mid-push: the outcome is unknowable from

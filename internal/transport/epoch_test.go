@@ -19,10 +19,11 @@ import (
 // batch 1, so every accepted report must reach the analyzer), and an
 // encoder wired to both keys.
 type streamingRig struct {
-	svc  *ShufflerService
-	enc  *encoder.Client
-	shuf string // shuffler address
-	anlz string // analyzer address
+	svc     *ShufflerService
+	anlzSvc *AnalyzerService
+	enc     *encoder.Client
+	shuf    string // shuffler address
+	anlz    string // analyzer address
 }
 
 func newStreamingRig(t *testing.T, cfg EpochConfig) *streamingRig {
@@ -64,10 +65,11 @@ func newStreamingRigMin(t *testing.T, cfg EpochConfig, minBatch int) *streamingR
 	t.Cleanup(func() { shufL.Close() })
 
 	return &streamingRig{
-		svc:  svc,
-		enc:  &encoder.Client{ShufflerKey: shufPriv.Public(), AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader},
-		shuf: shufL.Addr().String(),
-		anlz: anlzL.Addr().String(),
+		svc:     svc,
+		anlzSvc: anlzSvc,
+		enc:     &encoder.Client{ShufflerKey: shufPriv.Public(), AnalyzerKey: anlzPriv.Public(), Rand: crand.Reader},
+		shuf:    shufL.Addr().String(),
+		anlz:    anlzL.Addr().String(),
 	}
 }
 

@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"time"
+
+	"prochlo/internal/metrics"
+)
+
+// Instrumentation for the stage engine, WAL, and balancer. Everything here
+// is scrape-driven: the engine's existing atomic counters are exported
+// through CounterFunc/GaugeFunc callbacks evaluated at scrape time, so the
+// ingest hot path pays nothing for observability. The only event-time
+// instruments are the three latency histograms (stage process, downstream
+// push, WAL fsync), each observed once per epoch or per fsync — never per
+// report. The full catalog, with per-series meaning and alerting hints,
+// lives in docs/OPERATIONS.md.
+
+// registerMetrics exports the engine's counters on cfg.Metrics. Called
+// before the scheduler and flusher goroutines start, so instrument fields
+// are plain writes. The callbacks take e.mu only for the counters that
+// already live under it, and that lock is never held across blocking
+// operations (pushes, WAL writes, channel sends), so a scrape can never
+// deadlock against a drain — pinned by TestScrapeDuringDrain.
+func (e *engine[T]) registerMetrics() {
+	reg := e.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	l := e.cfg.MetricsLabels
+	reg.GaugeFunc("prochlo_epoch_occupancy", "Reports accepted into the current uncut epoch.", l,
+		func() float64 { return float64(e.occupancy.Load()) })
+	reg.GaugeFunc("prochlo_epochs_in_flight", "Cut epochs queued for or undergoing flush (processing + downstream push).", l,
+		func() float64 {
+			e.mu.Lock()
+			q := e.queuedEpochs
+			e.mu.Unlock()
+			return float64(q)
+		})
+	reg.CounterFunc("prochlo_reports_accepted_total", "Reports accepted into an epoch (acked to the submitter).", l,
+		func() float64 { return float64(e.accepted.Load()) })
+	reg.CounterFunc("prochlo_reports_rejected_total", "Reports rejected with the retryable epoch-full backpressure error.", l,
+		func() float64 { return float64(e.rejected.Load()) })
+	reg.CounterFunc("prochlo_reports_dropped_total", "Reports permanently dropped (failed epochs, below-floor final drains).", l,
+		func() float64 { return float64(e.dropped.Load()) })
+	reg.CounterFunc("prochlo_epochs_flushed_total", "Epochs processed and acked downstream.", l,
+		func() float64 {
+			e.mu.Lock()
+			n := e.epochsFlushed
+			e.mu.Unlock()
+			return float64(n)
+		})
+	reg.CounterFunc("prochlo_epochs_failed_total", "Epochs that permanently failed processing or push.", l,
+		func() float64 {
+			e.mu.Lock()
+			n := e.epochsFailed
+			e.mu.Unlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("prochlo_unaccounted_reports", "Reconciliation residue: accepted - received - dropped - pending, computed only when no epoch is in flight. Nonzero at a drain barrier means the accounting leaks.", l,
+		func() float64 {
+			e.mu.Lock()
+			q := e.queuedEpochs
+			received := e.cum.Received
+			e.mu.Unlock()
+			if q != 0 {
+				return 0
+			}
+			return float64(e.accepted.Load() - int64(received) - e.dropped.Load() - e.occupancy.Load())
+		})
+	reg.GaugeFunc("prochlo_wal_recovered_reports", "Reports recovered from the WAL at the last restart.", l,
+		func() float64 { return float64(e.recItems) })
+	reg.GaugeFunc("prochlo_wal_recovered_epochs", "Cut-but-unresolved epochs recovered from the WAL at the last restart.", l,
+		func() float64 { return float64(e.recEpochs) })
+	e.procSeconds = reg.Histogram("prochlo_stage_process_seconds",
+		"Latency of running the stage function over one epoch.", l, metrics.DefBuckets)
+	e.pushSeconds = reg.Histogram("prochlo_stage_push_seconds",
+		"Latency of pushing one processed epoch downstream (includes redials and backpressure retries).", l, metrics.DefBuckets)
+	if e.wal != nil {
+		e.wal.attachMetrics(reg, l)
+	}
+}
+
+// attachMetrics wires the WAL's instruments. Called once before the engine
+// goroutines start, so the plain field writes cannot race appends.
+func (w *wal) attachMetrics(reg *metrics.Registry, l metrics.Labels) {
+	if reg == nil {
+		return
+	}
+	w.appendRecords = reg.Counter("prochlo_wal_append_records_total",
+		"Item and forward records appended to the write-ahead log.", l)
+	h := reg.Histogram("prochlo_wal_fsync_seconds",
+		"Latency of one WAL segment fsync.", l, metrics.FsyncBuckets)
+	for _, s := range w.shards {
+		s.fsync = h
+	}
+	w.fwd.fsync = h
+	w.epochLog.fsync = h
+}
+
+// registerBalancerMetrics exports the balancer's counters on cfg.Metrics.
+// The healthy-replica gauge takes each replica's lock exactly like Stats,
+// which the balancer never holds across RPCs, so scrapes stay non-blocking.
+func (b *Balancer) registerMetrics() {
+	reg := b.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	l := b.cfg.MetricsLabels
+	reg.GaugeFunc("prochlo_balancer_replicas", "Size of the entry-hop replica set.", l,
+		func() float64 { return float64(len(b.replicas)) })
+	reg.GaugeFunc("prochlo_balancer_healthy_replicas", "Replicas currently admitted by the circuit breaker.", l,
+		func() float64 {
+			healthy := 0
+			for _, r := range b.replicas {
+				r.mu.Lock()
+				if !r.ejected {
+					healthy++
+				}
+				r.mu.Unlock()
+			}
+			return float64(healthy)
+		})
+	reg.CounterFunc("prochlo_balancer_submitted_total", "Envelopes accepted fleet-wide through this balancer.", l,
+		func() float64 { return float64(b.submitted.Load()) })
+	reg.CounterFunc("prochlo_balancer_failovers_total", "Submission slices moved to another replica after a provably-unsubmitted failure.", l,
+		func() float64 { return float64(b.failovers.Load()) })
+	reg.CounterFunc("prochlo_balancer_ejections_total", "Circuit-breaker ejections.", l,
+		func() float64 { return float64(b.ejections.Load()) })
+	reg.CounterFunc("prochlo_balancer_readmits_total", "Replicas readmitted into rotation by a probe or submission success.", l,
+		func() float64 { return float64(b.readmits.Load()) })
+	reg.CounterFunc("prochlo_balancer_probes_total", "Healthz probes issued to ejected replicas.", l,
+		func() float64 { return float64(b.probes.Load()) })
+}
+
+// RegisterMetrics exports the analyzer service's database and ingest
+// counters on reg with the given labels (the prochlo_analyzer_* series).
+// Safe to call at any time; callbacks take the service mutex only for the
+// duration of a field read.
+func (a *AnalyzerService) RegisterMetrics(reg *metrics.Registry, l metrics.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("prochlo_analyzer_records", "Decrypted records materialized in the analyzer database.", l,
+		func() float64 {
+			a.mu.Lock()
+			n := len(a.db)
+			a.mu.Unlock()
+			return float64(n)
+		})
+	reg.CounterFunc("prochlo_analyzer_ingests_total", "Epoch pushes ingested (dedup-absorbed retries excluded).", l,
+		func() float64 {
+			a.mu.Lock()
+			n := a.ingests
+			a.mu.Unlock()
+			return float64(n)
+		})
+	reg.CounterFunc("prochlo_analyzer_undecryptable_total", "Report payloads the analyzer key failed to open.", l,
+		func() float64 {
+			a.mu.Lock()
+			n := a.undecryptable
+			a.mu.Unlock()
+			return float64(n)
+		})
+}
+
+// observeSeconds records the elapsed time since start on h; both the nil
+// histogram and the zero start (instrumentation disabled) are no-ops.
+func observeSeconds(h *metrics.Histogram, start time.Time) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}

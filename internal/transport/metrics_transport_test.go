@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prochlo/internal/core"
+	"prochlo/internal/metrics"
+)
+
+// metricValue extracts one sample value from a text-format scrape.
+func metricValue(t *testing.T, scrape, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(scrape, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not found in scrape:\n%s", series, scrape)
+	return 0
+}
+
+// TestScrapeDuringDrain hammers the registry with concurrent scrapes while
+// a WAL-backed streaming service ingests and drains: the scrape callbacks
+// take engine locks, so this pins that a scrape can never deadlock against
+// a cut, flush, or drain barrier (run under -race it is also the wiring's
+// thread-safety proof). The final scrape must satisfy the reconciliation
+// invariant and show the WAL instruments alive.
+func TestScrapeDuringDrain(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rig := newStreamingRig(t, EpochConfig{
+		FlushAt:       40,
+		Interval:      50 * time.Millisecond,
+		WALDir:        t.TempDir(),
+		Metrics:       reg,
+		MetricsLabels: metrics.Labels{"role": "shuffler"},
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := reg.WriteTo(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const total = 200
+	for sent := 0; sent < total; sent += 20 {
+		batch := make([]core.Envelope, 20)
+		for i := range batch {
+			batch[i] = rig.envelope(t, "c:scrape", "scrape-value")
+		}
+		if err := cl.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := cl.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Unaccounted != 0 {
+		t.Fatalf("Unaccounted = %d after drain", stats.Unaccounted)
+	}
+	close(stop)
+	wg.Wait()
+
+	var b bytes.Buffer
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if v := metricValue(t, s, `prochlo_reports_accepted_total{role="shuffler"}`); v != total {
+		t.Errorf("accepted = %v, want %d", v, total)
+	}
+	if v := metricValue(t, s, `prochlo_unaccounted_reports{role="shuffler"}`); v != 0 {
+		t.Errorf("unaccounted = %v, want 0", v)
+	}
+	if v := metricValue(t, s, `prochlo_epoch_occupancy{role="shuffler"}`); v != 0 {
+		t.Errorf("occupancy after drain = %v, want 0", v)
+	}
+	if v := metricValue(t, s, `prochlo_wal_fsync_seconds_count{role="shuffler"}`); v <= 0 {
+		t.Errorf("wal fsync count = %v, want > 0", v)
+	}
+	if v := metricValue(t, s, `prochlo_wal_append_records_total{role="shuffler"}`); v != total {
+		t.Errorf("wal append records = %v, want %d", v, total)
+	}
+	if v := metricValue(t, s, `prochlo_stage_process_seconds_count{role="shuffler"}`); v <= 0 {
+		t.Errorf("process histogram count = %v, want > 0", v)
+	}
+}
+
+// TestBalancerMetrics pins the balancer's scrape series: replica-set and
+// healthy gauges plus the submitted counter, exported through the registry
+// handed in BalancerConfig.
+func TestBalancerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rig := newStreamingRig(t, EpochConfig{FlushAt: 8})
+	bal, err := NewBalancer([]string{rig.shuf}, BalancerConfig{
+		ProbeInterval: -1,
+		Metrics:       reg,
+		MetricsLabels: metrics.Labels{"tier": "shuffler1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bal.Close()
+
+	envs := make([]core.Envelope, 8)
+	for i := range envs {
+		envs[i] = rig.envelope(t, "c:bal", "bal-value")
+	}
+	if _, err := bal.SubmitAll(envs, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var b bytes.Buffer
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if v := metricValue(t, s, `prochlo_balancer_replicas{tier="shuffler1"}`); v != 1 {
+		t.Errorf("replicas = %v, want 1", v)
+	}
+	if v := metricValue(t, s, `prochlo_balancer_healthy_replicas{tier="shuffler1"}`); v != 1 {
+		t.Errorf("healthy = %v, want 1", v)
+	}
+	if v := metricValue(t, s, `prochlo_balancer_submitted_total{tier="shuffler1"}`); v != 8 {
+		t.Errorf("submitted = %v, want 8", v)
+	}
+}
+
+// TestAnalyzerMetrics pins the analyzer's scrape series against its Stats
+// RPC counters after a drained ingest.
+func TestAnalyzerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rig := newStreamingRig(t, EpochConfig{FlushAt: 10})
+	rig.anlzSvc.RegisterMetrics(reg, metrics.Labels{"role": "analyzer"})
+
+	cl, err := Dial(rig.shuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	batch := make([]core.Envelope, 10)
+	for i := range batch {
+		batch[i] = rig.envelope(t, "c:anlz", "anlz-value")
+	}
+	if err := cl.SubmitBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	var b bytes.Buffer
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if v := metricValue(t, s, `prochlo_analyzer_records{role="analyzer"}`); v != 10 {
+		t.Errorf("records = %v, want 10", v)
+	}
+	if v := metricValue(t, s, `prochlo_analyzer_ingests_total{role="analyzer"}`); v != 1 {
+		t.Errorf("ingests = %v, want 1", v)
+	}
+	if v := metricValue(t, s, `prochlo_analyzer_undecryptable_total{role="analyzer"}`); v != 0 {
+		t.Errorf("undecryptable = %v, want 0", v)
+	}
+}

@@ -82,6 +82,7 @@ import (
 
 	"prochlo/internal/analyzer"
 	"prochlo/internal/core"
+	"prochlo/internal/metrics"
 	"prochlo/internal/sgx"
 	"prochlo/internal/shuffler"
 )
@@ -297,6 +298,15 @@ type EpochConfig struct {
 	// pushes on a seeded schedule — the crash-recovery test harness. Nil in
 	// production.
 	Fault *FaultPlan
+	// Metrics, when non-nil, registers this service's engine, WAL, and
+	// stage-latency instruments (the prochlo_* series; see
+	// docs/OPERATIONS.md for the catalog) on the given registry. Nil
+	// disables instrumentation at zero hot-path cost.
+	Metrics *metrics.Registry
+	// MetricsLabels is attached to every series this service registers —
+	// conventionally at least {"role": ...}, plus {"replica": ...} when
+	// several services share one registry. Ignored when Metrics is nil.
+	MetricsLabels metrics.Labels
 }
 
 // forwardDedup tracks inter-hop pushes (and stamped client submissions)

@@ -12,6 +12,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"prochlo/internal/metrics"
 )
 
 // The write-ahead log makes a stage engine's accepted-but-unflushed items
@@ -79,6 +82,7 @@ type walSegment struct {
 	unsynced int  // records appended since the last fsync
 	dirty    bool // has records not yet fsynced
 	buf      []byte
+	fsync    *metrics.Histogram // fsync latency; nil disables (see attachMetrics)
 }
 
 // walSealed is a rotated (immutable) segment awaiting resolution.
@@ -108,6 +112,8 @@ type wal struct {
 	unresolved map[int64]walRange
 	stableSeq  int64 // every seq <= stableSeq belongs to a resolved epoch
 	logErr     error // first write failure, surfaced on close
+
+	appendRecords *metrics.Counter // item+forward records logged; nil disables
 }
 
 // appendRecord frames one record (type, uvarint length, body, crc32 over
@@ -234,8 +240,15 @@ func (s *walSegment) syncLocked() error {
 	if !s.dirty {
 		return nil
 	}
+	var start time.Time
+	if s.fsync != nil {
+		start = time.Now()
+	}
 	if err := s.f.Sync(); err != nil {
 		return err
+	}
+	if s.fsync != nil {
+		s.fsync.Observe(time.Since(start).Seconds())
 	}
 	s.unsynced = 0
 	s.dirty = false
@@ -273,6 +286,7 @@ func (w *wal) appendItems(idx int, n int, seq func(int) int64, enc func(int, []b
 	if err := w.appendItemsLocked(s, n, seq, enc); err != nil {
 		return err
 	}
+	w.appendRecords.Add(float64(n))
 	if w.syncEvery <= 0 || s.unsynced >= w.syncEvery {
 		if err := s.syncLocked(); err != nil {
 			return fmt.Errorf("transport: wal sync: %w", err)
@@ -335,6 +349,7 @@ func (w *wal) appendForward(stream, epoch int64, n int, seq func(int) int64, enc
 	if err := s.syncLocked(); err != nil {
 		return fmt.Errorf("transport: wal forward sync: %w", err)
 	}
+	w.appendRecords.Add(float64(n))
 	w.logMark(stream, epoch)
 	if s.size >= w.segBytes {
 		return w.rotateLocked(s, "fwd")

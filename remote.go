@@ -10,6 +10,7 @@ import (
 	"prochlo/internal/crypto/elgamal"
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/encoder"
+	"prochlo/internal/metrics"
 	"prochlo/internal/shuffler"
 	"prochlo/internal/transport"
 )
@@ -153,6 +154,23 @@ type (
 func WithBalancer(cfg BalancerConfig) RemoteOption {
 	return func(r *RemotePipeline) error {
 		r.balCfg = cfg
+		return nil
+	}
+}
+
+// MetricsRegistry aliases the internal metrics registry so in-module
+// binaries (cmd/prochlod, cmd/prochloload) can share one registry between
+// their services and the entry balancer; see internal/metrics.
+type MetricsRegistry = metrics.Registry
+
+// WithRemoteMetrics registers the entry balancer's health gauges and
+// failover counters (the prochlo_balancer_* series) on reg, labeled with
+// labels. Apply it after WithBalancer — the balancer configuration is one
+// struct, so a later WithBalancer would replace the registry.
+func WithRemoteMetrics(reg *MetricsRegistry, labels map[string]string) RemoteOption {
+	return func(r *RemotePipeline) error {
+		r.balCfg.Metrics = reg
+		r.balCfg.MetricsLabels = metrics.Labels(labels)
 		return nil
 	}
 }

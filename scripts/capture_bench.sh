@@ -11,7 +11,10 @@
 # (BenchmarkRemotePipelineWAL, matched by
 # the BenchmarkRemotePipeline pattern, captures WAL-on vs WAL-off and the
 # fsync-cadence sweep next to the WAL-off baseline), and the hybrid
-# Seal/Open allocation counts.
+# Seal/Open allocation counts. A seeded prochloload macro sweep
+# (1x1x1 and 2x2x2 loopback fleets, closed loop) lands in the same file
+# under "macro", so the per-commit artifact carries both the per-stage
+# micro trajectory and the whole-deployment latency/throughput trajectory.
 # BENCH_shuffler.json is the PR 1 baseline and is kept for trajectory.
 #
 # Usage: scripts/capture_bench.sh [benchtime]    (default: 3x)
@@ -20,7 +23,8 @@ cd "$(dirname "$0")/.."
 
 benchtime="${1:-3x}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+macro="$(mktemp)"
+trap 'rm -f "$raw" "$macro"' EXIT
 
 go test -run '^$' \
   -bench 'BenchmarkShufflerProcess|BenchmarkEndToEndPipeline|BenchmarkRemotePipeline|BenchmarkRemoteChain|BenchmarkEncodeSerial|BenchmarkEncodeBatch|BenchmarkAnalyzerOpen|BenchmarkHistogram' \
@@ -28,18 +32,27 @@ go test -run '^$' \
 go test -run '^$' -bench 'BenchmarkSeal64B|BenchmarkSealInto64B|BenchmarkOpen64B|BenchmarkOpenInto64B' \
   -benchmem ./internal/crypto/hybrid | tee -a "$raw"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v ncpu="$(nproc)" '
-BEGIN {
-  printf "{\n  \"captured\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [\n", date, ncpu
-  sep = ""
-}
-/^Benchmark/ {
-  printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
-  for (i = 3; i < NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
-  printf "}"
-  sep = ",\n"
-}
-END { print "\n  ]\n}" }
-' "$raw" > BENCH_pipeline.json
+# Macro rows: the seeded prochloload sweep, one JSON object per fleet
+# shape (same seed every capture, so rows are comparable across commits).
+go run ./cmd/prochloload -sweep 1x1x1,2x2x2 -seed 7 -format json -out "$macro"
+
+{
+  awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v ncpu="$(nproc)" '
+  BEGIN {
+    printf "{\n  \"captured\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [\n", date, ncpu
+    sep = ""
+  }
+  /^Benchmark/ {
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
+    for (i = 3; i < NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
+    printf "}"
+    sep = ",\n"
+  }
+  END { print "\n  ]," }
+  ' "$raw"
+  printf '  "macro": [\n'
+  sed 's/^/    /; $!s/$/,/' "$macro"
+  printf '  ]\n}\n'
+} > BENCH_pipeline.json
 
 echo "wrote BENCH_pipeline.json"
