@@ -1,174 +1,169 @@
-// Package elgamal implements El Gamal encryption over NIST P-256 together
-// with the exponent-blinding trick that enables Prochlo's split shuffler to
-// threshold on sensitive crowd IDs without seeing them in the clear (§4.3).
+// Package elgamal implements El Gamal encryption over a pluggable
+// prime-order group together with the exponent-blinding trick that enables
+// Prochlo's split shuffler to threshold on sensitive crowd IDs without
+// seeing them in the clear (§4.3).
 //
-// The encoder hashes a crowd ID to a curve point µ = H(crowdID) and encrypts
-// it to Shuffler 2's public key as (rG, rH + µ). Shuffler 1 blinds the pair
-// with a secret scalar α, shuffles, and forwards; Shuffler 2 decrypts and
-// obtains αµ — a pseudonym that preserves equality (so counting works) while
-// resisting dictionary attacks by either shuffler alone.
+// The encoder hashes a crowd ID to a group element µ = H(crowdID) and
+// encrypts it to Shuffler 2's public key as (rG, rH + µ). Shuffler 1 blinds
+// the pair with a secret scalar α, shuffles, and forwards; Shuffler 2
+// decrypts and obtains αµ — a pseudonym that preserves equality (so
+// counting works) while resisting dictionary attacks by either shuffler
+// alone.
 //
-// The implementation uses crypto/elliptic for point arithmetic; this is the
-// one place the deprecated API is required, because crypto/ecdh does not
-// expose point addition.
+// Group arithmetic lives in internal/crypto/group behind the
+// Group/Element/Scalar interface: NIST P-256 (Jacobian batch kernels,
+// crypto/elliptic-compatible encodings) or ristretto255 (the default, ~6x
+// faster fixed-point multiplication in pure Go). Every stage has a batch
+// entry point — Encrypter.EncryptCrowdIDBatch, Blinder.BlindBatch,
+// Decrypter.DecryptBatch — that feeds whole slices to the kernels: fixed
+// scalars are recoded once per slice, fixed points go through precomputed
+// comb tables, and affine normalization costs one shared field inversion
+// per slice instead of one per point.
 package elgamal
 
 import (
-	"crypto/elliptic"
-	"crypto/sha256"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math/big"
 	"sync"
+
+	"prochlo/internal/crypto/group"
+	"prochlo/internal/parallel"
 )
 
-var curve = elliptic.P256()
-
-// Point is a point on P-256. The zero value is the point at infinity.
+// Point is an element of the configured group. The zero value is the
+// identity (the "point at infinity").
 type Point struct {
-	X, Y *big.Int
+	g group.Group
+	e group.Element
 }
+
+// NewPoint wraps a group element.
+func NewPoint(g group.Group, e group.Element) Point { return Point{g: g, e: e} }
+
+// Group returns the group the point belongs to (the default group for the
+// zero value).
+func (p Point) Group() group.Group {
+	if p.g == nil {
+		return group.Default()
+	}
+	return p.g
+}
+
+// Element returns the underlying group element.
+func (p Point) Element() group.Element { return p.e }
 
 // IsInfinity reports whether p is the identity element.
-func (p Point) IsInfinity() bool {
-	return p.X == nil || p.Y == nil || (p.X.Sign() == 0 && p.Y.Sign() == 0)
-}
+func (p Point) IsInfinity() bool { return p.Group().IsIdentity(p.e) }
 
 // Equal reports whether two points are the same.
 func (p Point) Equal(q Point) bool {
 	if p.IsInfinity() || q.IsInfinity() {
 		return p.IsInfinity() == q.IsInfinity()
 	}
-	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
-}
-
-// Bytes returns the compressed encoding of the point, usable as a map key
-// for equality-preserving counting of blinded crowd IDs.
-func (p Point) Bytes() []byte {
-	if p.IsInfinity() {
-		return []byte{0}
+	if p.Group().Name() != q.Group().Name() {
+		return false
 	}
-	return elliptic.MarshalCompressed(curve, p.X, p.Y)
+	return p.Group().Equal(p.e, q.e)
 }
 
-// ParsePoint decodes a compressed point.
+// Bytes returns the wire encoding of the point: a 1-byte identity sentinel
+// or a 65-byte tagged uncompressed encoding, chosen so the chain's parse
+// path never pays a square root per report.
+func (p Point) Bytes() []byte { return p.Group().Encode(p.e) }
+
+// Compressed returns the short canonical encoding (33 bytes on P-256,
+// 32 on ristretto255), the form used for pseudonym map keys.
+func (p Point) Compressed() []byte { return p.Group().Compress(p.e) }
+
+// ParsePoint decodes any encoding produced by Bytes or Compressed,
+// inferring the backend from the length and tag. Legacy 33-byte compressed
+// P-256 points parse too.
 func ParsePoint(b []byte) (Point, error) {
-	if len(b) == 1 && b[0] == 0 {
-		return Point{}, nil
+	g, err := group.Infer(b)
+	if err != nil {
+		return Point{}, fmt.Errorf("elgamal: %w", err)
 	}
-	x, y := elliptic.UnmarshalCompressed(curve, b)
-	if x == nil {
-		return Point{}, errors.New("elgamal: invalid point encoding")
+	e, err := g.Decode(b)
+	if err != nil {
+		return Point{}, fmt.Errorf("elgamal: %w", err)
 	}
-	return Point{X: x, Y: y}, nil
+	return Point{g: g, e: e}, nil
 }
 
-// add returns p + q.
-func add(p, q Point) Point {
-	if p.IsInfinity() {
-		return q
-	}
-	if q.IsInfinity() {
-		return p
-	}
-	x, y := curve.Add(p.X, p.Y, q.X, q.Y)
-	return Point{X: x, Y: y}
-}
-
-// scalarMult returns k*p for a scalar in big-endian bytes.
-func scalarMult(p Point, k []byte) Point {
-	if p.IsInfinity() {
-		return Point{}
-	}
-	x, y := curve.ScalarMult(p.X, p.Y, k)
-	return Point{X: x, Y: y}
-}
-
-// baseMult returns k*G.
-func baseMult(k []byte) Point {
-	x, y := curve.ScalarBaseMult(k)
-	return Point{X: x, Y: y}
-}
-
-// neg returns -p.
-func neg(p Point) Point {
-	if p.IsInfinity() {
-		return p
-	}
-	y := new(big.Int).Sub(curve.Params().P, p.Y)
-	return Point{X: new(big.Int).Set(p.X), Y: y}
-}
-
-// RandomScalar returns a uniformly random scalar in [1, n-1].
+// RandomScalar returns a uniformly random scalar in [1, n-1] for the
+// default group, by rejection sampling: each attempt consumes a fixed
+// number of rng bytes and out-of-range candidates are discarded rather
+// than reduced (a Mod would bias low residues).
 func RandomScalar(rng io.Reader) (*big.Int, error) {
-	n := curve.Params().N
-	max := new(big.Int).Sub(n, big.NewInt(1))
-	for {
-		b := make([]byte, 32)
-		if _, err := io.ReadFull(rng, b); err != nil {
-			return nil, err
-		}
-		k := new(big.Int).SetBytes(b)
-		k.Mod(k, max)
-		k.Add(k, big.NewInt(1)) // in [1, n-1]
-		return k, nil
-	}
+	return RandomScalarGroup(group.Default(), rng)
 }
 
-// HashToPoint maps arbitrary data to a curve point by try-and-increment:
-// candidate x-coordinates are derived from SHA-256(data || counter) until one
-// lies on the curve. The expected number of attempts is 2.
-func HashToPoint(data []byte) Point {
-	p := curve.Params().P
-	b := curve.Params().B
-	three := big.NewInt(3)
-	for ctr := uint32(0); ; ctr++ {
-		h := sha256.New()
-		h.Write([]byte("prochlo-h2c"))
-		h.Write(data)
-		var cb [4]byte
-		binary.BigEndian.PutUint32(cb[:], ctr)
-		h.Write(cb[:])
-		x := new(big.Int).SetBytes(h.Sum(nil))
-		x.Mod(x, p)
-		// y^2 = x^3 - 3x + b mod p
-		y2 := new(big.Int).Exp(x, three, p)
-		y2.Sub(y2, new(big.Int).Mul(three, x))
-		y2.Add(y2, b)
-		y2.Mod(y2, p)
-		// p ≡ 3 (mod 4) so a square root, if it exists, is y2^((p+1)/4).
-		y := new(big.Int).ModSqrt(y2, p)
-		if y == nil {
-			continue
-		}
-		return Point{X: x, Y: y}
+// RandomScalarGroup is RandomScalar for an explicit group.
+func RandomScalarGroup(g group.Group, rng io.Reader) (*big.Int, error) {
+	k, err := g.RandomScalar(rng)
+	if err != nil {
+		return nil, err
 	}
+	return group.ScalarToBig(k), nil
+}
+
+// HashToPoint maps arbitrary data to an element of the default group. On
+// P-256 this is try-and-increment with the loop constants hoisted out of
+// the per-candidate iteration; on ristretto255 it is a single Elligator
+// map with cofactor clearing.
+func HashToPoint(data []byte) Point {
+	return HashToPointGroup(group.Default(), data)
+}
+
+// HashToPointGroup is HashToPoint for an explicit group.
+func HashToPointGroup(g group.Group, data []byte) Point {
+	return Point{g: g, e: g.HashToElement(data)}
 }
 
 // KeyPair is Shuffler 2's decryption key pair: H = x*G.
 type KeyPair struct {
-	X *big.Int // private
-	H Point    // public
+	G group.Group // group the key lives on (nil means the default)
+	X *big.Int    // private
+	H Point       // public
 }
 
-// GenerateKeyPair creates a fresh El Gamal key pair.
+func (k *KeyPair) group() group.Group {
+	if k.G == nil {
+		return group.Default()
+	}
+	return k.G
+}
+
+// GenerateKeyPair creates a fresh El Gamal key pair on the default group.
 func GenerateKeyPair(rng io.Reader) (*KeyPair, error) {
-	x, err := RandomScalar(rng)
+	return GenerateKeyPairGroup(group.Default(), rng)
+}
+
+// GenerateKeyPairGroup creates a fresh key pair on an explicit group.
+func GenerateKeyPairGroup(g group.Group, rng io.Reader) (*KeyPair, error) {
+	x, err := RandomScalarGroup(g, rng)
 	if err != nil {
 		return nil, fmt.Errorf("elgamal: %w", err)
 	}
-	return &KeyPair{X: x, H: baseMult(x.Bytes())}, nil
+	return NewKeyPairGroup(g, x)
 }
 
 // NewKeyPair rebuilds a key pair from a persisted private scalar, for
 // daemons whose blinding key must survive restarts.
 func NewKeyPair(x *big.Int) (*KeyPair, error) {
-	if x == nil || x.Sign() <= 0 || x.Cmp(curve.Params().N) >= 0 {
+	return NewKeyPairGroup(group.Default(), x)
+}
+
+// NewKeyPairGroup is NewKeyPair on an explicit group.
+func NewKeyPairGroup(g group.Group, x *big.Int) (*KeyPair, error) {
+	if x == nil || x.Sign() <= 0 || x.Cmp(g.Order()) >= 0 {
 		return nil, errors.New("elgamal: private scalar out of range")
 	}
-	return &KeyPair{X: new(big.Int).Set(x), H: baseMult(x.Bytes())}, nil
+	x = new(big.Int).Set(x)
+	h := g.BaseMul(group.ScalarFromBig(x))
+	return &KeyPair{G: g, X: x, H: Point{g: g, e: h}}, nil
 }
 
 // Ciphertext is an El Gamal encryption (C1, C2) = (rG, rH + M).
@@ -178,14 +173,14 @@ type Ciphertext struct {
 
 // Encrypt encrypts the message point m to the public key h.
 func Encrypt(rng io.Reader, h Point, m Point) (Ciphertext, error) {
-	r, err := RandomScalar(rng)
+	g := h.Group()
+	r, err := g.RandomScalar(rng)
 	if err != nil {
 		return Ciphertext{}, err
 	}
-	rb := r.Bytes()
 	return Ciphertext{
-		C1: baseMult(rb),
-		C2: add(scalarMult(h, rb), m),
+		C1: Point{g: g, e: g.BaseMul(r)},
+		C2: Point{g: g, e: g.Add(g.Mul(h.e, r), m.e)},
 	}, nil
 }
 
@@ -195,68 +190,136 @@ func Encrypt(rng io.Reader, h Point, m Point) (Ciphertext, error) {
 // preserves equality of plaintexts: two reports carry the same crowd ID iff
 // their blinded decryptions match.
 func Blind(ct Ciphertext, alpha *big.Int) Ciphertext {
-	ab := alpha.Bytes()
-	return Ciphertext{C1: scalarMult(ct.C1, ab), C2: scalarMult(ct.C2, ab)}
+	g := ct.C1.Group()
+	k := group.ScalarFromBig(alpha)
+	return Ciphertext{
+		C1: Point{g: g, e: g.Mul(ct.C1.e, k)},
+		C2: Point{g: g, e: g.Mul(ct.C2.e, k)},
+	}
 }
 
-// Blinder is the precomputed fast path of Blind for a scalar that is fixed
-// across a batch epoch, as Shuffler 1's α is. The scalar's fixed-width byte
-// representation — which Blind re-derives from the big.Int on every call —
-// is materialized once; the point multiplications themselves already
-// dispatch to the curve's optimized constant-time P-256 code (whose base
-// point uses a precomputed table internally), which a portable affine
-// window table cannot beat. A Blinder is safe for concurrent use by the
-// shuffler's blinding workers.
+// Blinder is the batch fast path of Blind for a scalar that is fixed
+// across an epoch, as Shuffler 1's α is: BlindBatch recodes α once per
+// slice and normalizes results with one shared inversion, so the encode
+// that follows costs no per-point division. A Blinder is safe for
+// concurrent use by the shuffler's blinding workers.
 type Blinder struct {
-	alpha [32]byte // fixed-width big-endian scalar
+	g     group.Group
+	alpha group.Scalar
 }
 
-// NewBlinder precomputes the blinding state for the scalar alpha.
+// NewBlinder precomputes blinding state for alpha on the default group.
 func NewBlinder(alpha *big.Int) *Blinder {
-	b := &Blinder{}
-	alpha.FillBytes(b.alpha[:])
-	return b
+	return NewBlinderGroup(group.Default(), alpha)
+}
+
+// NewBlinderGroup is NewBlinder on an explicit group.
+func NewBlinderGroup(g group.Group, alpha *big.Int) *Blinder {
+	return &Blinder{g: g, alpha: group.ScalarFromBig(alpha)}
 }
 
 // Blind is equivalent to Blind(ct, alpha) for the precomputed alpha.
 func (b *Blinder) Blind(ct Ciphertext) Ciphertext {
-	return Ciphertext{C1: scalarMult(ct.C1, b.alpha[:]), C2: scalarMult(ct.C2, b.alpha[:])}
+	return Ciphertext{
+		C1: Point{g: b.g, e: b.g.Mul(ct.C1.e, b.alpha)},
+		C2: Point{g: b.g, e: b.g.Mul(ct.C2.e, b.alpha)},
+	}
+}
+
+// BlindBatch blinds a slice of ciphertexts in place: 2*len(cts) fixed-
+// scalar multiplications with the scalar recoded once, then one shared
+// normalization so the caller's Bytes() calls are inversion-free.
+func (b *Blinder) BlindBatch(cts []Ciphertext) {
+	if len(cts) == 0 {
+		return
+	}
+	els := make([]group.Element, 2*len(cts))
+	for i, ct := range cts {
+		els[2*i] = ct.C1.e
+		els[2*i+1] = ct.C2.e
+	}
+	b.g.MulBatch(els, els, b.alpha)
+	b.g.Normalize(els)
+	for i := range cts {
+		cts[i].C1 = Point{g: b.g, e: els[2*i]}
+		cts[i].C2 = Point{g: b.g, e: els[2*i+1]}
+	}
 }
 
 // Decrypt recovers the message point: C2 - x*C1.
 func (k *KeyPair) Decrypt(ct Ciphertext) Point {
-	return add(ct.C2, neg(scalarMult(ct.C1, k.X.Bytes())))
+	return k.Decrypter().Decrypt(ct)
 }
 
-// Decrypter is the precomputed fast path of Decrypt/BlindedPseudonym for
-// Shuffler 2's fixed private scalar x: the fixed-width byte form of x is
-// materialized once instead of per envelope. Safe for concurrent use.
+// BlindedPseudonym is what Shuffler 2 computes for counting: the canonical
+// compressed encoding of α·H(crowdID). It is the group-by key for blinded
+// thresholding.
+func (k *KeyPair) BlindedPseudonym(ct Ciphertext) string {
+	return k.Decrypter().BlindedPseudonym(ct)
+}
+
+// Decrypter is the batch fast path of Decrypt/BlindedPseudonym for
+// Shuffler 2's fixed private scalar x: DecryptBatch recodes x once per
+// slice and compresses all pseudonyms after one shared normalization.
+// Safe for concurrent use.
 type Decrypter struct {
-	x [32]byte
+	g group.Group
+	x group.Scalar
 }
 
 // Decrypter returns precomputed decryption state for the key pair.
 func (k *KeyPair) Decrypter() *Decrypter {
-	d := &Decrypter{}
-	k.X.FillBytes(d.x[:])
-	return d
+	return &Decrypter{g: k.group(), x: group.ScalarFromBig(k.X)}
 }
 
 // Decrypt is equivalent to KeyPair.Decrypt for the precomputed key.
 func (d *Decrypter) Decrypt(ct Ciphertext) Point {
-	return add(ct.C2, neg(scalarMult(ct.C1, d.x[:])))
+	return Point{g: d.g, e: d.g.Sub(ct.C2.e, d.g.Mul(ct.C1.e, d.x))}
 }
 
 // BlindedPseudonym is equivalent to KeyPair.BlindedPseudonym for the
 // precomputed key.
 func (d *Decrypter) BlindedPseudonym(ct Ciphertext) string {
-	return string(d.Decrypt(ct).Bytes())
+	return string(d.Decrypt(ct).Compressed())
+}
+
+// DecryptBatch decrypts a slice of ciphertexts with the private scalar
+// recoded once and one shared normalization over the results.
+func (d *Decrypter) DecryptBatch(cts []Ciphertext) []Point {
+	if len(cts) == 0 {
+		return nil
+	}
+	c1s := make([]group.Element, len(cts))
+	for i, ct := range cts {
+		c1s[i] = ct.C1.e
+	}
+	d.g.MulBatch(c1s, c1s, d.x)
+	out := make([]Point, len(cts))
+	for i, ct := range cts {
+		c1s[i] = d.g.Sub(ct.C2.e, c1s[i])
+	}
+	d.g.Normalize(c1s)
+	for i := range out {
+		out[i] = Point{g: d.g, e: c1s[i]}
+	}
+	return out
+}
+
+// PseudonymBatch is the batch form of BlindedPseudonym: one scalar recode
+// and one shared inversion for the whole slice.
+func (d *Decrypter) PseudonymBatch(cts []Ciphertext) []string {
+	pts := d.DecryptBatch(cts)
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = string(p.Compressed())
+	}
+	return out
 }
 
 // EncryptCrowdID is the encoder-side helper: hash the crowd ID to a point
 // and encrypt it to Shuffler 2's key.
 func EncryptCrowdID(rng io.Reader, h Point, crowdID []byte) (Ciphertext, error) {
-	return Encrypt(rng, h, HashToPoint(crowdID))
+	return Encrypt(rng, h, HashToPointGroup(h.Group(), crowdID))
 }
 
 // encrypterCacheMax bounds the Encrypter's hash-point cache; past it, new
@@ -268,35 +331,46 @@ const encrypterCacheMax = 4096
 
 // Encrypter is the precomputed client-side fast path of EncryptCrowdID for
 // a fixed recipient key, the counterpart of Shuffler 1's Blinder and
-// Shuffler 2's Decrypter: the try-and-increment hash-to-curve of each crowd
-// ID — two SHA-256 blocks plus a modular square root per attempt, repeated
-// for every report even though clients report the same few crowds all epoch
-// — is computed once per distinct label and cached, and the ephemeral
-// scalar's fixed-width byte form is staged without big.Int round trips. An
-// Encrypter is safe for concurrent use by the encoder's batch workers.
+// Shuffler 2's Decrypter. Two precomputations amortize across a batch: the
+// hash-to-curve of each crowd ID is cached per distinct label, and the
+// recipient key h gets a signed-digit comb table (built lazily on first
+// use) that turns the per-report variable-point multiplication rH into
+// ~43 table additions with no doublings. An Encrypter is safe for
+// concurrent use by the encoder's batch workers.
 type Encrypter struct {
+	g group.Group
 	h Point
 
+	tableOnce sync.Once
+	table     group.Table
+
 	mu    sync.RWMutex
-	cache map[string]Point
+	cache map[string]group.Element
 }
 
 // NewEncrypter precomputes encryption state for Shuffler 2's public key h.
 func NewEncrypter(h Point) *Encrypter {
-	return &Encrypter{h: h, cache: make(map[string]Point)}
+	return &Encrypter{g: h.Group(), h: h, cache: make(map[string]group.Element)}
 }
 
-// hashPoint returns HashToPoint(crowdID), memoized. Cached points are
+// keyTable lazily builds the comb table for h (one-time ~1ms, amortized
+// over every report the client ever seals).
+func (e *Encrypter) keyTable() group.Table {
+	e.tableOnce.Do(func() { e.table = e.g.Precompute(e.h.e) })
+	return e.table
+}
+
+// hashPoint returns HashToPoint(crowdID), memoized. Cached elements are
 // shared across ciphertexts; they are never mutated (point arithmetic is
-// functional), so handing out the same Point is safe.
-func (e *Encrypter) hashPoint(crowdID []byte) Point {
+// functional), so handing out the same element is safe.
+func (e *Encrypter) hashPoint(crowdID []byte) group.Element {
 	e.mu.RLock()
 	p, ok := e.cache[string(crowdID)]
 	e.mu.RUnlock()
 	if ok {
 		return p
 	}
-	p = HashToPoint(crowdID)
+	p = e.g.HashToElement(crowdID)
 	e.mu.Lock()
 	if len(e.cache) < encrypterCacheMax {
 		e.cache[string(crowdID)] = p
@@ -309,20 +383,52 @@ func (e *Encrypter) hashPoint(crowdID []byte) Point {
 // precomputed key: same ciphertext for the same rng stream.
 func (e *Encrypter) EncryptCrowdID(rng io.Reader, crowdID []byte) (Ciphertext, error) {
 	m := e.hashPoint(crowdID)
-	r, err := RandomScalar(rng)
+	r, err := e.g.RandomScalar(rng)
 	if err != nil {
 		return Ciphertext{}, err
 	}
-	var rb [32]byte
-	r.FillBytes(rb[:])
 	return Ciphertext{
-		C1: baseMult(rb[:]),
-		C2: add(scalarMult(e.h, rb[:]), m),
+		C1: Point{g: e.g, e: e.g.BaseMul(r)},
+		C2: Point{g: e.g, e: e.g.Add(e.keyTable().Mul(r), m)},
 	}, nil
 }
 
-// BlindedPseudonym is what Shuffler 2 computes for counting: the compressed
-// encoding of α·H(crowdID). It is the group-by key for blinded thresholding.
-func (k *KeyPair) BlindedPseudonym(ct Ciphertext) string {
-	return string(k.Decrypt(ct).Bytes())
+// EncryptCrowdIDBatch encrypts one crowd ID per report on a pool of workers
+// (0 selects GOMAXPROCS), drawing each report's ephemeral scalar from that
+// report's own rng (so batch output is byte-identical to per-report
+// EncryptCrowdID calls on the same streams, at any worker count or
+// chunking). Both components of every ciphertext are normalized with one
+// shared inversion, so the Bytes() calls that follow are divisions-free.
+func (e *Encrypter) EncryptCrowdIDBatch(rngs []io.Reader, crowdIDs [][]byte, workers int) ([]Ciphertext, error) {
+	if len(rngs) != len(crowdIDs) {
+		return nil, fmt.Errorf("elgamal: %d rngs for %d crowd IDs", len(rngs), len(crowdIDs))
+	}
+	n := len(crowdIDs)
+	if n == 0 {
+		return nil, nil
+	}
+	table := e.keyTable()
+	els := make([]group.Element, 2*n)
+	errs := make([]error, n)
+	parallel.For(parallel.Workers(workers), n, func(i int) {
+		r, err := e.g.RandomScalar(rngs[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		els[2*i] = e.g.BaseMul(r)
+		els[2*i+1] = e.g.Add(table.Mul(r), e.hashPoint(crowdIDs[i]))
+	})
+	if i, err := parallel.FirstError(errs); err != nil {
+		return nil, fmt.Errorf("elgamal: report %d: %w", i, err)
+	}
+	e.g.Normalize(els)
+	cts := make([]Ciphertext, n)
+	for i := range cts {
+		cts[i] = Ciphertext{
+			C1: Point{g: e.g, e: els[2*i]},
+			C2: Point{g: e.g, e: els[2*i+1]},
+		}
+	}
+	return cts, nil
 }

@@ -1,0 +1,239 @@
+package group
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// feBoundary returns interesting field values for edge-case testing.
+func feBoundary() []*big.Int {
+	p := p25519
+	vals := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		big.NewInt(19),
+		new(big.Int).Sub(p, big.NewInt(1)),
+		new(big.Int).Sub(p, big.NewInt(2)),
+		new(big.Int).Sub(p, big.NewInt(19)),
+		new(big.Int).Rsh(p, 1),
+	}
+	return vals
+}
+
+func randFieldBig(r *rand.Rand) *big.Int {
+	b := make([]byte, 32)
+	r.Read(b)
+	v := new(big.Int).SetBytes(b)
+	return v.Mod(v, p25519)
+}
+
+func TestFe25519RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	vals := feBoundary()
+	for i := 0; i < 200; i++ {
+		vals = append(vals, randFieldBig(r))
+	}
+	for _, v := range vals {
+		var fe fe25519
+		fe.fromBig(v)
+		got := fe.toBig()
+		if got.Cmp(v) != 0 {
+			t.Fatalf("round trip %v: got %v", v, got)
+		}
+		// Bytes/SetBytes round trip
+		b := fe.Bytes(nil)
+		var fe2 fe25519
+		fe2.SetBytes(b)
+		if fe2.toBig().Cmp(v) != 0 {
+			t.Fatalf("bytes round trip %v: got %v", v, fe2.toBig())
+		}
+	}
+}
+
+func TestFe25519Arithmetic(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p := p25519
+	check := func(name string, got *fe25519, want *big.Int) {
+		t.Helper()
+		w := new(big.Int).Mod(want, p)
+		if g := got.toBig(); g.Cmp(w) != 0 {
+			t.Fatalf("%s: got %v want %v", name, g, w)
+		}
+	}
+	vals := feBoundary()
+	for i := 0; i < 100; i++ {
+		vals = append(vals, randFieldBig(r))
+	}
+	for i, av := range vals {
+		bv := vals[(i*7+3)%len(vals)]
+		var a, b, out fe25519
+		a.fromBig(av)
+		b.fromBig(bv)
+
+		out.Add(&a, &b)
+		check("add", &out, new(big.Int).Add(av, bv))
+		out.Sub(&a, &b)
+		check("sub", &out, new(big.Int).Sub(av, bv))
+		out.Mul(&a, &b)
+		check("mul", &out, new(big.Int).Mul(av, bv))
+		out.Square(&a)
+		check("square", &out, new(big.Int).Mul(av, av))
+		out.Neg(&a)
+		check("neg", &out, new(big.Int).Neg(av))
+		if av.Sign() != 0 {
+			out.Invert(&a)
+			check("invert", &out, new(big.Int).ModInverse(av, p))
+		}
+	}
+}
+
+func TestFe25519ChainedOps(t *testing.T) {
+	// exercise lazy-carry accumulation: long chains of add/sub/mul without
+	// intermediate full reductions
+	r := rand.New(rand.NewSource(3))
+	var acc fe25519
+	acc.One()
+	want := big.NewInt(1)
+	for i := 0; i < 500; i++ {
+		v := randFieldBig(r)
+		var fe fe25519
+		fe.fromBig(v)
+		switch i % 4 {
+		case 0:
+			acc.Add(&acc, &fe)
+			want.Add(want, v)
+		case 1:
+			acc.Sub(&acc, &fe)
+			want.Sub(want, v)
+		case 2:
+			acc.Mul(&acc, &fe)
+			want.Mul(want, v)
+		case 3:
+			acc.Square(&acc)
+			want.Mul(want, want)
+		}
+		want.Mod(want, p25519)
+	}
+	if got := acc.toBig(); got.Cmp(want) != 0 {
+		t.Fatalf("chained ops diverged: got %v want %v", got, want)
+	}
+}
+
+func TestFe25519IsNegativeAbs(t *testing.T) {
+	var fe fe25519
+	fe.fromBig(big.NewInt(2))
+	if fe.IsNegative() {
+		t.Fatal("2 should be non-negative")
+	}
+	fe.fromBig(big.NewInt(3))
+	if !fe.IsNegative() {
+		t.Fatal("3 should be negative (odd)")
+	}
+	fe.Abs(&fe)
+	want := new(big.Int).Sub(p25519, big.NewInt(3))
+	if fe.toBig().Cmp(want) != 0 {
+		t.Fatalf("abs(3) = %v, want p-3", fe.toBig())
+	}
+}
+
+func TestFe25519SqrtRatio(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	p := p25519
+	for i := 0; i < 100; i++ {
+		uv := randFieldBig(r)
+		wv := randFieldBig(r)
+		if wv.Sign() == 0 {
+			continue
+		}
+		var u, w, out fe25519
+		u.fromBig(uv)
+		w.fromBig(wv)
+		ok := out.SqrtRatio(&u, &w)
+		// expected: ok iff u/w is a QR
+		ratio := new(big.Int).ModInverse(wv, p)
+		ratio.Mul(ratio, uv)
+		ratio.Mod(ratio, p)
+		root := new(big.Int).ModSqrt(ratio, p)
+		if (root != nil) != ok {
+			t.Fatalf("SqrtRatio(%v/%v): wasSquare=%v want %v", uv, wv, ok, root != nil)
+		}
+		if ok {
+			// out^2 * w == u
+			got := out.toBig()
+			got.Mul(got, got)
+			got.Mul(got, wv)
+			got.Mod(got, p)
+			if got.Cmp(new(big.Int).Mod(uv, p)) != 0 {
+				t.Fatalf("SqrtRatio root check failed")
+			}
+			if out.IsNegative() {
+				t.Fatal("SqrtRatio must return the non-negative root")
+			}
+		}
+	}
+	// u == 0: root is 0, wasSquare true
+	var zero, w, out fe25519
+	w.fromBig(big.NewInt(7))
+	if !out.SqrtRatio(&zero, &w) || !out.IsZero() {
+		t.Fatal("SqrtRatio(0, w) should be (0, true)")
+	}
+}
+
+func TestBatchInvert25519(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 7, 64} {
+		fes := make([]*fe25519, n)
+		want := make([]*big.Int, n)
+		for i := range fes {
+			fes[i] = new(fe25519)
+			if i%5 == 3 {
+				// zero entries must be preserved as zero
+				want[i] = big.NewInt(0)
+			} else {
+				v := randFieldBig(r)
+				if v.Sign() == 0 {
+					v = big.NewInt(1)
+				}
+				fes[i].fromBig(v)
+				want[i] = new(big.Int).ModInverse(v, p25519)
+			}
+		}
+		batchInvert25519(fes)
+		for i := range fes {
+			if got := fes[i].toBig(); got.Cmp(want[i]) != 0 {
+				t.Fatalf("n=%d entry %d: got %v want %v", n, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestFe25519NonCanonicalSetBytes(t *testing.T) {
+	// encodings >= p must still reduce correctly via SetBytes
+	for _, delta := range []int64{0, 1, 18} {
+		v := new(big.Int).Add(p25519, big.NewInt(delta))
+		b := make([]byte, 32)
+		vb := v.Bytes()
+		for i := range vb {
+			b[len(vb)-1-i] = vb[i] // little-endian
+		}
+		if isCanonicalBytes25519(b) {
+			t.Fatalf("p+%d should not be canonical", delta)
+		}
+		var fe fe25519
+		fe.SetBytes(b)
+		if fe.toBig().Cmp(big.NewInt(delta)) != 0 {
+			t.Fatalf("SetBytes(p+%d) = %v", delta, fe.toBig())
+		}
+	}
+	var fe fe25519
+	fe.fromBig(new(big.Int).Sub(p25519, big.NewInt(1)))
+	if !isCanonicalBytes25519(fe.Bytes(nil)) {
+		t.Fatal("p-1 should be canonical")
+	}
+	if !bytes.Equal(fe.Bytes(nil), fe.Bytes(nil)) {
+		t.Fatal("Bytes not deterministic")
+	}
+}

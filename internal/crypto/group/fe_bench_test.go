@@ -1,0 +1,26 @@
+package group
+
+import (
+	"math/big"
+	"testing"
+)
+
+func BenchmarkFe25519Mul(b *testing.B) {
+	var x, y fe25519
+	x.fromBig(new(big.Int).Rsh(p25519, 1))
+	y.One()
+	y.Add(&y, &x)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Mul(&x, &y)
+	}
+}
+
+func BenchmarkFe25519Square(b *testing.B) {
+	var x fe25519
+	x.fromBig(new(big.Int).Rsh(p25519, 1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Square(&x)
+	}
+}

@@ -1,0 +1,497 @@
+// P-256 batch kernels: a 4x64 Montgomery field (CIOS multiplication — the
+// prime's low limb is 2^64-1, so the Montgomery factor n0' is 1 and each
+// reduction step is a plain multiply-accumulate), Jacobian-coordinate point
+// arithmetic with no per-op modular inversion, batch affine normalization
+// via the Montgomery trick, and signed-digit comb tables for points that are
+// fixed across a batch. Variable-point and base-point multiplications
+// delegate to crypto/elliptic, whose assembly nistec backend is faster than
+// any portable Go loop; the wins here are the amortized inversions and the
+// comb tables that replace variable-point mults with table adds.
+package group
+
+import (
+	"crypto/elliptic"
+	"math/big"
+	"math/bits"
+)
+
+var (
+	p256Curve  = elliptic.P256()
+	p256P      = p256Curve.Params().P
+	p256N      = p256Curve.Params().N
+	p256Limbs  = [4]uint64{0xffffffffffffffff, 0x00000000ffffffff, 0, 0xffffffff00000001}
+	p256R2     fep256 // 2^512 mod p, in plain form (used to enter Montgomery domain)
+	p256MontB  fep256 // curve b, Montgomery
+	p256Mont3  fep256 // 3, Montgomery
+	p256MontID fep256 // 1, Montgomery (the Montgomery form of one is R mod p)
+)
+
+// fep256 is a P-256 field element in Montgomery form (value * 2^256 mod p),
+// four little-endian 64-bit limbs, always fully reduced below p.
+type fep256 [4]uint64
+
+func init() {
+	r2 := new(big.Int).Lsh(big.NewInt(1), 512)
+	r2.Mod(r2, p256P)
+	p256R2 = p256LimbsOf(r2)
+	p256MontB.fromBig(p256Curve.Params().B)
+	p256Mont3.fromBig(big.NewInt(3))
+	p256MontID.fromBig(big.NewInt(1))
+}
+
+// p256LimbsOf packs a reduced big.Int into raw (non-Montgomery) limbs.
+func p256LimbsOf(v *big.Int) fep256 {
+	var b [32]byte
+	v.FillBytes(b[:])
+	var out fep256
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			out[i] |= uint64(b[31-(i*8+j)]) << (j * 8)
+		}
+	}
+	return out
+}
+
+func (v *fep256) bigOf() *big.Int {
+	var b [32]byte
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			b[31-(i*8+j)] = byte(v[i] >> (j * 8))
+		}
+	}
+	return new(big.Int).SetBytes(b[:])
+}
+
+// montMul sets v = a*b / 2^256 mod p (CIOS with n0' = 1).
+func (v *fep256) montMul(a, b *fep256) {
+	var t [4]uint64
+	var t4, t5 uint64
+	for i := 0; i < 4; i++ {
+		// t += a[i] * b
+		var c uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(a[i], b[j])
+			var cc uint64
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			t[j] = lo
+			c = hi
+		}
+		var cc uint64
+		t4, cc = bits.Add64(t4, c, 0)
+		t5 += cc
+		// reduction step: m = t[0] (n0' == 1), t = (t + m*p) >> 64
+		m := t[0]
+		c = 0
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(m, p256Limbs[j])
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			t[j] = lo
+			c = hi
+		}
+		t4, cc = bits.Add64(t4, c, 0)
+		t5 += cc
+		t[0], t[1], t[2], t[3] = t[1], t[2], t[3], t4
+		t4, t5 = t5, 0
+	}
+	// result < 2p: one conditional subtraction
+	var borrow uint64
+	var r fep256
+	r[0], borrow = bits.Sub64(t[0], p256Limbs[0], 0)
+	r[1], borrow = bits.Sub64(t[1], p256Limbs[1], borrow)
+	r[2], borrow = bits.Sub64(t[2], p256Limbs[2], borrow)
+	r[3], borrow = bits.Sub64(t[3], p256Limbs[3], borrow)
+	if t4 == 1 || borrow == 0 {
+		*v = r
+	} else {
+		*v = t
+	}
+}
+
+func (v *fep256) Square(a *fep256) { v.montMul(a, a) }
+
+func (v *fep256) Add(a, b *fep256) {
+	var carry uint64
+	var t fep256
+	t[0], carry = bits.Add64(a[0], b[0], 0)
+	t[1], carry = bits.Add64(a[1], b[1], carry)
+	t[2], carry = bits.Add64(a[2], b[2], carry)
+	t[3], carry = bits.Add64(a[3], b[3], carry)
+	var borrow uint64
+	var r fep256
+	r[0], borrow = bits.Sub64(t[0], p256Limbs[0], 0)
+	r[1], borrow = bits.Sub64(t[1], p256Limbs[1], borrow)
+	r[2], borrow = bits.Sub64(t[2], p256Limbs[2], borrow)
+	r[3], borrow = bits.Sub64(t[3], p256Limbs[3], borrow)
+	if carry == 1 || borrow == 0 {
+		*v = r
+	} else {
+		*v = t
+	}
+}
+
+func (v *fep256) Sub(a, b *fep256) {
+	var borrow uint64
+	var t fep256
+	t[0], borrow = bits.Sub64(a[0], b[0], 0)
+	t[1], borrow = bits.Sub64(a[1], b[1], borrow)
+	t[2], borrow = bits.Sub64(a[2], b[2], borrow)
+	t[3], borrow = bits.Sub64(a[3], b[3], borrow)
+	if borrow == 1 {
+		var carry uint64
+		t[0], carry = bits.Add64(t[0], p256Limbs[0], 0)
+		t[1], carry = bits.Add64(t[1], p256Limbs[1], carry)
+		t[2], carry = bits.Add64(t[2], p256Limbs[2], carry)
+		t[3], _ = bits.Add64(t[3], p256Limbs[3], carry)
+	}
+	*v = t
+}
+
+func (v *fep256) Neg(a *fep256) {
+	var zero fep256
+	if *a == zero {
+		*v = zero
+		return
+	}
+	var borrow uint64
+	v[0], borrow = bits.Sub64(p256Limbs[0], a[0], 0)
+	v[1], borrow = bits.Sub64(p256Limbs[1], a[1], borrow)
+	v[2], borrow = bits.Sub64(p256Limbs[2], a[2], borrow)
+	v[3], _ = bits.Sub64(p256Limbs[3], a[3], borrow)
+}
+
+func (v *fep256) IsZero() bool { return *v == fep256{} }
+
+// fromBig enters the Montgomery domain: v = a * 2^256 mod p.
+func (v *fep256) fromBig(a *big.Int) {
+	if a.Sign() < 0 || a.Cmp(p256P) >= 0 {
+		a = new(big.Int).Mod(a, p256P)
+	}
+	raw := p256LimbsOf(a)
+	v.montMul(&raw, &p256R2)
+}
+
+// toBig leaves the Montgomery domain.
+func (v *fep256) toBig() *big.Int {
+	one := fep256{1, 0, 0, 0}
+	var out fep256
+	out.montMul(v, &one)
+	return out.bigOf()
+}
+
+// Invert computes 1/a (big.Int modular inverse; batch callers amortize this
+// to one call per slice via batchInvertP256).
+func (v *fep256) Invert(a *fep256) {
+	inv := new(big.Int).ModInverse(a.toBig(), p256P)
+	if inv == nil {
+		*v = fep256{}
+		return
+	}
+	v.fromBig(inv)
+}
+
+// batchInvertP256 inverts every non-zero element in place with a single
+// modular inversion (Montgomery trick); zero entries stay zero.
+func batchInvertP256(vs []*fep256) {
+	if len(vs) == 0 {
+		return
+	}
+	prods := make([]fep256, len(vs))
+	var acc fep256
+	acc = p256MontID
+	for i, v := range vs {
+		prods[i] = acc
+		if !v.IsZero() {
+			acc.montMul(&acc, v)
+		}
+	}
+	var inv fep256
+	inv.Invert(&acc)
+	for i := len(vs) - 1; i >= 0; i-- {
+		v := vs[i]
+		if v.IsZero() {
+			continue
+		}
+		var tmp fep256
+		tmp.montMul(&inv, &prods[i])
+		inv.montMul(&inv, v)
+		*v = tmp
+	}
+}
+
+// --- Jacobian point arithmetic (a = -3) ---
+
+// p256Point is a Jacobian point: affine x = X/Z^2, y = Y/Z^3; Z == 0 is the
+// point at infinity.
+type p256Point struct {
+	x, y, z fep256
+}
+
+func (p *p256Point) setInfinity() { *p = p256Point{} }
+
+func (p *p256Point) isInfinity() bool { return p.z.IsZero() }
+
+// fromAffineBig loads an affine big.Int point (nil/zero means infinity).
+func (p *p256Point) fromAffineBig(x, y *big.Int) {
+	if x == nil || y == nil || (x.Sign() == 0 && y.Sign() == 0) {
+		p.setInfinity()
+		return
+	}
+	p.x.fromBig(x)
+	p.y.fromBig(y)
+	p.z = p256MontID
+}
+
+// affineBig returns the affine coordinates via a solo inversion (batch
+// callers use normalizeP256 instead).
+func (p *p256Point) affineBig() (x, y *big.Int) {
+	if p.isInfinity() {
+		return new(big.Int), new(big.Int)
+	}
+	var zinv, zinv2, zinv3, ax, ay fep256
+	zinv.Invert(&p.z)
+	zinv2.Square(&zinv)
+	zinv3.montMul(&zinv2, &zinv)
+	ax.montMul(&p.x, &zinv2)
+	ay.montMul(&p.y, &zinv3)
+	return ax.toBig(), ay.toBig()
+}
+
+// double sets p = 2q (dbl-2001-b, exploits a = -3).
+func (p *p256Point) double(q *p256Point) {
+	if q.isInfinity() {
+		p.setInfinity()
+		return
+	}
+	var delta, gamma, beta, alpha, t1, t2, x3, y3, z3 fep256
+	delta.Square(&q.z)
+	gamma.Square(&q.y)
+	beta.montMul(&q.x, &gamma)
+	t1.Sub(&q.x, &delta)
+	t2.Add(&q.x, &delta)
+	alpha.montMul(&t1, &t2)
+	t1.Add(&alpha, &alpha)
+	alpha.Add(&t1, &alpha) // 3*(x-delta)*(x+delta)
+	x3.Square(&alpha)
+	t1.Add(&beta, &beta)
+	t1.Add(&t1, &t1)
+	t2.Add(&t1, &t1) // 8*beta
+	x3.Sub(&x3, &t2)
+	z3.Add(&q.y, &q.z)
+	z3.Square(&z3)
+	z3.Sub(&z3, &gamma)
+	z3.Sub(&z3, &delta)
+	t1.Add(&beta, &beta)
+	t1.Add(&t1, &t1) // 4*beta
+	t1.Sub(&t1, &x3)
+	y3.montMul(&alpha, &t1)
+	t2.Square(&gamma)
+	t1.Add(&t2, &t2)
+	t1.Add(&t1, &t1)
+	t1.Add(&t1, &t1) // 8*gamma^2
+	y3.Sub(&y3, &t1)
+	p.x, p.y, p.z = x3, y3, z3
+}
+
+// add sets p = q + r (add-2007-bl), handling infinity, q == r, q == -r.
+func (p *p256Point) add(q, r *p256Point) {
+	if q.isInfinity() {
+		*p = *r
+		return
+	}
+	if r.isInfinity() {
+		*p = *q
+		return
+	}
+	var z1z1, z2z2, u1, u2, s1, s2, h, rr, t fep256
+	z1z1.Square(&q.z)
+	z2z2.Square(&r.z)
+	u1.montMul(&q.x, &z2z2)
+	u2.montMul(&r.x, &z1z1)
+	s1.montMul(&q.y, &r.z)
+	s1.montMul(&s1, &z2z2)
+	s2.montMul(&r.y, &q.z)
+	s2.montMul(&s2, &z1z1)
+	h.Sub(&u2, &u1)
+	rr.Sub(&s2, &s1)
+	if h.IsZero() {
+		if rr.IsZero() {
+			p.double(q)
+		} else {
+			p.setInfinity()
+		}
+		return
+	}
+	rr.Add(&rr, &rr) // r = 2*(s2-s1)
+	var i, j, v, x3, y3, z3 fep256
+	i.Add(&h, &h)
+	i.Square(&i) // (2h)^2
+	j.montMul(&h, &i)
+	v.montMul(&u1, &i)
+	x3.Square(&rr)
+	x3.Sub(&x3, &j)
+	t.Add(&v, &v)
+	x3.Sub(&x3, &t)
+	t.Sub(&v, &x3)
+	y3.montMul(&rr, &t)
+	t.montMul(&s1, &j)
+	t.Add(&t, &t)
+	y3.Sub(&y3, &t)
+	z3.Add(&q.z, &r.z)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &z2z2)
+	z3.montMul(&z3, &h)
+	p.x, p.y, p.z = x3, y3, z3
+}
+
+// p256Affine is an affine table entry (Montgomery-form coordinates).
+type p256Affine struct {
+	x, y fep256
+	inf  bool
+}
+
+// addAffine sets p = q + e for an affine entry (madd-2007-bl, z2 == 1);
+// sub negates the entry.
+func (p *p256Point) addAffine(q *p256Point, e *p256Affine, sub bool) {
+	if e.inf {
+		*p = *q
+		return
+	}
+	ey := e.y
+	if sub {
+		ey.Neg(&ey)
+	}
+	if q.isInfinity() {
+		p.x, p.y, p.z = e.x, ey, p256MontID
+		return
+	}
+	var z1z1, u2, s2, h, rr, t fep256
+	z1z1.Square(&q.z)
+	u2.montMul(&e.x, &z1z1)
+	s2.montMul(&ey, &q.z)
+	s2.montMul(&s2, &z1z1)
+	h.Sub(&u2, &q.x)
+	rr.Sub(&s2, &q.y)
+	if h.IsZero() {
+		if rr.IsZero() {
+			p.double(q)
+		} else {
+			p.setInfinity()
+		}
+		return
+	}
+	rr.Add(&rr, &rr)
+	var i, j, v, x3, y3, z3 fep256
+	i.Add(&h, &h)
+	i.Square(&i)
+	j.montMul(&h, &i)
+	v.montMul(&q.x, &i)
+	x3.Square(&rr)
+	x3.Sub(&x3, &j)
+	t.Add(&v, &v)
+	x3.Sub(&x3, &t)
+	t.Sub(&v, &x3)
+	y3.montMul(&rr, &t)
+	t.montMul(&q.y, &j)
+	t.Add(&t, &t)
+	y3.Sub(&y3, &t)
+	z3.montMul(&q.z, &h)
+	z3.Add(&z3, &z3)
+	p.x, p.y, p.z = x3, y3, z3
+}
+
+// normalizeP256 converts a slice of Jacobian points to z == 1 (Montgomery
+// one) with a single shared inversion. Infinity entries are left as-is.
+func normalizeP256(ps []*p256Point) {
+	if len(ps) == 0 {
+		return
+	}
+	zs := make([]*fep256, len(ps))
+	for i, p := range ps {
+		zs[i] = &p.z
+	}
+	batchInvertP256(zs)
+	for _, p := range ps {
+		if p.z.IsZero() {
+			continue // infinity
+		}
+		var zinv2, zinv3 fep256
+		zinv2.Square(&p.z)
+		zinv3.montMul(&zinv2, &p.z)
+		p.x.montMul(&p.x, &zinv2)
+		p.y.montMul(&p.y, &zinv3)
+		p.z = p256MontID
+	}
+}
+
+// --- fixed-point comb table ---
+
+// p256CombTable is the P-256 counterpart of edCombTable: entry [j][v-1] is
+// (v * 2^(w*j)) * P in affine form, built with one shared inversion, so a
+// fixed-point multiplication is one mixed add per digit and no doublings.
+type p256CombTable struct {
+	w       uint
+	entries [][]p256Affine
+}
+
+func buildP256Comb(x, y *big.Int, w uint) *p256CombTable {
+	positions := (256 + int(w) - 1) / int(w)
+	half := 1 << (w - 1)
+	var base p256Point
+	base.fromAffineBig(x, y)
+	ext := make([][]p256Point, positions)
+	for j := 0; j < positions; j++ {
+		ext[j] = make([]p256Point, half)
+		ext[j][0] = base
+		for v := 1; v < half; v++ {
+			ext[j][v].add(&ext[j][v-1], &base)
+		}
+		if j < positions-1 {
+			for i := uint(0); i < w; i++ {
+				base.double(&base)
+			}
+		}
+	}
+	flat := make([]*p256Point, 0, positions*half)
+	for j := range ext {
+		for v := range ext[j] {
+			flat = append(flat, &ext[j][v])
+		}
+	}
+	normalizeP256(flat)
+	t := &p256CombTable{w: w, entries: make([][]p256Affine, positions)}
+	for j := range ext {
+		t.entries[j] = make([]p256Affine, half)
+		for v := range ext[j] {
+			e := &t.entries[j][v]
+			if ext[j][v].isInfinity() {
+				e.inf = true
+				continue
+			}
+			e.x = ext[j][v].x
+			e.y = ext[j][v].y
+		}
+	}
+	return t
+}
+
+// mulComb sets p = k*P for the table's fixed point (k: 32-byte big-endian).
+func (t *p256CombTable) mulComb(p *p256Point, k []byte) {
+	digits := make([]int16, len(t.entries))
+	combDigits(k, t.w, digits)
+	var acc p256Point
+	for j, d := range digits {
+		if d > 0 {
+			acc.addAffine(&acc, &t.entries[j][d-1], false)
+		} else if d < 0 {
+			acc.addAffine(&acc, &t.entries[j][-d-1], true)
+		}
+	}
+	*p = acc
+}

@@ -1,0 +1,303 @@
+package group
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func randP256Point(r *rand.Rand) (x, y *big.Int) {
+	k := make([]byte, 32)
+	r.Read(k)
+	return p256Curve.ScalarBaseMult(k)
+}
+
+func TestFeP256Arithmetic(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	p := p256P
+	randVal := func() *big.Int {
+		b := make([]byte, 32)
+		r.Read(b)
+		v := new(big.Int).SetBytes(b)
+		return v.Mod(v, p)
+	}
+	vals := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		new(big.Int).Sub(p, big.NewInt(1)),
+		new(big.Int).Sub(p, big.NewInt(2)),
+		new(big.Int).Rsh(p, 1),
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, randVal())
+	}
+	check := func(name string, got *fep256, want *big.Int) {
+		t.Helper()
+		w := new(big.Int).Mod(want, p)
+		if g := got.toBig(); g.Cmp(w) != 0 {
+			t.Fatalf("%s: got %v want %v", name, g, w)
+		}
+	}
+	for i, av := range vals {
+		bv := vals[(i*11+5)%len(vals)]
+		var a, b, out fep256
+		a.fromBig(av)
+		b.fromBig(bv)
+		// domain round trip
+		if a.toBig().Cmp(av) != 0 {
+			t.Fatalf("round trip %v", av)
+		}
+		out.montMul(&a, &b)
+		check("mul", &out, new(big.Int).Mul(av, bv))
+		out.Square(&a)
+		check("square", &out, new(big.Int).Mul(av, av))
+		out.Add(&a, &b)
+		check("add", &out, new(big.Int).Add(av, bv))
+		out.Sub(&a, &b)
+		check("sub", &out, new(big.Int).Sub(av, bv))
+		out.Neg(&a)
+		check("neg", &out, new(big.Int).Neg(av))
+		if av.Sign() != 0 {
+			out.Invert(&a)
+			check("invert", &out, new(big.Int).ModInverse(av, p))
+		}
+	}
+}
+
+func TestBatchInvertP256(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, n := range []int{0, 1, 3, 33} {
+		vs := make([]*fep256, n)
+		want := make([]*big.Int, n)
+		for i := range vs {
+			vs[i] = new(fep256)
+			if i%4 == 2 {
+				want[i] = big.NewInt(0)
+				continue
+			}
+			b := make([]byte, 32)
+			r.Read(b)
+			v := new(big.Int).SetBytes(b)
+			v.Mod(v, p256P)
+			if v.Sign() == 0 {
+				v.SetInt64(1)
+			}
+			vs[i].fromBig(v)
+			want[i] = new(big.Int).ModInverse(v, p256P)
+		}
+		batchInvertP256(vs)
+		for i := range vs {
+			if got := vs[i].toBig(); got.Cmp(want[i]) != 0 {
+				t.Fatalf("n=%d entry %d: got %v want %v", n, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestP256JacobianVsElliptic is the cross-validation required by the issue:
+// the Jacobian kernels must agree with crypto/elliptic on random points and
+// the edge cases (infinity, P == Q, P == -Q).
+func TestP256JacobianVsElliptic(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	curve := p256Curve
+	checkPoint := func(name string, p *p256Point, wx, wy *big.Int) {
+		t.Helper()
+		gx, gy := p.affineBig()
+		if gx.Cmp(wx) != 0 || gy.Cmp(wy) != 0 {
+			t.Fatalf("%s: got (%v, %v) want (%v, %v)", name, gx, gy, wx, wy)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		x1, y1 := randP256Point(r)
+		x2, y2 := randP256Point(r)
+		var p, q, out p256Point
+		p.fromAffineBig(x1, y1)
+		q.fromAffineBig(x2, y2)
+
+		wx, wy := curve.Add(x1, y1, x2, y2)
+		out.add(&p, &q)
+		checkPoint("add", &out, wx, wy)
+
+		wx, wy = curve.Double(x1, y1)
+		out.double(&p)
+		checkPoint("double", &out, wx, wy)
+
+		// P == Q through the generic add path must hit the doubling branch
+		out.add(&p, &p)
+		checkPoint("add(P,P)", &out, wx, wy)
+
+		// P == -Q must produce infinity
+		var negQ p256Point
+		negY := new(big.Int).Sub(p256P, y1)
+		negQ.fromAffineBig(x1, negY)
+		out.add(&p, &negQ)
+		if !out.isInfinity() {
+			t.Fatal("P + (-P) != infinity")
+		}
+
+		// infinity handling on both sides
+		var inf p256Point
+		out.add(&p, &inf)
+		checkPoint("P+inf", &out, x1, y1)
+		out.add(&inf, &p)
+		checkPoint("inf+P", &out, x1, y1)
+		out.double(&inf)
+		if !out.isInfinity() {
+			t.Fatal("2*inf != inf")
+		}
+
+		// mixed (affine) add
+		var aff p256Affine
+		var qn p256Point
+		qn.fromAffineBig(x2, y2)
+		aff.x, aff.y = qn.x, qn.y
+		wx, wy = curve.Add(x1, y1, x2, y2)
+		out.addAffine(&p, &aff, false)
+		checkPoint("addAffine", &out, wx, wy)
+		wx, wy = curve.Add(x1, y1, x2, new(big.Int).Sub(p256P, y2))
+		out.addAffine(&p, &aff, true)
+		checkPoint("addAffine sub", &out, wx, wy)
+	}
+}
+
+func TestP256NormalizeBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	pts := make([]*p256Point, 9)
+	wants := make([][2]*big.Int, len(pts))
+	for i := range pts {
+		pts[i] = new(p256Point)
+		if i == 4 {
+			continue // leave one infinity
+		}
+		x, y := randP256Point(r)
+		x2, y2 := randP256Point(r)
+		var q p256Point
+		pts[i].fromAffineBig(x, y)
+		q.fromAffineBig(x2, y2)
+		pts[i].add(pts[i], &q) // give it a non-trivial z
+		wx, wy := p256Curve.Add(x, y, x2, y2)
+		wants[i] = [2]*big.Int{wx, wy}
+	}
+	normalizeP256(pts)
+	for i, p := range pts {
+		if i == 4 {
+			if !p.isInfinity() {
+				t.Fatal("infinity entry disturbed")
+			}
+			continue
+		}
+		if p.z != p256MontID {
+			t.Fatalf("entry %d not normalized", i)
+		}
+		gx, gy := p.affineBig()
+		if gx.Cmp(wants[i][0]) != 0 || gy.Cmp(wants[i][1]) != 0 {
+			t.Fatalf("entry %d wrong after normalization", i)
+		}
+	}
+}
+
+func TestP256CombVsScalarMult(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	px, py := randP256Point(r)
+	for _, w := range []uint{6, 7} {
+		table := buildP256Comb(px, py, w)
+		for i := 0; i < 8; i++ {
+			k := make([]byte, 32)
+			r.Read(k)
+			if i == 0 {
+				for j := range k {
+					k[j] = 0
+				}
+			}
+			kInt := new(big.Int).SetBytes(k)
+			kInt.Mod(kInt, p256N)
+			var kb [32]byte
+			kInt.FillBytes(kb[:])
+			var got p256Point
+			table.mulComb(&got, kb[:])
+			if kInt.Sign() == 0 {
+				if !got.isInfinity() {
+					t.Fatal("0*P != infinity")
+				}
+				continue
+			}
+			wx, wy := p256Curve.ScalarMult(px, py, kb[:])
+			gx, gy := got.affineBig()
+			if gx.Cmp(wx) != 0 || gy.Cmp(wy) != 0 {
+				t.Fatalf("comb w=%d mismatch", w)
+			}
+		}
+	}
+}
+
+func BenchmarkP256FieldMul(b *testing.B) {
+	var x, y fep256
+	x.fromBig(big.NewInt(0xdeadbeef))
+	y.fromBig(big.NewInt(0xcafebabe))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.montMul(&x, &y)
+	}
+}
+
+func BenchmarkP256CombMul(b *testing.B) {
+	r := rand.New(rand.NewSource(25))
+	px, py := randP256Point(r)
+	table := buildP256Comb(px, py, 6)
+	k := make([]byte, 32)
+	r.Read(k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var out p256Point
+	for i := 0; i < b.N; i++ {
+		table.mulComb(&out, k)
+	}
+}
+
+func BenchmarkP256EllipticScalarMult(b *testing.B) {
+	r := rand.New(rand.NewSource(26))
+	px, py := randP256Point(r)
+	k := make([]byte, 32)
+	r.Read(k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p256Curve.ScalarMult(px, py, k)
+	}
+}
+
+func BenchmarkEdCombMul(b *testing.B) {
+	r := rand.New(rand.NewSource(27))
+	var seed [32]byte
+	r.Read(seed[:])
+	p := edHashToPoint(seed[:])
+	normalizeEd([]*edPoint{p})
+	table := buildEdComb(p, 6)
+	k := make([]byte, 32)
+	r.Read(k)
+	k[0] &= 0x0f
+	b.ReportAllocs()
+	b.ResetTimer()
+	var out edPoint
+	for i := 0; i < b.N; i++ {
+		table.mulComb(&out, k)
+	}
+}
+
+func BenchmarkEdWNAFMul(b *testing.B) {
+	r := rand.New(rand.NewSource(28))
+	var seed [32]byte
+	r.Read(seed[:])
+	p := edHashToPoint(seed[:])
+	k := make([]byte, 32)
+	r.Read(k)
+	k[0] &= 0x0f
+	var digits [258]int8
+	n := wnafDigits(k, &digits)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var out edPoint
+	for i := 0; i < b.N; i++ {
+		edScalarMulWNAF(&out, digits[:n], p)
+	}
+}

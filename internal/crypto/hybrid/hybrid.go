@@ -1,41 +1,48 @@
 // Package hybrid implements the nested (hybrid) public-key encryption used
-// between ESA stages: an ephemeral ECDH key agreement over NIST P-256,
-// HKDF-SHA256 key derivation, and AES-128-GCM authenticated encryption. This
-// mirrors Prochlo's wire cryptography (§5.1: "NIST P-256 asymmetric key
-// pairs used to derive AES-128 GCM symmetric keys").
+// between ESA stages: an ephemeral Diffie-Hellman key agreement over a
+// pluggable prime-order group, HKDF-SHA256 key derivation, and AES-128-GCM
+// authenticated encryption. This mirrors Prochlo's wire cryptography (§5.1:
+// "NIST P-256 asymmetric key pairs used to derive AES-128 GCM symmetric
+// keys"); the group layer adds a ristretto255 backend (the default) whose
+// fixed-point kernels make sealing several times cheaper in pure Go.
 //
 // A client encrypts its report first to the analyzer's public key (the inner
 // layer) and then, together with the crowd ID, to the shuffler's public key
 // (the outer layer); see package encoder for the nesting.
 //
 // Open is the shuffler's per-report hot path and Seal is the client
-// encoder's, so the key-derivation state (HKDF/HMAC blocks, salt and key
-// buffers) lives in a sync.Pool-recycled scratch rather than being
-// reallocated per call, and the recipient's public key bytes are computed
-// once per PrivateKey. OpenInto/SealInto let callers supply the destination
+// encoder's. Per-recipient state is precomputed once: the public key's wire
+// encoding and a fixed-point comb table for the shared-secret multiplication
+// (so a seal is two comb multiplications, no doublings), and the private
+// key's DH-prepared scalar. The key-derivation state (HKDF/HMAC blocks, salt
+// and key buffers) lives in a sync.Pool-recycled scratch rather than being
+// reallocated per call. OpenInto/SealInto let callers supply the destination
 // buffer — batch callers compose nested layers and whole batches in a single
-// backing allocation — and OpenBatch/SealBatch fan a batch out over a worker
-// pool. All of them are safe for concurrent use.
+// backing allocation — and the batch entry points EncapBatch/SealIntoEncap
+// amortize the expensive part further: all ephemeral and shared points of a
+// batch are normalized with one field inversion instead of two per seal.
+// All of them are safe for concurrent use.
 package hybrid
 
 import (
 	"crypto/aes"
 	"crypto/cipher"
-	"crypto/ecdh"
 	"crypto/hmac"
 	"crypto/sha256"
 	"errors"
 	"fmt"
 	"hash"
 	"io"
+	"math/big"
 	"math/rand/v2"
 	"sync"
 
+	"prochlo/internal/crypto/group"
 	"prochlo/internal/parallel"
 )
 
 const (
-	pubKeyLen = 65 // uncompressed P-256 point
+	pubKeyLen = group.WireSize // tagged uncompressed point
 	nonceLen  = 12
 	tagLen    = 16
 	keyLen    = 16 // AES-128
@@ -50,36 +57,53 @@ var ErrDecrypt = errors.New("hybrid: decryption failed")
 
 // PrivateKey is a recipient's decryption key. It is safe for concurrent use.
 type PrivateKey struct {
-	key *ecdh.PrivateKey
+	g        group.Group
+	x        *big.Int
+	prepared group.Scalar // DH-prepared scalar (cofactor inverse folded in)
 
-	pubOnce  sync.Once
-	pub      *PublicKey
-	pubBytes []byte
+	pubOnce sync.Once
+	pub     *PublicKey
 }
 
 // PublicKey is a recipient's encryption key. It is safe for concurrent use.
 type PublicKey struct {
-	key *ecdh.PublicKey
+	g   group.Group
+	el  group.Element
+	enc []byte // cached wire encoding, used in every key derivation
 
-	encOnce sync.Once
-	enc     []byte
+	tableOnce sync.Once
+	table     group.Table
 }
 
-// GenerateKey creates a fresh P-256 key pair.
+// newPublicKey normalizes and caches the encoding once; both the seal and
+// open hot paths feed the bytes into HKDF.
+func newPublicKey(g group.Group, el group.Element) *PublicKey {
+	els := []group.Element{el}
+	g.Normalize(els)
+	return &PublicKey{g: g, el: els[0], enc: g.Encode(els[0])}
+}
+
+// GenerateKey creates a fresh key pair on the default group.
 func GenerateKey(rng io.Reader) (*PrivateKey, error) {
-	k, err := ecdh.P256().GenerateKey(rng)
+	return GenerateKeyGroup(group.Default(), rng)
+}
+
+// GenerateKeyGroup creates a fresh key pair on an explicit group. Key
+// generation consumes a deterministic number of rng bytes per attempt, so
+// seeded harnesses produce reproducible keys.
+func GenerateKeyGroup(g group.Group, rng io.Reader) (*PrivateKey, error) {
+	k, err := g.RandomScalar(rng)
 	if err != nil {
 		return nil, fmt.Errorf("hybrid: %w", err)
 	}
-	return &PrivateKey{key: k}, nil
+	return &PrivateKey{g: g, x: group.ScalarToBig(k), prepared: g.PrepareDH(k)}, nil
 }
 
-// initPublic caches the public half and its encoding; Open needs the bytes
-// for every key derivation.
+// initPublic caches the public half; Open needs its bytes for every key
+// derivation.
 func (p *PrivateKey) initPublic() {
 	p.pubOnce.Do(func() {
-		p.pub = &PublicKey{key: p.key.PublicKey()}
-		p.pubBytes = p.pub.Bytes()
+		p.pub = newPublicKey(p.g, p.g.BaseMul(group.ScalarFromBig(p.x)))
 	})
 }
 
@@ -89,44 +113,83 @@ func (p *PrivateKey) Public() *PublicKey {
 	return p.pub
 }
 
-// publicBytes returns the cached uncompressed encoding of the public key.
+// publicBytes returns the cached wire encoding of the public key.
 func (p *PrivateKey) publicBytes() []byte {
 	p.initPublic()
-	return p.pubBytes
+	return p.pub.enc
 }
 
-// Bytes returns the uncompressed point encoding of the public key, suitable
-// for embedding in client software or publishing in an attestation quote.
-// The returned slice is fresh; callers may modify it.
-func (p *PublicKey) Bytes() []byte { return p.key.Bytes() }
+// Group returns the group the key lives on.
+func (p *PrivateKey) Group() group.Group { return p.g }
 
-// bytes returns the cached encoding for the seal hot path, where
-// crypto/ecdh's per-call clone would cost one allocation per layer.
-func (p *PublicKey) bytes() []byte {
-	p.encOnce.Do(func() { p.enc = p.key.Bytes() })
-	return p.enc
+// Group returns the group the key lives on.
+func (p *PublicKey) Group() group.Group { return p.g }
+
+// Bytes returns the wire encoding of the public key, suitable for embedding
+// in client software or publishing in an attestation quote. On P-256 this is
+// the SEC1 uncompressed form, byte-compatible with the crypto/ecdh encoding
+// used before the group layer existed. The returned slice is fresh; callers
+// may modify it.
+func (p *PublicKey) Bytes() []byte {
+	out := make([]byte, len(p.enc))
+	copy(out, p.enc)
+	return out
 }
 
-// ParsePublicKey decodes a public key produced by (*PublicKey).Bytes.
+// dhTable returns the comb table of the recipient point used for the seal
+// side's shared-secret multiplication, built once per key. The table is built
+// over the DH image of the point (cofactor cleared and compensated), so seal
+// and open derive the same secret even for a public key encoding that carries
+// a small-subgroup component.
+func (p *PublicKey) dhTable() group.Table {
+	p.tableOnce.Do(func() {
+		one := group.ScalarFromBig(big.NewInt(1))
+		dhEl := p.g.MulDH(p.el, p.g.PrepareDH(one))
+		p.table = p.g.Precompute(dhEl)
+	})
+	return p.table
+}
+
+// ParsePublicKey decodes a public key produced by (*PublicKey).Bytes,
+// inferring the group backend from the tag byte. Legacy compressed P-256
+// points parse too.
 func ParsePublicKey(b []byte) (*PublicKey, error) {
-	k, err := ecdh.P256().NewPublicKey(b)
+	g, err := group.Infer(b)
 	if err != nil {
 		return nil, fmt.Errorf("hybrid: %w", err)
 	}
-	return &PublicKey{key: k}, nil
+	el, err := g.Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	if g.IsIdentity(el) {
+		return nil, errors.New("hybrid: identity public key")
+	}
+	return newPublicKey(g, el), nil
 }
 
-// Bytes returns the private scalar encoding, for persisting a long-lived
-// daemon key across restarts. Handle with care: this is the secret.
-func (p *PrivateKey) Bytes() []byte { return p.key.Bytes() }
+// Bytes returns the private scalar encoding (32 bytes big-endian), for
+// persisting a long-lived daemon key across restarts. Handle with care: this
+// is the secret. The group is not self-describing; reload with the matching
+// ParsePrivateKeyGroup.
+func (p *PrivateKey) Bytes() []byte { return group.ScalarFromBig(p.x) }
 
-// ParsePrivateKey decodes a private key produced by (*PrivateKey).Bytes.
+// ParsePrivateKey decodes a private key produced by (*PrivateKey).Bytes on
+// the default group.
 func ParsePrivateKey(b []byte) (*PrivateKey, error) {
-	k, err := ecdh.P256().NewPrivateKey(b)
-	if err != nil {
-		return nil, fmt.Errorf("hybrid: %w", err)
+	return ParsePrivateKeyGroup(group.Default(), b)
+}
+
+// ParsePrivateKeyGroup is ParsePrivateKey on an explicit group.
+func ParsePrivateKeyGroup(g group.Group, b []byte) (*PrivateKey, error) {
+	if len(b) != group.ScalarSize {
+		return nil, errors.New("hybrid: invalid private key length")
 	}
-	return &PrivateKey{key: k}, nil
+	x := new(big.Int).SetBytes(b)
+	if x.Sign() <= 0 || x.Cmp(g.Order()) >= 0 {
+		return nil, errors.New("hybrid: private scalar out of range")
+	}
+	return &PrivateKey{g: g, x: x, prepared: g.PrepareDH(group.ScalarFromBig(x))}, nil
 }
 
 // hkdfInfo is the domain-separation label of the key derivation.
@@ -226,54 +289,79 @@ func newAEAD(key []byte) (cipher.AEAD, error) {
 	return cipher.NewGCM(block)
 }
 
-// ephemeralKey derives a sender's ephemeral P-256 key from rng by rejection
-// sampling, reading exactly 32 bytes per attempt (a retry occurs with
-// probability ~2^-32, when the candidate scalar is zero or >= the group
-// order, so the scalar is uniform). ecdh.GenerateKey is not used because it
-// consumes a deliberately nondeterministic amount of rng
-// (randutil.MaybeReadByte); the batch seal paths need consumption to be a
-// pure function of the stream so output is independent of worker scheduling.
-func ephemeralKey(rng io.Reader) (*ecdh.PrivateKey, error) {
-	var buf [32]byte
-	for {
-		if _, err := io.ReadFull(rng, buf[:]); err != nil {
-			return nil, fmt.Errorf("hybrid: %w", err)
-		}
-		k, err := ecdh.P256().NewPrivateKey(buf[:])
-		if err == nil {
-			return k, nil
-		}
+// Encap is one report's key encapsulation: the ephemeral public key that
+// travels in the envelope header and the AES key derived from the shared
+// secret. EncapBatch produces them in bulk; SealIntoEncap consumes one.
+type Encap struct {
+	EphPub []byte
+	Key    [keyLen]byte
+}
+
+// encap performs one key encapsulation: draw the ephemeral scalar from rng
+// (a deterministic number of bytes per attempt, so batch scheduling cannot
+// change the stream), multiply the base and the recipient's comb table, and
+// derive the AES key. The solo paths normalize the two points individually;
+// EncapBatch shares one normalization across a whole batch instead.
+func encap(rng io.Reader, pub *PublicKey, out *Encap) error {
+	g := pub.g
+	k, err := g.RandomScalar(rng)
+	if err != nil {
+		return fmt.Errorf("hybrid: %w", err)
 	}
+	ephPub := g.Encode(g.BaseMul(k))
+	shared := g.SharedBytes(pub.dhTable().Mul(k))
+	sc := scratchPool.Get().(*scratch)
+	copy(out.Key[:], sc.sealKey(shared, ephPub, pub.enc))
+	scratchPool.Put(sc)
+	out.EphPub = ephPub
+	return nil
+}
+
+// EncapBatch runs one key encapsulation per rng on a pool of workers
+// (0 selects GOMAXPROCS): record i's ephemeral scalar is drawn from rngs[i],
+// so the result is a pure function of that record's stream, independent of
+// worker count. All ephemeral and shared points of the batch are normalized
+// with one shared field inversion, which is what makes a batched seal two
+// comb multiplications and (amortized) nothing else.
+func EncapBatch(pub *PublicKey, rngs []io.Reader, workers int) ([]Encap, error) {
+	n := len(rngs)
+	if n == 0 {
+		return nil, nil
+	}
+	g := pub.g
+	table := pub.dhTable()
+	els := make([]group.Element, 2*n)
+	errs := make([]error, n)
+	parallel.For(parallel.Workers(workers), n, func(i int) {
+		k, err := g.RandomScalar(rngs[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		els[2*i] = g.BaseMul(k)
+		els[2*i+1] = table.Mul(k)
+	})
+	if i, err := parallel.FirstError(errs); err != nil {
+		return nil, fmt.Errorf("hybrid: record %d: %w", i, err)
+	}
+	g.Normalize(els)
+	out := make([]Encap, n)
+	parallel.For(parallel.Workers(workers), n, func(i int) {
+		ephPub := g.Encode(els[2*i])
+		shared := g.SharedBytes(els[2*i+1])
+		sc := scratchPool.Get().(*scratch)
+		copy(out[i].Key[:], sc.sealKey(shared, ephPub, pub.enc))
+		scratchPool.Put(sc)
+		out[i].EphPub = ephPub
+	})
+	return out, nil
 }
 
 // Seal encrypts plaintext to the recipient pub, binding aad (which is
 // authenticated but not encrypted). The output layout is
 // ephemeralPubKey || nonce || ciphertext+tag.
 func Seal(rng io.Reader, pub *PublicKey, plaintext, aad []byte) ([]byte, error) {
-	eph, err := ephemeralKey(rng)
-	if err != nil {
-		return nil, err
-	}
-	shared, err := eph.ECDH(pub.key)
-	if err != nil {
-		return nil, fmt.Errorf("hybrid: %w", err)
-	}
-	ephPub := eph.PublicKey().Bytes()
-	sc := scratchPool.Get().(*scratch)
-	gcm, err := newAEAD(sc.sealKey(shared, ephPub, pub.bytes()))
-	scratchPool.Put(sc)
-	if err != nil {
-		return nil, err
-	}
-	nonce := make([]byte, nonceLen)
-	if _, err := io.ReadFull(rng, nonce); err != nil {
-		return nil, fmt.Errorf("hybrid: %w", err)
-	}
-	out := make([]byte, 0, pubKeyLen+nonceLen+len(plaintext)+tagLen)
-	out = append(out, ephPub...)
-	out = append(out, nonce...)
-	out = gcm.Seal(out, nonce, plaintext, aad)
-	return out, nil
+	return SealInto(rng, pub, nil, plaintext, aad)
 }
 
 // SealInto encrypts plaintext to the recipient pub exactly like Seal, but
@@ -282,10 +370,23 @@ func Seal(rng io.Reader, pub *PublicKey, plaintext, aad []byte) ([]byte, error) 
 // caller that pre-sizes dst — len(plaintext)+Overhead per layer — pays no
 // per-seal buffer allocations; the client encoder's EncodeBatch composes a
 // two-layer envelope and a whole batch in one backing array this way.
-// SealInto draws from rng in the same order as Seal (ephemeral key, then
-// nonce), so given the same rng stream the two produce identical bytes.
-// It is safe for concurrent use.
+// SealInto draws from rng in the same order as every other seal path
+// (ephemeral scalar, then nonce), so given the same rng stream all of them
+// produce identical bytes. It is safe for concurrent use.
 func SealInto(rng io.Reader, pub *PublicKey, dst, plaintext, aad []byte) ([]byte, error) {
+	var enc Encap
+	if err := encap(rng, pub, &enc); err != nil {
+		return nil, err
+	}
+	return SealIntoEncap(rng, &enc, dst, plaintext, aad)
+}
+
+// SealIntoEncap finishes a seal from a prepared encapsulation: it writes the
+// ephemeral public key and a nonce drawn from rng into dst, then seals the
+// plaintext under the encapsulated AES key. Combined with EncapBatch it is
+// byte-for-byte the same construction as SealInto, split so the public-key
+// work batches; pass the same per-record rng to both halves.
+func SealIntoEncap(rng io.Reader, enc *Encap, dst, plaintext, aad []byte) ([]byte, error) {
 	need := pubKeyLen + nonceLen + len(plaintext) + tagLen
 	base := len(dst)
 	if cap(dst)-base < need {
@@ -293,24 +394,13 @@ func SealInto(rng io.Reader, pub *PublicKey, dst, plaintext, aad []byte) ([]byte
 		copy(grown, dst)
 		dst = grown
 	}
-	eph, err := ephemeralKey(rng)
-	if err != nil {
-		return nil, err
-	}
-	shared, err := eph.ECDH(pub.key)
-	if err != nil {
-		return nil, fmt.Errorf("hybrid: %w", err)
-	}
-	ephPub := eph.PublicKey().Bytes()
 	hdr := dst[base : base+pubKeyLen+nonceLen]
-	copy(hdr, ephPub)
+	copy(hdr, enc.EphPub)
 	nonce := hdr[pubKeyLen:]
 	if _, err := io.ReadFull(rng, nonce); err != nil {
 		return nil, fmt.Errorf("hybrid: %w", err)
 	}
-	sc := scratchPool.Get().(*scratch)
-	gcm, err := newAEAD(sc.sealKey(shared, ephPub, pub.bytes()))
-	scratchPool.Put(sc)
+	gcm, err := newAEAD(enc.Key[:])
 	if err != nil {
 		return nil, err
 	}
@@ -357,9 +447,11 @@ func (s Seeds) RNG(i int) *rand.ChaCha8 {
 func PutRNG(r *rand.ChaCha8) { rngPool.Put(r) }
 
 // SealBatch encrypts a batch of plaintexts to pub on a pool of workers
-// (0 selects GOMAXPROCS), mirroring OpenBatch. All ciphertexts share one
-// backing buffer, and randomness follows the Seeds convention, so for a
-// deterministic rng the output is byte-identical at every worker count.
+// (0 selects GOMAXPROCS), mirroring OpenBatch. The encapsulations run
+// through EncapBatch (one shared normalization for the whole batch), all
+// ciphertexts share one backing buffer, and randomness follows the Seeds
+// convention, so for a deterministic rng the output is byte-identical at
+// every worker count.
 func SealBatch(rng io.Reader, pub *PublicKey, plaintexts [][]byte, aad []byte, workers int) ([][]byte, error) {
 	n := len(plaintexts)
 	if n == 0 {
@@ -369,13 +461,26 @@ func SealBatch(rng io.Reader, pub *PublicKey, plaintexts [][]byte, aad []byte, w
 	if err != nil {
 		return nil, err
 	}
+	// Each record's rng serves both halves of its seal (scalar, then
+	// nonce), so the checkouts span the two phases.
+	rngs := make([]io.Reader, n)
+	for i := range rngs {
+		rngs[i] = seeds.RNG(i)
+	}
+	defer func() {
+		for _, r := range rngs {
+			PutRNG(r.(*rand.ChaCha8))
+		}
+	}()
+	encs, err := EncapBatch(pub, rngs, workers)
+	if err != nil {
+		return nil, err
+	}
 	arena := parallel.NewArena(n, func(i int) int { return len(plaintexts[i]) + Overhead })
 	out := make([][]byte, n)
 	errs := make([]error, n)
 	parallel.For(parallel.Workers(workers), n, func(i int) {
-		r := seeds.RNG(i)
-		out[i], errs[i] = SealInto(r, pub, arena.Slot(i), plaintexts[i], aad)
-		PutRNG(r)
+		out[i], errs[i] = SealIntoEncap(rngs[i], &encs[i], arena.Slot(i), plaintexts[i], aad)
 	})
 	if i, err := parallel.FirstError(errs); err != nil {
 		return nil, fmt.Errorf("hybrid: record %d: %w", i, err)
@@ -391,20 +496,20 @@ func (p *PrivateKey) Open(sealed, aad []byte) ([]byte, error) {
 // OpenInto decrypts a ciphertext produced by Seal for this private key,
 // appending the plaintext to dst (which may be nil) and returning the
 // extended slice. Batch callers — the shuffler's decryption workers — reuse
-// dst across records to amortize the plaintext allocation. OpenInto is safe
-// for concurrent use.
+// dst across records to amortize the plaintext allocation. The ephemeral
+// point goes through the group's DH path, which multiplies it by the
+// cofactor (compensated in the prepared private scalar), so a small-subgroup
+// component in a hostile header can never probe the private key. OpenInto is
+// safe for concurrent use.
 func (p *PrivateKey) OpenInto(dst, sealed, aad []byte) ([]byte, error) {
 	if len(sealed) < pubKeyLen+nonceLen+tagLen {
 		return nil, ErrDecrypt
 	}
-	ephPub, err := ecdh.P256().NewPublicKey(sealed[:pubKeyLen])
-	if err != nil {
+	ephEl, err := p.g.Decode(sealed[:pubKeyLen])
+	if err != nil || p.g.IsIdentity(ephEl) {
 		return nil, ErrDecrypt
 	}
-	shared, err := p.key.ECDH(ephPub)
-	if err != nil {
-		return nil, ErrDecrypt
-	}
+	shared := p.g.SharedBytes(p.g.MulDH(ephEl, p.prepared))
 	sc := scratchPool.Get().(*scratch)
 	gcm, err := newAEAD(sc.sealKey(shared, sealed[:pubKeyLen], p.publicBytes()))
 	scratchPool.Put(sc)

@@ -3,9 +3,12 @@ package hybrid
 import (
 	"bytes"
 	"crypto/rand"
+	"io"
 	mrand "math/rand/v2"
 	"testing"
 	"testing/quick"
+
+	"prochlo/internal/crypto/group"
 )
 
 func TestSealOpenRoundTrip(t *testing.T) {
@@ -425,5 +428,187 @@ func BenchmarkOpenInto64B(b *testing.B) {
 		if _, err := priv.OpenInto(dst, ct, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestBothGroupBackends runs the core seal/open contract on each group
+// backend explicitly (the tests above exercise whichever is the default).
+func TestBothGroupBackends(t *testing.T) {
+	for _, g := range []group.Group{group.P256, group.Ristretto255} {
+		t.Run(g.Name(), func(t *testing.T) {
+			priv, err := GenerateKeyGroup(g, rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := Seal(rand.Reader, priv.Public(), []byte("payload"), []byte("aad"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ct) != len("payload")+Overhead {
+				t.Fatalf("overhead = %d", len(ct)-len("payload"))
+			}
+			got, err := priv.Open(ct, []byte("aad"))
+			if err != nil || string(got) != "payload" {
+				t.Fatalf("open = %q, %v", got, err)
+			}
+			// public key round trip through the wire encoding
+			pk, err := ParsePublicKey(priv.Public().Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct2, err := Seal(rand.Reader, pk, []byte("via parsed"), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := priv.Open(ct2, nil); err != nil {
+				t.Fatal("parsed public key mismatch")
+			}
+			// private key persistence round trip
+			reloaded, err := ParsePrivateKeyGroup(g, priv.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := reloaded.Open(ct, []byte("aad")); err != nil {
+				t.Fatal("reloaded private key cannot decrypt")
+			}
+			if priv.Group().Name() != g.Name() || pk.Group().Name() != g.Name() {
+				t.Fatal("Group() accessor mismatch")
+			}
+		})
+	}
+}
+
+// TestEncapBatchMatchesSealInto pins the split EncapBatch+SealIntoEncap path
+// to the solo SealInto construction: same per-record rng streams, identical
+// bytes, at every worker count.
+func TestEncapBatchMatchesSealInto(t *testing.T) {
+	for _, g := range []group.Group{group.P256, group.Ristretto255} {
+		t.Run(g.Name(), func(t *testing.T) {
+			priv, err := GenerateKeyGroup(g, rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pub := priv.Public()
+			const n = 23
+			want := make([][]byte, n)
+			for i := range want {
+				var seed [32]byte
+				seed[0] = byte(i)
+				ct, err := SealInto(mrand.NewChaCha8(seed), pub, nil, []byte{byte(i)}, []byte("aad"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = ct
+			}
+			for _, workers := range []int{1, 4} {
+				rngs := make([]io.Reader, n)
+				for i := range rngs {
+					var seed [32]byte
+					seed[0] = byte(i)
+					rngs[i] = mrand.NewChaCha8(seed)
+				}
+				encs, err := EncapBatch(pub, rngs, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range encs {
+					got, err := SealIntoEncap(rngs[i], &encs[i], nil, []byte{byte(i)}, []byte("aad"))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want[i]) {
+						t.Fatalf("workers=%d record %d: batched seal diverges from SealInto", workers, i)
+					}
+					if _, err := priv.Open(got, []byte("aad")); err != nil {
+						t.Fatalf("workers=%d record %d: %v", workers, i, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOpenRejectsIdentityHeader: an all-identity ephemeral key must fail
+// cleanly (it would make the shared secret independent of the private key).
+func TestOpenRejectsIdentityHeader(t *testing.T) {
+	priv, _ := GenerateKey(rand.Reader)
+	ct, err := Seal(rand.Reader, priv.Public(), []byte("x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pubKeyLen; i++ {
+		ct[i] = 0
+	}
+	if _, err := priv.Open(ct, nil); err == nil {
+		t.Fatal("identity ephemeral header accepted")
+	}
+}
+
+// BenchmarkHybridBackends tracks the envelope hot path on each group
+// backend: one Seal/Open per op serially, and the batch kernels amortized
+// over 256 envelopes on one worker. ns/env is the comparable unit — it is
+// what a pipeline report pays per encryption layer.
+func BenchmarkHybridBackends(b *testing.B) {
+	const batch = 256
+	for _, g := range []group.Group{group.P256, group.Ristretto255} {
+		priv, err := GenerateKeyGroup(g, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pub := priv.Public()
+		pt := make([]byte, 64)
+		b.Run(g.Name()+"/seal", func(b *testing.B) {
+			dst := make([]byte, 0, 64+Overhead)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SealInto(rand.Reader, pub, dst, pt, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/env")
+		})
+		b.Run(g.Name()+"/seal-batch", func(b *testing.B) {
+			pts := make([][]byte, batch)
+			for i := range pts {
+				pts[i] = pt
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SealBatch(rand.Reader, pub, pts, nil, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/env")
+		})
+		ct, err := Seal(rand.Reader, pub, pt, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(g.Name()+"/open", func(b *testing.B) {
+			dst := make([]byte, 0, 64)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := priv.OpenInto(dst, ct, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/env")
+		})
+		b.Run(g.Name()+"/open-batch", func(b *testing.B) {
+			cts := make([][]byte, batch)
+			for i := range cts {
+				cts[i] = ct
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, errs := priv.OpenBatch(cts, nil, 1)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/env")
+		})
 	}
 }

@@ -52,12 +52,6 @@ func (c *Client) Encode(r core.Report) (core.Envelope, error) {
 	return core.Envelope{Blob: blob}, nil
 }
 
-// payloadPool recycles the workers' staging buffers for a report's
-// intermediate (inner-layer) payload. Per-report randomness follows the
-// hybrid.Seeds convention: seeds drawn serially from Rand, expanded per
-// report, so each report's ciphertext is independent of worker scheduling.
-var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
-
 // firstError wraps parallel.FirstError with this package's report
 // terminology.
 func firstError(errs []error) error {
@@ -67,14 +61,34 @@ func firstError(errs []error) error {
 	return nil
 }
 
+// batchRNGs checks out one pooled ChaCha8 per record. The checkouts span
+// every phase of a batch encode — each record's rng serves its El Gamal
+// scalar, both ephemeral scalars, and both nonces, in the same order the
+// solo Encode draws them — so release must wait until the batch is done.
+func batchRNGs(seeds hybrid.Seeds, n int) (rngs []io.Reader, release func()) {
+	chachas := make([]*rand.ChaCha8, n)
+	rngs = make([]io.Reader, n)
+	for i := range rngs {
+		chachas[i] = seeds.RNG(i)
+		rngs[i] = chachas[i]
+	}
+	return rngs, func() {
+		for _, r := range chachas {
+			hybrid.PutRNG(r)
+		}
+	}
+}
+
 // EncodeBatch encodes a batch of reports on a worker pool (workers <= 0
-// selects GOMAXPROCS, 1 is the serial reference path). Each report's nested
-// envelope is composed in place in one batch-wide buffer: the inner layer is
-// sealed into a pooled staging buffer after the crowd ID, and that payload
-// is sealed directly into the report's slot of the backing array, so the
-// per-report cost beyond the public-key operations themselves is zero
-// allocations. Output is identical in distribution to calling Encode per
-// report, and byte-identical across worker counts for a fixed Rand.
+// selects GOMAXPROCS, 1 is the serial reference path). The batch runs in
+// phases so the public-key work feeds the group layer's batch kernels: one
+// key encapsulation sweep per layer (all ephemeral and shared points of the
+// batch normalized with a single field inversion), then the AEAD seals, each
+// report's nested envelope composed in place in one batch-wide buffer.
+// Per-report randomness follows the hybrid.Seeds convention — record i's
+// draws come from its own seeded stream in the solo Encode order — so the
+// output is identical in distribution to calling Encode per report, and
+// byte-identical across worker counts for a fixed Rand.
 func (c *Client) EncodeBatch(reports []core.Report, workers int) ([]core.Envelope, error) {
 	n := len(reports)
 	if n == 0 {
@@ -84,26 +98,44 @@ func (c *Client) EncodeBatch(reports []core.Report, workers int) ([]core.Envelop
 	if err != nil {
 		return nil, err
 	}
-	// Envelope sizes are known exactly: data + inner overhead, wrapped with
-	// the crowd ID and outer overhead.
-	arena := parallel.NewArena(n, func(i int) int {
-		return core.CrowdIDSize + len(reports[i].Data) + 2*hybrid.Overhead
+	rngs, release := batchRNGs(seeds, n)
+	defer release()
+	w := parallel.Workers(workers)
+
+	innerEncs, err := hybrid.EncapBatch(c.AnalyzerKey, rngs, w)
+	if err != nil {
+		return nil, fmt.Errorf("encoder: inner layer: %w", err)
+	}
+	// Staging and envelope sizes are known exactly: data + inner overhead,
+	// wrapped with the crowd ID and outer overhead.
+	staging := parallel.NewArena(n, func(i int) int {
+		return core.CrowdIDSize + len(reports[i].Data) + hybrid.Overhead
 	})
-	envs := make([]core.Envelope, n)
+	payloads := make([][]byte, n)
 	errs := make([]error, n)
-	parallel.For(parallel.Workers(workers), n, func(i int) {
-		rng := seeds.RNG(i)
-		defer hybrid.PutRNG(rng)
-		staging := payloadPool.Get().(*[]byte)
-		defer payloadPool.Put(staging)
-		payload := append((*staging)[:0], reports[i].CrowdID[:]...)
-		payload, err := hybrid.SealInto(rng, c.AnalyzerKey, payload, reports[i].Data, nil)
+	parallel.For(w, n, func(i int) {
+		payload := append(staging.Slot(i), reports[i].CrowdID[:]...)
+		payload, err := hybrid.SealIntoEncap(rngs[i], &innerEncs[i], payload, reports[i].Data, nil)
 		if err != nil {
 			errs[i] = fmt.Errorf("inner layer: %w", err)
 			return
 		}
-		*staging = payload[:0]
-		blob, err := hybrid.SealInto(rng, c.ShufflerKey, arena.Slot(i), payload, nil)
+		payloads[i] = payload
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	outerEncs, err := hybrid.EncapBatch(c.ShufflerKey, rngs, w)
+	if err != nil {
+		return nil, fmt.Errorf("encoder: outer layer: %w", err)
+	}
+	arena := parallel.NewArena(n, func(i int) int {
+		return core.CrowdIDSize + len(reports[i].Data) + 2*hybrid.Overhead
+	})
+	envs := make([]core.Envelope, n)
+	parallel.For(w, n, func(i int) {
+		blob, err := hybrid.SealIntoEncap(rngs[i], &outerEncs[i], arena.Slot(i), payloads[i], nil)
 		if err != nil {
 			errs[i] = fmt.Errorf("outer layer: %w", err)
 			return
@@ -163,9 +195,11 @@ func (c *BlindedClient) Encode(crowdLabel string, data []byte) (core.BlindedEnve
 
 // EncodeBatch encodes a batch of (crowd label, data) reports on a worker
 // pool, the split-shuffler counterpart of Client.EncodeBatch: the El Gamal
-// crowd-ID encryption runs through the cached hash-to-curve fast path and
-// both hybrid layers are composed in a single batch-wide buffer. Byte
-// output is identical across worker counts for a fixed Rand.
+// crowd-ID encryptions run through the cached hash-to-curve fast path and
+// the batch comb kernels (one shared normalization for all 2n ciphertext
+// components), each hybrid layer through one EncapBatch sweep, and both
+// layers are composed in a single batch-wide buffer. Byte output is
+// identical across worker counts for a fixed Rand.
 func (c *BlindedClient) EncodeBatch(crowdLabels []string, data [][]byte, workers int) ([]core.BlindedEnvelope, error) {
 	if len(crowdLabels) != len(data) {
 		return nil, fmt.Errorf("encoder: %d labels for %d data payloads", len(crowdLabels), len(data))
@@ -178,32 +212,51 @@ func (c *BlindedClient) EncodeBatch(crowdLabels []string, data [][]byte, workers
 	if err != nil {
 		return nil, err
 	}
-	enc := c.encrypter()
-	arena := parallel.NewArena(n, func(i int) int { return len(data[i]) + 2*hybrid.Overhead })
-	envs := make([]core.BlindedEnvelope, n)
+	rngs, release := batchRNGs(seeds, n)
+	defer release()
+	w := parallel.Workers(workers)
+
+	labels := make([][]byte, n)
+	for i, l := range crowdLabels {
+		labels[i] = []byte(l)
+	}
+	cts, err := c.encrypter().EncryptCrowdIDBatch(rngs, labels, w)
+	if err != nil {
+		return nil, fmt.Errorf("encoder: crowd ID: %w", err)
+	}
+
+	innerEncs, err := hybrid.EncapBatch(c.AnalyzerKey, rngs, w)
+	if err != nil {
+		return nil, fmt.Errorf("encoder: inner layer: %w", err)
+	}
+	staging := parallel.NewArena(n, func(i int) int { return len(data[i]) + hybrid.Overhead })
+	payloads := make([][]byte, n)
 	errs := make([]error, n)
-	parallel.For(parallel.Workers(workers), n, func(i int) {
-		rng := seeds.RNG(i)
-		defer hybrid.PutRNG(rng)
-		staging := payloadPool.Get().(*[]byte)
-		defer payloadPool.Put(staging)
-		ct, err := enc.EncryptCrowdID(rng, []byte(crowdLabels[i]))
-		if err != nil {
-			errs[i] = fmt.Errorf("crowd ID: %w", err)
-			return
-		}
-		inner, err := hybrid.SealInto(rng, c.AnalyzerKey, (*staging)[:0], data[i], nil)
+	parallel.For(w, n, func(i int) {
+		inner, err := hybrid.SealIntoEncap(rngs[i], &innerEncs[i], staging.Slot(i), data[i], nil)
 		if err != nil {
 			errs[i] = fmt.Errorf("inner layer: %w", err)
 			return
 		}
-		*staging = inner[:0]
-		blob, err := hybrid.SealInto(rng, c.Shuffler2Key, arena.Slot(i), inner, nil)
+		payloads[i] = inner
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	outerEncs, err := hybrid.EncapBatch(c.Shuffler2Key, rngs, w)
+	if err != nil {
+		return nil, fmt.Errorf("encoder: shuffler-2 layer: %w", err)
+	}
+	arena := parallel.NewArena(n, func(i int) int { return len(data[i]) + 2*hybrid.Overhead })
+	envs := make([]core.BlindedEnvelope, n)
+	parallel.For(w, n, func(i int) {
+		blob, err := hybrid.SealIntoEncap(rngs[i], &outerEncs[i], arena.Slot(i), payloads[i], nil)
 		if err != nil {
 			errs[i] = fmt.Errorf("shuffler-2 layer: %w", err)
 			return
 		}
-		envs[i] = core.BlindedEnvelope{CrowdC1: ct.C1.Bytes(), CrowdC2: ct.C2.Bytes(), Blob: blob}
+		envs[i] = core.BlindedEnvelope{CrowdC1: cts[i].C1.Bytes(), CrowdC2: cts[i].C2.Bytes(), Blob: blob}
 	})
 	if err := firstError(errs); err != nil {
 		return nil, err

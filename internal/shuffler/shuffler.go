@@ -28,6 +28,7 @@ import (
 
 	"prochlo/internal/core"
 	"prochlo/internal/crypto/elgamal"
+	cgroup "prochlo/internal/crypto/group"
 	"prochlo/internal/crypto/hybrid"
 	"prochlo/internal/dp"
 	"prochlo/internal/parallel"
@@ -144,59 +145,95 @@ func (s *Shuffler) Process(batch []core.Envelope) ([][]byte, Stats, error) {
 // metadata, and shuffles. It cannot decrypt crowd IDs (no Shuffler 2 private
 // key) nor data (no analyzer key).
 type Shuffler1 struct {
-	Alpha    *big.Int // blinding exponent, fixed per batch epoch
+	Alpha    *big.Int     // blinding exponent, fixed per batch epoch
+	Group    cgroup.Group // El Gamal group backend; nil selects the default
 	Rand     *rand.Rand
 	MinBatch int // anonymity floor per epoch; 0 selects DefaultMinBatch
 	Workers  int // blinding workers; 0 = GOMAXPROCS, 1 = serial
 }
 
-// NewShuffler1 draws a fresh blinding exponent.
+func (s *Shuffler1) group() cgroup.Group {
+	if s.Group == nil {
+		return cgroup.Default()
+	}
+	return s.Group
+}
+
+// NewShuffler1 draws a fresh blinding exponent on the default group.
 func NewShuffler1(rng *rand.Rand) (*Shuffler1, error) {
-	alpha, err := elgamal.RandomScalar(crand.Reader)
+	return NewShuffler1Group(cgroup.Default(), rng)
+}
+
+// NewShuffler1Group draws a fresh blinding exponent on an explicit group
+// (the exponent range is the group order, so the backend must be fixed
+// before the draw).
+func NewShuffler1Group(g cgroup.Group, rng *rand.Rand) (*Shuffler1, error) {
+	alpha, err := elgamal.RandomScalarGroup(g, crand.Reader)
 	if err != nil {
 		return nil, err
 	}
-	return &Shuffler1{Alpha: alpha, Rand: rng}, nil
+	return &Shuffler1{Alpha: alpha, Group: g, Rand: rng}, nil
 }
 
-// Process blinds and shuffles a batch, forwarding it for Shuffler 2. The
-// per-envelope point operations run on the worker pool.
+// blindChunk is the number of ciphertexts a worker feeds the El Gamal batch
+// kernels per claim: large enough to amortize the per-chunk scalar recoding
+// and the shared field inversion to noise, small enough to keep the worker
+// pool's tail balanced.
+const blindChunk = 256
+
+// Process blinds and shuffles a batch, forwarding it for Shuffler 2. Parsing
+// runs per envelope on the worker pool; the point multiplications run
+// through Blinder.BlindBatch in chunks, so the epoch-fixed exponent is
+// recoded once per chunk and each chunk's outputs are normalized with one
+// shared inversion before encoding.
 func (s *Shuffler1) Process(batch []core.BlindedEnvelope) ([]core.BlindedEnvelope, error) {
-	blinder := elgamal.NewBlinder(s.Alpha)
-	type blindedResult struct {
-		env core.BlindedEnvelope
-		ok  bool
-	}
-	results := make([]blindedResult, len(batch))
-	parallel.For(parallel.Workers(s.Workers), len(batch), func(i int) {
+	g := s.group()
+	blinder := elgamal.NewBlinderGroup(g, s.Alpha)
+	workers := parallel.Workers(s.Workers)
+	n := len(batch)
+	cts := make([]elgamal.Ciphertext, n)
+	ok := make([]bool, n)
+	parallel.For(workers, n, func(i int) {
 		batch[i].StripMetadata()
 		c1, err := elgamal.ParsePoint(batch[i].CrowdC1)
-		if err != nil {
+		if err != nil || c1.Group().Name() != g.Name() {
 			return
 		}
 		c2, err := elgamal.ParsePoint(batch[i].CrowdC2)
-		if err != nil {
+		if err != nil || c2.Group().Name() != g.Name() {
 			return
 		}
-		blinded := blinder.Blind(elgamal.Ciphertext{C1: c1, C2: c2})
-		results[i] = blindedResult{
-			env: core.BlindedEnvelope{
-				CrowdC1: blinded.C1.Bytes(),
-				CrowdC2: blinded.C2.Bytes(),
-				Blob:    batch[i].Blob,
-				// Routing, not metadata: the client-stamped owning
-				// partition must survive blinding for hop-2 fan-in.
-				Partition: batch[i].Partition,
-			},
-			ok: true,
-		}
+		cts[i] = elgamal.Ciphertext{C1: c1, C2: c2}
+		ok[i] = true
 	})
-	out := make([]core.BlindedEnvelope, 0, len(batch))
-	for i := range results {
-		if results[i].ok {
-			out = append(out, results[i].env)
+	// Compact to the valid envelopes (dropping unparsable or wrong-backend
+	// crowd IDs), then blind chunk-wise on the pool.
+	idx := make([]int, 0, n)
+	for i := range ok {
+		if ok[i] {
+			idx = append(idx, i)
 		}
 	}
+	valid := make([]elgamal.Ciphertext, len(idx))
+	for j, i := range idx {
+		valid[j] = cts[i]
+	}
+	chunks := (len(valid) + blindChunk - 1) / blindChunk
+	parallel.For(workers, chunks, func(c int) {
+		lo := c * blindChunk
+		blinder.BlindBatch(valid[lo:min(lo+blindChunk, len(valid))])
+	})
+	out := make([]core.BlindedEnvelope, len(idx))
+	parallel.For(workers, len(idx), func(j int) {
+		out[j] = core.BlindedEnvelope{
+			CrowdC1: valid[j].C1.Bytes(),
+			CrowdC2: valid[j].C2.Bytes(),
+			Blob:    batch[idx[j]].Blob,
+			// Routing, not metadata: the client-stamped owning partition
+			// must survive blinding for hop-2 fan-in.
+			Partition: batch[idx[j]].Partition,
+		}
+	})
 	s.Rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out, nil
 }
@@ -216,18 +253,25 @@ type Shuffler2 struct {
 
 // openedBlinded is the per-position result of Shuffler 2's workers.
 type openedBlinded struct {
+	ct     elgamal.Ciphertext
 	pseudo string
 	inner  []byte
 	ok     bool
 }
 
 // Process thresholds on pseudonyms and returns surviving inner ciphertexts,
-// shuffled. Pseudonym recovery (two point decompressions, an El Gamal
-// decryption) and outer-layer peeling run on the worker pool.
+// shuffled. Envelope parsing and outer-layer peeling run per report on the
+// worker pool; the El Gamal decryptions run through Decrypter.PseudonymBatch
+// in chunks, so the private scalar is recoded once per chunk and all
+// pseudonyms of a chunk are compressed after one shared inversion.
 func (s *Shuffler2) Process(batch []core.BlindedEnvelope) ([][]byte, Stats, error) {
 	stats := Stats{Received: len(batch)}
 	workers := parallel.Workers(s.Workers)
 	dec := s.Blinding.Decrypter()
+	g := s.Blinding.G
+	if g == nil {
+		g = cgroup.Default()
+	}
 	items := make([]openedBlinded, len(batch))
 	// Shared plaintext arena, as in Shuffler.Process.
 	arena := parallel.NewArena(len(batch), func(i int) int {
@@ -237,25 +281,42 @@ func (s *Shuffler2) Process(batch []core.BlindedEnvelope) ([][]byte, Stats, erro
 		c1, err1 := elgamal.ParsePoint(batch[i].CrowdC1)
 		c2, err2 := elgamal.ParsePoint(batch[i].CrowdC2)
 		inner, err3 := s.Priv.OpenInto(arena.Slot(i), batch[i].Blob, nil)
-		if err1 != nil || err2 != nil || err3 != nil {
+		if err1 != nil || err2 != nil || err3 != nil ||
+			c1.Group().Name() != g.Name() || c2.Group().Name() != g.Name() {
 			return
 		}
-		items[i].pseudo = dec.BlindedPseudonym(elgamal.Ciphertext{C1: c1, C2: c2})
+		items[i].ct = elgamal.Ciphertext{C1: c1, C2: c2}
 		items[i].inner = inner
 		items[i].ok = true
 	})
+	idx := make([]int, 0, len(batch))
 	for i := range items {
 		if !items[i].ok {
 			stats.Undecryptable++
+			continue
 		}
+		idx = append(idx, i)
 	}
+	valid := make([]elgamal.Ciphertext, len(idx))
+	for j, i := range idx {
+		valid[j] = items[i].ct
+	}
+	chunks := (len(valid) + blindChunk - 1) / blindChunk
+	parallel.For(workers, chunks, func(c int) {
+		lo := c * blindChunk
+		hi := min(lo+blindChunk, len(valid))
+		for j, pseudo := range dec.PseudonymBatch(valid[lo:hi]) {
+			items[idx[lo+j]].pseudo = pseudo
+		}
+	})
 	groups := groupBy(workers, len(items),
 		func(i int) bool { return items[i].ok },
 		func(i int) string { return items[i].pseudo },
 		func(k string) uint32 {
-			// Byte 0 of a compressed point is the 0x02/0x03 tag; byte 1 is
-			// the x-coordinate's leading byte, which is uniform enough to
-			// shard on.
+			// Byte 1 of either canonical encoding — the x-coordinate's
+			// leading byte after the 0x02/0x03 tag on P-256, the
+			// y-coordinate's second little-endian byte on ristretto255 —
+			// is uniform enough to shard on.
 			if len(k) > 1 {
 				return uint32(k[1])
 			}

@@ -176,7 +176,7 @@ type KeyReply struct {
 // and the hybrid key its data envelopes are sealed to. Served by the
 // shuffler2 role; the shuffler1 hop holds no keys of its own.
 type BlindedKeysReply struct {
-	Blinding []byte // compressed P-256 point (El Gamal public key)
+	Blinding []byte // compressed group element (El Gamal public key, backend-tagged)
 	Key      []byte // hybrid public key
 }
 

@@ -17,6 +17,12 @@
 # micro trajectory and the whole-deployment latency/throughput trajectory.
 # BENCH_shuffler.json is the PR 1 baseline and is kept for trajectory.
 #
+# A second artifact, BENCH_crypto.json, tracks the crypto kernels under
+# the pipeline: per-backend (p256 vs ristretto255) seal/open and El Gamal
+# encrypt/blind/decrypt, serial vs the amortized batch kernels, plus the
+# raw scalar-mult primitives (comb vs wNAF vs crypto/elliptic) and the
+# uncached HashToPoint path. scripts/bench_delta.sh diffs two captures.
+#
 # Usage: scripts/capture_bench.sh [benchtime]    (default: 3x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,7 +30,22 @@ cd "$(dirname "$0")/.."
 benchtime="${1:-3x}"
 raw="$(mktemp)"
 macro="$(mktemp)"
-trap 'rm -f "$raw" "$macro"' EXIT
+crypto="$(mktemp)"
+trap 'rm -f "$raw" "$macro" "$crypto"' EXIT
+
+# bench_json converts `go test -bench` output lines to JSON benchmark rows
+# (every "value unit" pair after the iteration count becomes a field).
+bench_json() {
+  awk '
+  BEGIN { sep = "" }
+  /^Benchmark/ {
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
+    for (i = 3; i < NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
+    printf "}"
+    sep = ",\n"
+  }
+  ' "$1"
+}
 
 go test -run '^$' \
   -bench 'BenchmarkShufflerProcess|BenchmarkEndToEndPipeline|BenchmarkRemotePipeline|BenchmarkRemoteChain|BenchmarkEncodeSerial|BenchmarkEncodeBatch|BenchmarkAnalyzerOpen|BenchmarkHistogram' \
@@ -37,22 +58,32 @@ go test -run '^$' -bench 'BenchmarkSeal64B|BenchmarkSealInto64B|BenchmarkOpen64B
 go run ./cmd/prochloload -sweep 1x1x1,2x2x2 -seed 7 -format json -out "$macro"
 
 {
-  awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v ncpu="$(nproc)" '
-  BEGIN {
-    printf "{\n  \"captured\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [\n", date, ncpu
-    sep = ""
-  }
-  /^Benchmark/ {
-    printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
-    for (i = 3; i < NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
-    printf "}"
-    sep = ",\n"
-  }
-  END { print "\n  ]," }
-  ' "$raw"
+  printf '{\n  "captured": "%s",\n  "cpus": %s,\n  "benchmarks": [\n' \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(nproc)"
+  bench_json "$raw"
+  printf '\n  ],\n'
   printf '  "macro": [\n'
   sed 's/^/    /; $!s/$/,/' "$macro"
   printf '  ]\n}\n'
 } > BENCH_pipeline.json
 
 echo "wrote BENCH_pipeline.json"
+
+# Crypto kernel rows: the per-backend hot-path benchmarks plus the raw
+# scalar-mult primitives they are built on.
+go test -run '^$' -bench 'BenchmarkElGamalBackends|BenchmarkHashToPointCacheMiss' \
+  -benchtime "$benchtime" -benchmem ./internal/crypto/elgamal | tee -a "$crypto"
+go test -run '^$' -bench 'BenchmarkHybridBackends' \
+  -benchtime "$benchtime" -benchmem ./internal/crypto/hybrid | tee -a "$crypto"
+go test -run '^$' \
+  -bench 'BenchmarkP256CombMul|BenchmarkP256EllipticScalarMult|BenchmarkEdCombMul|BenchmarkEdWNAFMul' \
+  -benchtime "$benchtime" -benchmem ./internal/crypto/group | tee -a "$crypto"
+
+{
+  printf '{\n  "captured": "%s",\n  "cpus": %s,\n  "benchmarks": [\n' \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(nproc)"
+  bench_json "$crypto"
+  printf '\n  ]\n}\n'
+} > BENCH_crypto.json
+
+echo "wrote BENCH_crypto.json"
