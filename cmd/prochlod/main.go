@@ -123,6 +123,7 @@ func main() {
 	redialBase := flag.Duration("redial-base", 0, "first redial backoff, doubling per attempt (0 = default)")
 	redialJitter := flag.Float64("redial-jitter", 0, "redial backoff jitter fraction (0 = default, negative disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics at /metrics and a liveness probe at /healthz on this address (empty disables; see docs/OPERATIONS.md for the catalog)")
+	wireFlag := flag.String("wire", "binary", "data-plane protocol for downstream pushes: binary (framed batch codec, per-connection gob fallback) or gob; the listener always accepts both")
 	flag.Parse()
 
 	if *next == "" {
@@ -142,6 +143,10 @@ func main() {
 	if *sgxMode && *groupName != "" && *groupName != group.Default().Name() {
 		fatal(errors.New("-group is incompatible with -sgx: the enclave attests a key on the default backend"))
 	}
+	wireMode, err := transport.ParseWireMode(*wireFlag)
+	if err != nil {
+		fatal(err)
+	}
 	var reg *metrics.Registry
 	if *metricsAddr != "" {
 		reg = metrics.NewRegistry()
@@ -153,6 +158,7 @@ func main() {
 		InFlight:        *inFlight,
 		Shards:          *shards,
 		DialTimeout:     *dialTimeout,
+		Wire:            wireMode,
 		WALDir:          *walDir,
 		WALSync:         *walSync,
 		WALSegmentBytes: *walSegment,

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"time"
+	"unsafe"
 )
 
 // Compact binary (re-)serialization of the wire item types for durability
@@ -30,6 +31,16 @@ func consumeBytes(b []byte) ([]byte, []byte, error) {
 		return nil, nil, fmt.Errorf("core: corrupt length prefix")
 	}
 	return b[k : k+int(n) : k+int(n)], b[k+int(n):], nil
+}
+
+// aliasString views b as a string without copying. Legal only under the
+// alias-decode contract (the buffer is handed over with the items and never
+// written again); the copy decoders must keep using string(b).
+func aliasString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
 }
 
 // appendTime appends an arrival timestamp: 0 for the zero time, else the
@@ -65,22 +76,36 @@ func (e *Envelope) AppendWire(dst []byte) []byte {
 // DecodeWire decodes an AppendWire encoding into e, copying every field out
 // of b. SeqNo is left untouched for the caller to restore.
 func (e *Envelope) DecodeWire(b []byte) error {
+	_, err := e.consumeWire(b, false)
+	return err
+}
+
+// consumeWire decodes one envelope from the front of b, returning the rest.
+// With alias set the byte fields alias b instead of being copied out — legal
+// only when the buffer outlives the envelope (e.g. a freshly allocated
+// network frame handed over wholesale).
+func (e *Envelope) consumeWire(b []byte, alias bool) ([]byte, error) {
 	blob, b, err := consumeBytes(b)
 	if err != nil {
-		return fmt.Errorf("envelope blob: %w", err)
+		return nil, fmt.Errorf("envelope blob: %w", err)
 	}
 	ip, b, err := consumeBytes(b)
 	if err != nil {
-		return fmt.Errorf("envelope source ip: %w", err)
+		return nil, fmt.Errorf("envelope source ip: %w", err)
 	}
-	at, _, err := consumeTime(b)
+	at, b, err := consumeTime(b)
 	if err != nil {
-		return fmt.Errorf("envelope arrival time: %w", err)
+		return nil, fmt.Errorf("envelope arrival time: %w", err)
 	}
-	e.Blob = append([]byte(nil), blob...)
-	e.SourceIP = string(ip)
+	if alias {
+		e.Blob = blob
+		e.SourceIP = aliasString(ip)
+	} else {
+		e.Blob = append([]byte(nil), blob...)
+		e.SourceIP = string(ip)
+	}
 	e.ArrivalTime = at
-	return nil
+	return b, nil
 }
 
 // AppendWire appends the blinded envelope's durable form (El Gamal crowd-ID
@@ -97,36 +122,48 @@ func (e *BlindedEnvelope) AppendWire(dst []byte) []byte {
 // DecodeWire decodes an AppendWire encoding into e, copying every field out
 // of b. SeqNo is left untouched for the caller to restore.
 func (e *BlindedEnvelope) DecodeWire(b []byte) error {
+	_, err := e.consumeWire(b, false)
+	return err
+}
+
+// consumeWire decodes one blinded envelope from the front of b, returning
+// the rest; see Envelope.consumeWire for the alias contract.
+func (e *BlindedEnvelope) consumeWire(b []byte, alias bool) ([]byte, error) {
 	c1, b, err := consumeBytes(b)
 	if err != nil {
-		return fmt.Errorf("blinded crowd c1: %w", err)
+		return nil, fmt.Errorf("blinded crowd c1: %w", err)
 	}
 	c2, b, err := consumeBytes(b)
 	if err != nil {
-		return fmt.Errorf("blinded crowd c2: %w", err)
+		return nil, fmt.Errorf("blinded crowd c2: %w", err)
 	}
 	blob, b, err := consumeBytes(b)
 	if err != nil {
-		return fmt.Errorf("blinded blob: %w", err)
+		return nil, fmt.Errorf("blinded blob: %w", err)
 	}
 	part, k := binary.Varint(b)
 	if k <= 0 {
-		return fmt.Errorf("blinded partition: corrupt varint")
+		return nil, fmt.Errorf("blinded partition: corrupt varint")
 	}
 	b = b[k:]
 	ip, b, err := consumeBytes(b)
 	if err != nil {
-		return fmt.Errorf("blinded source ip: %w", err)
+		return nil, fmt.Errorf("blinded source ip: %w", err)
 	}
-	at, _, err := consumeTime(b)
+	at, b, err := consumeTime(b)
 	if err != nil {
-		return fmt.Errorf("blinded arrival time: %w", err)
+		return nil, fmt.Errorf("blinded arrival time: %w", err)
 	}
-	e.CrowdC1 = append([]byte(nil), c1...)
-	e.CrowdC2 = append([]byte(nil), c2...)
-	e.Blob = append([]byte(nil), blob...)
+	if alias {
+		e.CrowdC1, e.CrowdC2, e.Blob = c1, c2, blob
+		e.SourceIP = aliasString(ip)
+	} else {
+		e.CrowdC1 = append([]byte(nil), c1...)
+		e.CrowdC2 = append([]byte(nil), c2...)
+		e.Blob = append([]byte(nil), blob...)
+		e.SourceIP = string(ip)
+	}
 	e.Partition = int32(part)
-	e.SourceIP = string(ip)
 	e.ArrivalTime = at
-	return nil
+	return b, nil
 }

@@ -28,6 +28,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -497,10 +498,12 @@ func (s *Server) Addr() string { return s.l.Addr().String() }
 // Close shuts the listener down and releases the serving goroutine.
 func (s *Server) Close() error { return s.srv.Close() }
 
-// Serve starts an HTTP server on addr exposing reg at /metrics and a
-// liveness probe at /healthz. healthy, if non-nil, gates the /healthz
-// status: true yields 200 "ok", false yields 503. A nil healthy always
-// reports 200. The server runs until Close is called.
+// Serve starts an HTTP server on addr exposing reg at /metrics, a
+// liveness probe at /healthz, and the Go profiler under /debug/pprof/
+// (CPU, heap, mutex, goroutine — the hook for finding the next wire or
+// codec hotspot in a running daemon). healthy, if non-nil, gates the
+// /healthz status: true yields 200 "ok", false yields 503. A nil healthy
+// always reports 200. The server runs until Close is called.
 func Serve(addr string, reg *Registry, healthy func() bool) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -516,6 +519,11 @@ func Serve(addr string, reg *Registry, healthy func() bool) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n") //nolint:errcheck
 	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(l) //nolint:errcheck // Close returns ErrServerClosed here
 	return &Server{l: l, srv: srv}, nil

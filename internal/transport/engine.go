@@ -3,6 +3,7 @@ package transport
 import (
 	crand "crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -37,11 +38,30 @@ func dialRPC(addr string, timeout time.Duration) (*rpc.Client, error) {
 	return rpc.NewClient(conn), nil
 }
 
-// dialCaller dials a downstream peer and applies the configured fault plan.
+// dialCaller dials a downstream peer's data plane and applies the
+// configured fault plan. With Wire == WireBinary (the default) it
+// negotiates the framed binary protocol, falling back to a gob connection
+// when the peer does not speak it; either way every data call is bounded by
+// the wire timeout so a hung peer fails transient instead of wedging the
+// flusher. Fault injection wraps the outside, so an injected delay does not
+// eat into the call budget.
 func (cfg EpochConfig) dialCaller(addr string) (caller, error) {
-	cl, err := dialRPC(addr, cfg.DialTimeout)
-	if err != nil {
-		return nil, err
+	var cl caller
+	if cfg.Wire == WireBinary {
+		wc, err := dialWire(addr, cfg.DialTimeout, cfg.wireTimeout())
+		switch {
+		case err == nil:
+			cl = &wireCaller{wc: wc}
+		case !errors.Is(err, errWireUnsupported):
+			return nil, err
+		}
+	}
+	if cl == nil {
+		rc, err := dialRPC(addr, cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		cl = &timeoutCaller{cl: rc, timeout: cfg.wireTimeout()}
 	}
 	return cfg.Fault.wrap(cl), nil
 }
@@ -206,13 +226,28 @@ type fanoutSink struct {
 	parts []sink
 }
 
+// push delivers the epoch's partitions concurrently — each partition sink
+// owns its own connection, so the epoch's wall-clock cost is the slowest
+// partition, not the sum. Per-partition (stream, epoch) dedup keeps a
+// partially failed, retried push exactly-once regardless of delivery order.
+// The first (lowest-partition) error is reported.
 func (f *fanoutSink) push(stream, epoch int64, out core.Batch) error {
 	split := partitionBatch(out, len(f.parts))
+	errs := make([]error, len(split))
+	var wg sync.WaitGroup
 	for i, sub := range split {
 		if sub.Len() == 0 {
 			continue
 		}
-		if err := f.parts[i].push(stream, epoch, sub); err != nil {
+		wg.Add(1)
+		go func(i int, sub core.Batch) {
+			defer wg.Done()
+			errs[i] = f.parts[i].push(stream, epoch, sub)
+		}(i, sub)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}

@@ -26,12 +26,12 @@ type streamingRig struct {
 	anlz    string // analyzer address
 }
 
-func newStreamingRig(t *testing.T, cfg EpochConfig) *streamingRig {
+func newStreamingRig(t testing.TB, cfg EpochConfig) *streamingRig {
 	t.Helper()
 	return newStreamingRigMin(t, cfg, 1)
 }
 
-func newStreamingRigMin(t *testing.T, cfg EpochConfig, minBatch int) *streamingRig {
+func newStreamingRigMin(t testing.TB, cfg EpochConfig, minBatch int) *streamingRig {
 	t.Helper()
 	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
 	if err != nil {
@@ -74,7 +74,7 @@ func newStreamingRigMin(t *testing.T, cfg EpochConfig, minBatch int) *streamingR
 }
 
 // envelope encodes one report for the rig.
-func (r *streamingRig) envelope(t *testing.T, crowd, value string) core.Envelope {
+func (r *streamingRig) envelope(t testing.TB, crowd, value string) core.Envelope {
 	t.Helper()
 	env, err := r.enc.Encode(core.Report{CrowdID: core.HashCrowdID(crowd), Data: []byte(value)})
 	if err != nil {

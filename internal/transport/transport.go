@@ -268,6 +268,14 @@ type EpochConfig struct {
 	// DialTimeout bounds connecting to the downstream peer (construction
 	// and redials). 0 selects DefaultDialTimeout.
 	DialTimeout time.Duration
+	// Wire selects the data-plane protocol for downstream pushes: the
+	// framed binary codec (the zero value, with per-connection fallback to
+	// gob when the peer does not speak it) or plain gob. See wire.go.
+	Wire WireMode
+	// WireTimeout bounds one downstream data-plane call end to end, so a
+	// hung peer becomes a retryable fault instead of a stuck flusher.
+	// 0 selects DefaultWireTimeout; negative disables the bound.
+	WireTimeout time.Duration
 	// WALDir enables the write-ahead log: accepted items are persisted to
 	// this directory before submissions are acknowledged, and a restart
 	// over the same directory recovers pending items, resumes unresolved
@@ -712,10 +720,12 @@ func (a *AnalyzerService) Stats(_ struct{}, reply *AnalyzerStats) error {
 }
 
 // Serve registers rcvr under name and serves RPC on addr (use "127.0.0.1:0"
-// for an ephemeral port). It returns the listener; callers close it to stop.
+// for an ephemeral port). Every accepted connection is protocol-sniffed: the
+// binary data plane and gob net/rpc share the one listener (see wire.go).
+// It returns the listener; callers close it to stop.
 func Serve(addr, name string, rcvr any) (net.Listener, error) {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName(name, rcvr); err != nil {
+	srv, err := NewRPCServer(name, rcvr)
+	if err != nil {
 		return nil, err
 	}
 	l, err := net.Listen("tcp", addr)
@@ -773,13 +783,16 @@ type Client struct {
 	timeout time.Duration
 	stream  int64
 	seq     atomic.Int64
+	wire    WireMode
 
 	// Transient-redial budget for SubmitAll; see SetRedial.
 	redials    int
 	redialBase time.Duration
 
-	mu  sync.Mutex
-	rpc *rpc.Client
+	mu         sync.Mutex
+	rpc        *rpc.Client
+	wc         *wireConn // lazily negotiated binary data plane
+	wireBroken bool      // peer refused the binary handshake; stay on gob
 }
 
 // Dial connects to a shuffler service with the default connect timeout.
@@ -823,18 +836,64 @@ func (c *Client) SetRedial(attempts int, base time.Duration) {
 	}
 }
 
+// SetWire selects the data-plane protocol for submissions (default
+// WireBinary, with per-connection gob fallback). Call before submitting;
+// it does not resync connections already negotiated.
+func (c *Client) SetWire(mode WireMode) { c.wire = mode }
+
 // Addr returns the address the client dialed.
 func (c *Client) Addr() string { return c.addr }
 
-// call issues one RPC on the current connection.
+// call issues one RPC: data-plane methods ride the negotiated binary
+// connection when the client and peer both speak it, everything else (and
+// the gob fallback) rides net/rpc with the data-plane timeout applied.
 func (c *Client) call(method string, args, reply any) error {
+	if c.wire == WireBinary && wireMethods[method] {
+		wc, err := c.wireDataConn()
+		switch {
+		case err == nil:
+			return (&wireCaller{wc: wc}).Call(method, args, reply)
+		case !errors.Is(err, errWireUnsupported):
+			return err // connection-level: transient, redial machinery applies
+		}
+		// Peer speaks only gob; fall through.
+	}
 	c.mu.Lock()
 	cl := c.rpc
 	c.mu.Unlock()
-	return cl.Call(method, args, reply)
+	return callRPCTimeout(cl, method, args, reply, DefaultWireTimeout)
 }
 
-// redial replaces the connection with a fresh one to the same address.
+// wireDataConn returns the client's binary data-plane connection, dialing
+// and negotiating it on first use. errWireUnsupported means the peer is
+// reachable but gob-only; any other error is connection-level.
+func (c *Client) wireDataConn() (*wireConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wireBroken {
+		return nil, errWireUnsupported
+	}
+	if c.wc != nil {
+		if !c.wc.isBroken() {
+			return c.wc, nil
+		}
+		c.wc.close()
+		c.wc = nil
+	}
+	wc, err := dialWire(c.addr, c.timeout, DefaultWireTimeout)
+	if err != nil {
+		if errors.Is(err, errWireUnsupported) {
+			c.wireBroken = true
+		}
+		return nil, err
+	}
+	c.wc = wc
+	return wc, nil
+}
+
+// redial replaces the connection with a fresh one to the same address. The
+// binary data plane is dropped and renegotiated lazily — a restarted peer
+// gets a fresh handshake rather than inheriting a stale verdict.
 func (c *Client) redial() error {
 	cl, err := dialRPC(c.addr, c.timeout)
 	if err != nil {
@@ -843,8 +902,14 @@ func (c *Client) redial() error {
 	c.mu.Lock()
 	old := c.rpc
 	c.rpc = cl
+	oldWC := c.wc
+	c.wc = nil
+	c.wireBroken = false
 	c.mu.Unlock()
 	old.Close()
+	if oldWC != nil {
+		oldWC.close()
+	}
 	return nil
 }
 
@@ -1063,10 +1128,14 @@ func (c *Client) Healthz() (HealthzReply, error) {
 	return reply, err
 }
 
-// Close releases the connection.
+// Close releases the connections (gob and, if negotiated, binary).
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.wc != nil {
+		c.wc.close()
+		c.wc = nil
+	}
 	return c.rpc.Close()
 }
 

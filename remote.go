@@ -61,6 +61,7 @@ type RemotePipeline struct {
 	retryDelay  time.Duration
 	dialTimeout time.Duration
 	attest      bool
+	wire        transport.WireMode
 	balCfg      transport.BalancerConfig
 	// redialAttempts/redialBase (when redialSet) tune every hop client's
 	// transient-retry budget; see WithRemoteRedial.
@@ -175,6 +176,22 @@ func WithRemoteMetrics(reg *MetricsRegistry, labels map[string]string) RemoteOpt
 	}
 }
 
+// WithRemoteWire selects the data-plane protocol for every hop client this
+// pipeline dials: "binary" (the default — the framed batch codec of
+// transport/wire.go, negotiated per connection with automatic gob fallback)
+// or "gob" (force the net/rpc data plane, for cross-version fleets and A/B
+// measurement). Control-plane RPCs always ride net/rpc.
+func WithRemoteWire(mode string) RemoteOption {
+	return func(r *RemotePipeline) error {
+		m, err := transport.ParseWireMode(mode)
+		if err != nil {
+			return err
+		}
+		r.wire = m
+		return nil
+	}
+}
+
 // WithRemoteRedial tunes every hop client's transient-failure retry budget
 // (see transport.Client.SetRedial): drain barriers and stamped submissions
 // redial a crashed replica up to attempts times with jittered backoff from
@@ -215,6 +232,7 @@ func (r *RemotePipeline) dialTiers(tierAddrs [][]string, analyzerAddrs []string)
 				r.Close()
 				return fmt.Errorf("prochlo: dial shuffler %s: %w", addr, err)
 			}
+			cl.SetWire(r.wire)
 			if r.redialSet {
 				cl.SetRedial(r.redialAttempts, r.redialBase)
 			}
@@ -236,6 +254,9 @@ func (r *RemotePipeline) dialTiers(tierAddrs [][]string, analyzerAddrs []string)
 	bcfg := r.balCfg
 	if bcfg.DialTimeout == 0 {
 		bcfg.DialTimeout = r.dialTimeout
+	}
+	if bcfg.Wire == transport.WireBinary {
+		bcfg.Wire = r.wire // WithRemoteWire unless WithBalancer forced gob
 	}
 	if r.redialSet && bcfg.Redials == 0 {
 		bcfg.Redials = r.redialAttempts

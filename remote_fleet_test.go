@@ -5,7 +5,6 @@ import (
 	crand "crypto/rand"
 	"fmt"
 	"net"
-	"net/rpc"
 	"sync"
 	"testing"
 	"time"
@@ -26,7 +25,9 @@ import (
 // closes the listener, which leaves old connections pointing at the dead
 // service — fine when each phase re-dials, but a fleet's long-lived balancer
 // and drain clients must instead see the connection sever and redial the
-// WAL-recovered successor at the same address.
+// WAL-recovered successor at the same address. Connections are served
+// through transport.RPCServer, so the soak exercises whichever data-plane
+// protocol (binary or gob) the fleet under test negotiates.
 type trackedServer struct {
 	l     net.Listener
 	mu    sync.Mutex
@@ -34,8 +35,8 @@ type trackedServer struct {
 }
 
 func serveTracked(addr, name string, rcvr any) (*trackedServer, error) {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName(name, rcvr); err != nil {
+	srv, err := transport.NewRPCServer(name, rcvr)
+	if err != nil {
 		return nil, err
 	}
 	l, err := net.Listen("tcp", addr)
@@ -186,7 +187,7 @@ func TestRemoteChainFleetCrashRestartSoak(t *testing.T) {
 			Rand: workload.NewRand(uint64(20 + i)), MinBatch: 1,
 		}
 		svc, err := transport.NewShuffler2FleetService(s2, anlzAddrs,
-			transport.EpochConfig{WALDir: s2WALs[i], Fault: s2Faults[i]})
+			transport.EpochConfig{WALDir: s2WALs[i], Fault: s2Faults[i], Wire: testWire(t)})
 		if err != nil {
 			return err
 		}
@@ -235,7 +236,7 @@ func TestRemoteChainFleetCrashRestartSoak(t *testing.T) {
 		}
 		s1.MinBatch = 1
 		svc, err := transport.NewShuffler1FleetService(s1, s2Addrs,
-			transport.EpochConfig{FlushAt: 1000, Shards: 3, WALDir: s1WALs[i], Fault: s1Faults[i]})
+			transport.EpochConfig{FlushAt: 1000, Shards: 3, WALDir: s1WALs[i], Fault: s1Faults[i], Wire: testWire(t)})
 		if err != nil {
 			return err
 		}
@@ -274,9 +275,11 @@ func TestRemoteChainFleetCrashRestartSoak(t *testing.T) {
 	// balancer, and the drain barrier all live through the replica deaths.
 	rp, err := prochlo.DialRemoteChainFleet(s1Addrs, s2Addrs, anlzAddrs,
 		prochlo.WithRemoteWorkers(1),
+		prochlo.WithRemoteWire(testWire(t).String()),
 		prochlo.WithBalancer(transport.BalancerConfig{
 			ProbeInterval:    15 * time.Millisecond,
 			BreakerThreshold: 2,
+			Wire:             testWire(t),
 		}))
 	if err != nil {
 		t.Fatal(err)
@@ -428,7 +431,7 @@ func newFleetRig(tb testing.TB, replicas int) *fleetRig {
 			Threshold: shuffler.Threshold{Noise: dp.PaperThresholdNoise},
 			Rand:      workload.NewRand(uint64(40 + i)), MinBatch: 1,
 		}
-		svc, err := transport.NewShuffler2FleetService(s2, rig.anlzAddrs, transport.EpochConfig{})
+		svc, err := transport.NewShuffler2FleetService(s2, rig.anlzAddrs, transport.EpochConfig{Wire: testWire(tb)})
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -446,7 +449,7 @@ func newFleetRig(tb testing.TB, replicas int) *fleetRig {
 			tb.Fatal(err)
 		}
 		s1.MinBatch = 1
-		svc, err := transport.NewShuffler1FleetService(s1, rig.s2Addrs, transport.EpochConfig{})
+		svc, err := transport.NewShuffler1FleetService(s1, rig.s2Addrs, transport.EpochConfig{Wire: testWire(tb)})
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -474,7 +477,8 @@ func BenchmarkRemoteChainFleet(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rig := newFleetRig(b, replicas)
-				rp, err := prochlo.DialRemoteChainFleet(rig.s1Addrs, rig.s2Addrs, rig.anlzAddrs)
+				rp, err := prochlo.DialRemoteChainFleet(rig.s1Addrs, rig.s2Addrs, rig.anlzAddrs,
+					prochlo.WithRemoteWire(testWire(b).String()))
 				if err != nil {
 					b.Fatal(err)
 				}

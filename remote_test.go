@@ -337,6 +337,8 @@ type chainRig struct {
 
 func newChainRig(t testing.TB, seed uint64, workers int, th shuffler.Threshold, s1cfg, s2cfg transport.EpochConfig) *chainRig {
 	t.Helper()
+	s1cfg.Wire = testWire(t)
+	s2cfg.Wire = testWire(t)
 	anlzPriv, err := hybrid.GenerateKey(crand.Reader)
 	if err != nil {
 		t.Fatal(err)
@@ -405,7 +407,7 @@ func (r *chainRig) dial(t testing.TB, workers int) *prochlo.RemotePipeline {
 	t.Helper()
 	rp, err := prochlo.DialRemoteChain(
 		r.s1L.Addr().String(), r.s2L.Addr().String(), r.anlzL.Addr().String(),
-		prochlo.WithRemoteWorkers(workers))
+		prochlo.WithRemoteWorkers(workers), prochlo.WithRemoteWire(testWire(t).String()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,17 +434,24 @@ func TestRemoteChainMatchesInProcess(t *testing.T) {
 		name      string
 		workers   int
 		shards    int
-		s2FlushAt int // 0: hop 2 cuts only on drain; chunk: auto-flush
+		s2FlushAt int    // 0: hop 2 cuts only on drain; chunk: auto-flush
+		wire      string // "": the PROCHLO_WIRE/binary default
 	}{
-		{"serial-1shard", 1, 1, 0},
-		{"workers2-3shards", 2, 3, chunk},
-		{"gomaxprocs", runtime.GOMAXPROCS(0), 0, chunk},
+		{"serial-1shard", 1, 1, 0, ""},
+		{"workers2-3shards", 2, 3, chunk, ""},
+		{"gomaxprocs", runtime.GOMAXPROCS(0), 0, chunk, ""},
+		// The gob fallback protocol must produce the identical histogram —
+		// the wire format may never change results.
+		{"gob-wire", 2, 3, chunk, "gob"},
 	}
 	var want []byte
 	var wantStats shuffler.Stats
 	var wantUndec int
 	for ci, tc := range configs {
 		t.Run(tc.name, func(t *testing.T) {
+			if tc.wire != "" {
+				t.Setenv("PROCHLO_WIRE", tc.wire)
+			}
 			// In-process reference: same seed, same chunk boundaries.
 			p, err := prochlo.New(prochlo.WithSeed(seed), prochlo.WithMode(prochlo.ModeBlinded),
 				prochlo.WithWorkers(tc.workers))
@@ -635,6 +644,18 @@ func faultSeed(t *testing.T, def int64) int64 {
 	return seed
 }
 
+// testWire resolves the PROCHLO_WIRE override ("binary" or "gob"; empty
+// selects the binary default). CI runs the soaks under both values so
+// protocol negotiation and crash recovery stay interoperable; tests pin a
+// protocol per subtest with t.Setenv.
+func testWire(tb testing.TB) transport.WireMode {
+	m, err := transport.ParseWireMode(os.Getenv("PROCHLO_WIRE"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
 // TestRemoteChainCrashRestartSoak is the crash-safety acceptance run: the
 // seeded two-hop chain runs with the WAL enabled at both hops and fault
 // injection on both inter-stage links, each shuffler hop is killed
@@ -729,7 +750,7 @@ func TestRemoteChainCrashRestartSoak(t *testing.T) {
 		}
 		var err error
 		s2svc, err = transport.NewShuffler2Service(s2, anlzL.Addr().String(),
-			transport.EpochConfig{WALDir: s2WAL, Fault: s2Fault})
+			transport.EpochConfig{WALDir: s2WAL, Fault: s2Fault, Wire: testWire(t)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -742,7 +763,7 @@ func TestRemoteChainCrashRestartSoak(t *testing.T) {
 		}
 		s1.MinBatch = 1
 		s1svc, err = transport.NewShuffler1Service(s1, s2L.Addr().String(),
-			transport.EpochConfig{FlushAt: 1000, Shards: 3, WALDir: s1WAL, Fault: s1Fault})
+			transport.EpochConfig{FlushAt: 1000, Shards: 3, WALDir: s1WAL, Fault: s1Fault, Wire: testWire(t)})
 		if err != nil {
 			t.Fatal(err)
 		}

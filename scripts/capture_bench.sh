@@ -23,6 +23,11 @@
 # raw scalar-mult primitives (comb vs wNAF vs crypto/elliptic) and the
 # uncached HashToPoint path. scripts/bench_delta.sh diffs two captures.
 #
+# A third artifact, BENCH_wire.json, tracks the data-plane wire protocol:
+# BenchmarkWireCodec (one batch marshal+unmarshal, binary codec vs a
+# persistent gob stream) and BenchmarkForwardPush (a hop-to-hop Forward
+# push over loopback TCP, binary frames vs gob/net-rpc).
+#
 # Usage: scripts/capture_bench.sh [benchtime]    (default: 3x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,7 +36,8 @@ benchtime="${1:-3x}"
 raw="$(mktemp)"
 macro="$(mktemp)"
 crypto="$(mktemp)"
-trap 'rm -f "$raw" "$macro" "$crypto"' EXIT
+wire="$(mktemp)"
+trap 'rm -f "$raw" "$macro" "$crypto" "$wire"' EXIT
 
 # bench_json converts `go test -bench` output lines to JSON benchmark rows
 # (every "value unit" pair after the iteration count becomes a field).
@@ -87,3 +93,16 @@ go test -run '^$' \
 } > BENCH_crypto.json
 
 echo "wrote BENCH_crypto.json"
+
+# Wire-protocol rows: the binary-vs-gob codec and push benchmarks.
+go test -run '^$' -bench 'BenchmarkWireCodec|BenchmarkForwardPush' \
+  -benchtime "$benchtime" -benchmem ./internal/transport | tee -a "$wire"
+
+{
+  printf '{\n  "captured": "%s",\n  "cpus": %s,\n  "benchmarks": [\n' \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(nproc)"
+  bench_json "$wire"
+  printf '\n  ]\n}\n'
+} > BENCH_wire.json
+
+echo "wrote BENCH_wire.json"
